@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at reproduction
+scale (a few hundred virtual-time steps per workload) and checks that the
+paper's qualitative findings hold on the regenerated data.  Wall-clock
+numbers reported by pytest-benchmark measure the harness itself; the
+scientific output is the printed report plus the finding assertions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+#: Step budget per workload used across the figure benchmarks.  Small enough
+#: that the full benchmark suite completes in a few minutes, large enough for
+#: the breakdown fractions to be stable.
+BENCH_TIMESTEPS = 120
+FIG11_TIMESTEPS = 80
+
+#: Where regenerated figure/table reports are written (one text file per
+#: artifact), so they survive pytest's output capturing.
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def save_report(name: str, text: str) -> None:
+    """Persist a regenerated figure/table report under ``results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

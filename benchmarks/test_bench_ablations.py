@@ -1,0 +1,53 @@
+"""Ablation benchmarks for design choices called out in DESIGN.md.
+
+* Profiling-overhead ablation: how much each book-keeping subsystem
+  (annotations, Python<->C interception, CUDA interception, CUPTI) inflates
+  the training time of a fixed workload — the per-component view behind
+  Appendix C's stacked overhead bars.
+* Execution-model ablation for the overlap computation: cost of the offline
+  analysis itself as the trace grows.
+"""
+
+import pytest
+
+from conftest import FIG11_TIMESTEPS, save_report
+from repro.experiments.common import WorkloadSpec, run_workload
+from repro.profiler import ProfilerConfig, compute_overlap
+
+SPEC = WorkloadSpec(algo="SAC", simulator="Walker2D", total_timesteps=FIG11_TIMESTEPS)
+
+CONFIGS = {
+    "uninstrumented": ProfilerConfig.uninstrumented(),
+    "annotations_only": ProfilerConfig.only(annotations=True),
+    "pyprof_only": ProfilerConfig.only(pyprof=True),
+    "cuda_interception_only": ProfilerConfig.only(cuda_interception=True),
+    "cuda+cupti": ProfilerConfig.only(cuda_interception=True, cupti=True),
+    "full": ProfilerConfig.full(),
+}
+
+
+def test_bench_profiling_overhead_ablation(benchmark):
+    def run_all():
+        return {name: run_workload(SPEC, profiler_config=config).total_time_us
+                for name, config in CONFIGS.items()}
+
+    totals = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    baseline = totals["uninstrumented"]
+    lines = [
+        f"  {name:24s} {total / 1e6:8.4f}s  (+{100.0 * (total - baseline) / baseline:5.2f}%)"
+        for name, total in totals.items()
+    ]
+    report = "profiling overhead ablation (SAC/Walker2D):\n" + "\n".join(lines)
+    print()
+    print(report)
+    save_report("ablation_profiling_overhead", report)
+    # Every book-keeping subsystem costs something; the full profiler costs the most.
+    assert all(total >= baseline for total in totals.values())
+    assert totals["full"] == max(totals.values())
+    assert totals["cuda+cupti"] > totals["cuda_interception_only"]
+
+
+def test_bench_overlap_analysis_cost(benchmark):
+    run = run_workload(SPEC)
+    overlap = benchmark(lambda: compute_overlap(run.trace))
+    assert overlap.total_us() > 0

@@ -1,0 +1,31 @@
+"""Benchmarks: Figure 11 (Appendix C.3) — overhead-correction validation.
+
+Each workload is calibrated (6 runs), then run uninstrumented and fully
+instrumented; the corrected total must fall within the paper's +/-16 % bound
+of the uninstrumented total.
+"""
+
+from conftest import FIG11_TIMESTEPS, save_report
+from repro.experiments import findings, run_fig11a, run_fig11b
+
+
+def test_bench_fig11a_algorithm_sweep(benchmark):
+    result = benchmark.pedantic(lambda: run_fig11a(timesteps=FIG11_TIMESTEPS), rounds=1, iterations=1)
+    print()
+    print(result.report())
+    save_report("fig11a_overhead_correction_algorithms", result.report())
+    check = findings.check_overhead_correction(result)
+    print(check)
+    assert check.holds, str(check)
+    # Profiling meaningfully inflates runtime before correction.
+    assert all(v.uncorrected_inflation_percent > 1.0 for v in result.validations.values())
+
+
+def test_bench_fig11b_simulator_sweep(benchmark):
+    result = benchmark.pedantic(lambda: run_fig11b(timesteps=FIG11_TIMESTEPS), rounds=1, iterations=1)
+    print()
+    print(result.report())
+    save_report("fig11b_overhead_correction_simulators", result.report())
+    check = findings.check_overhead_correction(result)
+    print(check)
+    assert check.holds, str(check)

@@ -1,0 +1,73 @@
+"""Benchmarks: Figure 4 — RL framework comparison (TD3 and DDPG on Walker2D).
+
+Figure 4a/4b are the per-operation time breakdowns; Figure 4c/4d are the
+language-transition counts.  The TD3 and DDPG panels are each regenerated
+once and cached for the transition benchmarks, which only re-run the analysis.
+"""
+
+import pytest
+
+from conftest import BENCH_TIMESTEPS, save_report
+from repro.experiments import run_fig4
+from repro.experiments import findings
+
+_CACHE = {}
+
+
+def _panel(algo):
+    if algo not in _CACHE:
+        _CACHE[algo] = run_fig4(algo, timesteps=BENCH_TIMESTEPS)
+    return _CACHE[algo]
+
+
+def test_bench_fig4a_td3_time_breakdown(benchmark):
+    result = benchmark.pedantic(lambda: run_fig4("TD3", timesteps=BENCH_TIMESTEPS), rounds=1, iterations=1)
+    _CACHE["TD3"] = result
+    print()
+    print(result.report())
+    save_report("fig4a_fig4c_td3", result.report())
+    checks = [findings.check_f1_eager_slower(result),
+              findings.check_f3_pytorch_vs_tf_eager(result),
+              findings.check_f6_autograph_inference_backend_inflation(result),
+              findings.check_f7_low_gpu_usage(result),
+              findings.check_f8_cuda_api_dominates_gpu(result)]
+    for check in checks:
+        print(check)
+        assert check.holds, str(check)
+
+
+def test_bench_fig4b_ddpg_time_breakdown(benchmark):
+    result = benchmark.pedantic(lambda: run_fig4("DDPG", timesteps=BENCH_TIMESTEPS), rounds=1, iterations=1)
+    _CACHE["DDPG"] = result
+    print()
+    print(result.report())
+    save_report("fig4b_fig4d_ddpg", result.report())
+    check = findings.check_f4_ddpg_backprop_inflation(result)
+    print(check)
+    assert check.holds, str(check)
+
+
+def test_bench_fig4c_td3_transitions(benchmark):
+    result = _panel("TD3")
+    transitions = benchmark.pedantic(result.transitions_per_iteration, rounds=1, iterations=1)
+    check = findings.check_f2_autograph_reduces_transitions(result)
+    print()
+    print(check)
+    assert check.holds, str(check)
+    # Eager issues at least an order of magnitude more backend transitions
+    # per iteration than Autograph, as in Figure 4c.
+    eager = sum(transitions["Tensorflow Eager"].get(op, {}).get("Backend", 0.0)
+                for op in ("inference", "backpropagation"))
+    autograph = sum(transitions["Tensorflow Autograph"].get(op, {}).get("Backend", 0.0)
+                    for op in ("inference", "backpropagation"))
+    assert eager > 10 * max(autograph, 1e-9)
+
+
+def test_bench_fig4d_ddpg_transitions(benchmark):
+    td3 = _panel("TD3")
+    ddpg = _panel("DDPG")
+    benchmark.pedantic(ddpg.transitions_per_iteration, rounds=1, iterations=1)
+    check = findings.check_f5_autograph_simulation_python_inflation(ddpg, td3)
+    print()
+    print(check)
+    assert check.holds, str(check)

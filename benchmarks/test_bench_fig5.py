@@ -1,0 +1,18 @@
+"""Benchmark: Figure 5 — RL algorithm survey on Walker2D."""
+
+from conftest import BENCH_TIMESTEPS, save_report
+from repro.experiments import findings, run_fig5
+
+
+def test_bench_fig5_algorithm_survey(benchmark):
+    result = benchmark.pedantic(lambda: run_fig5(timesteps=BENCH_TIMESTEPS), rounds=1, iterations=1)
+    print()
+    print(result.report())
+    save_report("fig5_algorithm_survey", result.report())
+    for check in (findings.check_f9_cpu_bound_across_algorithms(result),
+                  findings.check_f10_on_policy_simulation_bound(result)):
+        print(check)
+        assert check.holds, str(check)
+    # Off-policy algorithms are dominated by backpropagation, on-policy by simulation.
+    assert result.runs["DDPG"].analysis.operation_fraction("backpropagation") > \
+        result.runs["A2C"].analysis.operation_fraction("backpropagation")

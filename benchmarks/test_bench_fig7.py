@@ -1,0 +1,20 @@
+"""Benchmark: Figure 7 (Appendix B.1) — simulator survey with PPO."""
+
+from conftest import BENCH_TIMESTEPS, save_report
+from repro.experiments import findings, run_fig7
+
+
+def test_bench_fig7_simulator_survey(benchmark):
+    result = benchmark.pedantic(lambda: run_fig7(timesteps=BENCH_TIMESTEPS), rounds=1, iterations=1)
+    print()
+    print(result.report())
+    save_report("fig7_simulator_survey", result.report())
+    check = findings.check_f12_simulation_always_large(result)
+    print(check)
+    assert check.holds, str(check)
+    # The high-complexity simulator dwarfs everything else, as in the paper.
+    totals = result.total_times_sec()
+    assert totals["AirLearning"] > 10 * totals["Walker2D"]
+    assert result.simulation_fraction("AirLearning") > 0.9
+    # GPU time is a few percent at most on every simulator.
+    assert all(result.gpu_fraction(sim) < 0.2 for sim in result.runs)

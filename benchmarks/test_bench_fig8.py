@@ -1,0 +1,34 @@
+"""Benchmark: Figure 8 — Minigo scale-up workload, multi-process view and GPU utilization."""
+
+from conftest import save_report
+from repro.experiments import findings, run_fig8
+from repro.experiments.fig8 import DEFAULT_MINIGO_CONFIG
+from repro.minigo import MinigoConfig
+
+#: 16 parallel self-play workers, as in the paper, at reproduction board size.
+BENCH_CONFIG = MinigoConfig(
+    num_workers=DEFAULT_MINIGO_CONFIG.num_workers,
+    board_size=5,
+    num_simulations=6,
+    games_per_worker=1,
+    max_moves=20,
+    sgd_steps=16,
+    evaluation_games=2,
+    hidden=(64, 64),
+)
+
+
+def test_bench_fig8_minigo_scaleup(benchmark):
+    result = benchmark.pedantic(lambda: run_fig8(BENCH_CONFIG), rounds=1, iterations=1)
+    print()
+    print(result.report())
+    save_report("fig8_minigo_scaleup", result.report())
+    check = findings.check_f11_misleading_gpu_utilization(result)
+    print(check)
+    assert check.holds, str(check)
+    # 16 self-play workers, each with a tiny GPU-kernel share of its runtime.
+    summaries = result.selfplay_summaries()
+    assert len(summaries) == BENCH_CONFIG.num_workers
+    assert result.max_worker_gpu_sec() < 0.25 * result.max_worker_time_sec()
+    # nvidia-smi reports near-saturation despite that.
+    assert result.reported_utilization_pct() >= 80.0

@@ -1,0 +1,15 @@
+"""Benchmark: Table 1 — the RL framework configuration matrix."""
+
+from conftest import save_report
+from repro.experiments import run_table1, table1
+
+
+def test_bench_table1(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    report = table1.report(rows)
+    print()
+    print(report)
+    save_report("table1", report)
+    assert len(rows) == 4
+    assert {row.engine_class for row in rows} == {
+        "GraphEngine", "AutographEngine", "EagerEngine", "PyTorchEagerEngine"}

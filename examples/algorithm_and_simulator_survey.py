@@ -1,0 +1,49 @@
+"""Algorithm and simulator survey: where does RL training time go? (Sections 4.2, B.1)
+
+Part 1 fixes the simulator (Walker2D) and sweeps the RL algorithm
+(DDPG, SAC, A2C, PPO2), showing that on-policy algorithms are far more
+simulation-bound than off-policy ones (finding F.10) and that everything is
+~90 % CPU-bound (finding F.9).
+
+Part 2 fixes the algorithm (PPO) and sweeps the simulator from low complexity
+(Pong) to high complexity (AirLearning), showing that simulation is always a
+large bottleneck (finding F.12).
+
+Run with::
+
+    python examples/algorithm_and_simulator_survey.py [steps]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import run_fig5, run_fig7
+from repro.experiments.findings import (
+    check_f9_cpu_bound_across_algorithms,
+    check_f10_on_policy_simulation_bound,
+    check_f12_simulation_always_large,
+)
+
+
+def main(timesteps: int = 150) -> None:
+    print("=" * 72)
+    print("Part 1: algorithm survey (Figure 5)")
+    print("=" * 72)
+    fig5 = run_fig5(timesteps=timesteps)
+    print(fig5.report())
+    for check in (check_f9_cpu_bound_across_algorithms(fig5),
+                  check_f10_on_policy_simulation_bound(fig5)):
+        print(" ", check)
+
+    print()
+    print("=" * 72)
+    print("Part 2: simulator survey (Figure 7)")
+    print("=" * 72)
+    fig7 = run_fig7(timesteps=timesteps)
+    print(fig7.report())
+    print(" ", check_f12_simulation_always_large(fig7))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 150)

@@ -1,0 +1,44 @@
+"""Framework comparison: which RL framework should you pick? (paper Section 4.1)
+
+Trains the same TD3 agent on Walker2D with identical hyperparameters under
+the four framework configurations of Table 1 (stable-baselines Graph,
+tf-agents Autograph, tf-agents Eager, ReAgent PyTorch Eager) and reports how
+the training-time breakdown and the Python->Backend transition counts differ
+— the data behind Figures 4a and 4c and findings F.1, F.2, F.3.
+
+Run with::
+
+    python examples/framework_comparison.py [steps]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import run_fig4
+from repro.experiments.findings import (
+    check_f1_eager_slower,
+    check_f2_autograph_reduces_transitions,
+    check_f3_pytorch_vs_tf_eager,
+    check_f7_low_gpu_usage,
+)
+
+
+def main(timesteps: int = 150) -> None:
+    result = run_fig4("TD3", timesteps=timesteps)
+    print(result.report())
+    print()
+    print("How the paper's framework findings look on this run:")
+    for check in (check_f1_eager_slower(result),
+                  check_f2_autograph_reduces_transitions(result),
+                  check_f3_pytorch_vs_tf_eager(result),
+                  check_f7_low_gpu_usage(result)):
+        print(" ", check)
+
+    totals = result.total_times_sec()
+    fastest = min(totals, key=totals.get)
+    print(f"\nfastest configuration for TD3/Walker2D: {fastest} ({totals[fastest]:.2f} virtual s)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 150)

@@ -1,0 +1,45 @@
+"""Minigo scale-up workload: why "100% GPU utilization" can be meaningless (Section 4.3).
+
+Runs one round of Minigo training — 16 parallel self-play workers feeding a
+shared GPU, followed by SGD updates and candidate evaluation — and contrasts
+the coarse-grained nvidia-smi utilization metric with RL-Scope's true
+GPU-kernel time per worker (Figure 8, finding F.11).
+
+Run with::
+
+    python examples/minigo_scaleup.py [num_workers]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import run_fig8
+from repro.experiments.findings import check_f11_misleading_gpu_utilization
+from repro.minigo import MinigoConfig
+
+
+def main(num_workers: int = 16) -> None:
+    config = MinigoConfig(
+        num_workers=num_workers,
+        board_size=5,
+        num_simulations=6,
+        games_per_worker=1,
+        max_moves=20,
+        sgd_steps=16,
+        evaluation_games=2,
+        hidden=(64, 64),
+    )
+    result = run_fig8(config)
+    print(result.report())
+    print()
+    check = check_f11_misleading_gpu_utilization(result)
+    print(check)
+    busiest = max(result.selfplay_summaries(), key=lambda s: s.total_time_us)
+    print(f"\nbusiest self-play worker: {busiest.worker} — "
+          f"{busiest.total_time_sec:.2f}s total, only {busiest.gpu_time_sec:.3f}s executing GPU kernels, "
+          f"yet nvidia-smi reports {result.reported_utilization_pct():.0f}% GPU utilization.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 16)

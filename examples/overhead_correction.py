@@ -1,0 +1,50 @@
+"""Calibration and overhead correction walk-through (Section 3.4, Appendix C).
+
+Profilers inflate CPU time.  This example calibrates RL-Scope's book-keeping
+costs for one workload (delta calibration + difference-of-average calibration
+for CUPTI), then shows that the corrected training time lands within the
+paper's +/-16 % of an uninstrumented run, while the uncorrected time can be
+substantially inflated.
+
+Run with::
+
+    python examples/overhead_correction.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import WorkloadSpec, calibrate_workload, run_workload
+from repro.experiments.fig11 import validate_workload
+from repro.profiler import ProfilerConfig
+
+SPEC = WorkloadSpec(algo="SAC", simulator="Walker2D", total_timesteps=120)
+
+
+def main() -> None:
+    print(f"workload: {SPEC.label} ({SPEC.total_timesteps} steps)\n")
+
+    print("step 1: calibrate book-keeping durations (6 runs)")
+    calibration = calibrate_workload(SPEC)
+    print(f"  Python<->C interception : {calibration.pyprof_us:6.2f} us / event")
+    print(f"  CUDA API interception   : {calibration.cuda_interception_us:6.2f} us / call")
+    print(f"  operation annotation    : {calibration.annotation_us:6.2f} us / annotation")
+    for api, value in sorted(calibration.cupti_per_api_us.items()):
+        print(f"  CUPTI inflation [{api:22s}]: {value:5.2f} us / call")
+
+    print("\nstep 2: validate correction against an uninstrumented run")
+    validation = validate_workload(SPEC, calibration=calibration)
+    print(f"  uninstrumented : {validation.uninstrumented_sec:8.4f} s")
+    print(f"  instrumented   : {validation.instrumented_sec:8.4f} s "
+          f"(+{validation.uncorrected_inflation_percent:.1f}% profiling inflation)")
+    print(f"  corrected      : {validation.corrected_sec:8.4f} s "
+          f"(bias {validation.bias_percent:+.2f}%, paper bound: +/-16%)")
+
+    print("\nstep 3: corrected per-operation breakdown")
+    run = run_workload(SPEC, profiler_config=ProfilerConfig.full(), calibration=calibration)
+    for operation, categories in sorted(run.analysis.category_breakdown_sec().items()):
+        row = ", ".join(f"{category}: {seconds:.4f}s" for category, seconds in sorted(categories.items()))
+        print(f"  {operation:16s} {row}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: profile a DQN agent learning Atari Pong with RL-Scope.
+
+This mirrors the paper's running example (Section 2.1): a DQN training loop
+whose time is split between inference, simulation and backpropagation.  The
+script trains for a few hundred steps under the profiler, then prints the
+cross-stack, per-operation breakdown and the language-transition counts.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.profiler import Profiler, ProfilerConfig, analyze, report
+from repro.rl import default_config, default_framework, make_algorithm
+from repro.sim import make
+from repro.system import System
+
+TOTAL_STEPS = 400
+
+
+def main() -> None:
+    # 1. Build the simulated stack: virtual clock + GPU + CUDA runtime.
+    system = System.create(seed=0)
+
+    # 2. Build the workload: Pong simulator, stable-baselines-style framework, DQN.
+    env = make("Pong", system, seed=0)
+    framework = default_framework(system)
+
+    # 3. Attach RL-Scope: transparent interception of the backend, the
+    #    simulator and the CUDA runtime, plus operation annotations provided
+    #    by the algorithm's training loop.
+    profiler = Profiler(system, ProfilerConfig.full())
+    profiler.attach(engine=framework.engine, envs=[env])
+
+    agent = make_algorithm("DQN", env, framework,
+                           config=default_config("DQN", warmup_steps=32, buffer_size=5_000),
+                           profiler=profiler, seed=0)
+    result = agent.train(TOTAL_STEPS)
+
+    # 4. Offline analysis: overlap computation scoped to the annotations.
+    trace = profiler.finalize()
+    analysis = analyze(trace, iterations=TOTAL_STEPS)
+
+    print(f"trained DQN on Pong for {TOTAL_STEPS} steps "
+          f"({result.gradient_updates} gradient updates, {result.episodes} episodes)")
+    print(f"total training time: {analysis.total_time_sec():.3f} virtual seconds, "
+          f"GPU-bound fraction: {100 * analysis.gpu_fraction():.1f}%\n")
+
+    analyses = {"DQN / Pong": analysis}
+    print(report.total_time_table(analyses))
+    print()
+    print(report.breakdown_table(analyses))
+    print()
+    print(report.transitions_table(analyses, TOTAL_STEPS))
+
+
+if __name__ == "__main__":
+    main()

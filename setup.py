@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` works on environments whose setuptools/pip
+combination cannot build PEP 660 editable wheels (e.g. offline images without
+the ``wheel`` package).  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""repro: a reproduction of RL-Scope (MLSys 2021) on a simulated CPU/GPU stack.
+
+The package is organised as the paper's system is:
+
+* :mod:`repro.profiler` -- RL-Scope itself (annotations, transparent
+  interception, cross-stack overlap, calibration and overhead correction).
+* :mod:`repro.hw`, :mod:`repro.cuda`, :mod:`repro.backend`, :mod:`repro.sim`,
+  :mod:`repro.rl`, :mod:`repro.minigo` -- the simulated substrates the
+  profiler measures (virtual GPU + CUDA runtime + CUPTI, a miniature ML
+  backend with Graph / Autograph / Eager execution, simulators, RL
+  algorithms, and the Minigo scale-up workload).
+* :mod:`repro.experiments` -- the harness that regenerates every table and
+  figure of the paper's evaluation.
+"""
+
+from .system import System
+
+__version__ = "0.1.0"
+
+__all__ = ["System", "__version__"]

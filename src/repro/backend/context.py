@@ -1,0 +1,55 @@
+"""Execution context: which backend engine is "current".
+
+Algorithm code uses the functional API (:mod:`repro.backend.functional`)
+without passing an engine around; the framework adapter activates its engine
+for the duration of the workload, mirroring how a real script implicitly uses
+whichever ML backend it imported.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .engine import BackendEngine
+
+_ENGINE_STACK: List["BackendEngine"] = []
+
+
+def current_engine() -> "BackendEngine":
+    """Return the active engine; raises if none has been activated."""
+    if not _ENGINE_STACK:
+        raise RuntimeError(
+            "no backend engine is active; wrap workload code in `with use_engine(engine):` "
+            "or call set_default_engine(engine)"
+        )
+    return _ENGINE_STACK[-1]
+
+
+def maybe_current_engine() -> Optional["BackendEngine"]:
+    """Return the active engine or ``None``."""
+    return _ENGINE_STACK[-1] if _ENGINE_STACK else None
+
+
+def set_default_engine(engine: "BackendEngine") -> None:
+    """Install ``engine`` at the bottom of the stack (replacing any default)."""
+    if _ENGINE_STACK:
+        _ENGINE_STACK[0] = engine
+    else:
+        _ENGINE_STACK.append(engine)
+
+
+def clear_engines() -> None:
+    """Remove all active engines (used by tests and workload teardown)."""
+    _ENGINE_STACK.clear()
+
+
+@contextmanager
+def use_engine(engine: "BackendEngine") -> Iterator["BackendEngine"]:
+    """Activate ``engine`` for the duration of the block."""
+    _ENGINE_STACK.append(engine)
+    try:
+        yield engine
+    finally:
+        _ENGINE_STACK.pop()

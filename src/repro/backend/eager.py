@@ -1,0 +1,50 @@
+"""Eager execution engines (TensorFlow Eager and PyTorch).
+
+Eager mode dispatches every primitive op as its own Python -> Backend call,
+which is exactly the behaviour behind findings F.1 and F.3: the number of
+backend transitions per iteration explodes relative to Graph / Autograph, and
+the per-call overhead of the TensorFlow eager runtime is markedly higher than
+PyTorch's, explaining the 2.3x gap between the two Eager implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..system import System
+from .engine import BackendEngine
+
+
+class EagerEngine(BackendEngine):
+    """TensorFlow 2.x eager execution."""
+
+    kind = "eager"
+    wraps_each_op = True
+    fuses_linear = False
+    #: interpreted-Python dispatcher work per top-level op call (argument
+    #: parsing, dtype/shape checks) — part of why eager mode spends so much
+    #: time in Python (finding F.1).
+    python_units_per_op = 3.0
+
+    def __init__(self, system: System, *, flavor: str = "tensorflow", name: Optional[str] = None) -> None:
+        super().__init__(system, flavor=flavor, name=name)
+
+    def apply(self, op_name, inputs, attrs):
+        if self._native_depth == 0 and self.python_units_per_op > 0:
+            self.system.cpu_work(self.python_units_per_op)
+        return super().apply(op_name, inputs, attrs)
+
+
+class PyTorchEagerEngine(EagerEngine):
+    """PyTorch eager execution (ReAgent's backend).
+
+    PyTorch's dispatcher is cheaper per call than TensorFlow's eager runtime
+    and its ``addmm`` fuses the matmul and bias add of a linear layer, so an
+    identical network issues fewer ops (and thus fewer transitions) per step.
+    """
+
+    fuses_linear = True
+    python_units_per_op = 1.2
+
+    def __init__(self, system: System, *, name: Optional[str] = None) -> None:
+        super().__init__(system, flavor="pytorch", name=name or "pytorch-eager")

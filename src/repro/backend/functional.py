@@ -1,0 +1,176 @@
+"""Functional tensor API used by RL algorithm implementations.
+
+Thin wrappers around :func:`repro.backend.autodiff.apply_op` for every
+primitive operator, plus a handful of composite helpers (losses, Gaussian
+log-probabilities) built from primitives so that their cost is accounted op
+by op, exactly like the real backends would.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .autodiff import apply_op
+from .tensor import Tensor
+
+TensorLike = Union[Tensor, np.ndarray, float]
+
+
+# ----------------------------------------------------------------- primitives
+def matmul(a: TensorLike, b: TensorLike) -> Tensor:
+    return apply_op("matmul", [a, b])
+
+
+def addmm(x: TensorLike, w: TensorLike, b: TensorLike) -> Tensor:
+    """Fused linear layer (PyTorch-style)."""
+    return apply_op("addmm", [x, w, b])
+
+
+def bias_add(x: TensorLike, b: TensorLike) -> Tensor:
+    return apply_op("bias_add", [x, b])
+
+
+def add(a: TensorLike, b: TensorLike) -> Tensor:
+    return apply_op("add", [a, b])
+
+
+def sub(a: TensorLike, b: TensorLike) -> Tensor:
+    return apply_op("sub", [a, b])
+
+
+def mul(a: TensorLike, b: TensorLike) -> Tensor:
+    return apply_op("mul", [a, b])
+
+
+def div(a: TensorLike, b: TensorLike) -> Tensor:
+    return apply_op("div", [a, b])
+
+
+def minimum(a: TensorLike, b: TensorLike) -> Tensor:
+    return apply_op("minimum", [a, b])
+
+
+def maximum(a: TensorLike, b: TensorLike) -> Tensor:
+    return apply_op("maximum", [a, b])
+
+
+def neg(x: TensorLike) -> Tensor:
+    return apply_op("neg", [x])
+
+
+def exp(x: TensorLike) -> Tensor:
+    return apply_op("exp", [x])
+
+
+def log(x: TensorLike) -> Tensor:
+    return apply_op("log", [x])
+
+
+def tanh(x: TensorLike) -> Tensor:
+    return apply_op("tanh", [x])
+
+
+def relu(x: TensorLike) -> Tensor:
+    return apply_op("relu", [x])
+
+
+def sigmoid(x: TensorLike) -> Tensor:
+    return apply_op("sigmoid", [x])
+
+
+def softplus(x: TensorLike) -> Tensor:
+    return apply_op("softplus", [x])
+
+
+def square(x: TensorLike) -> Tensor:
+    return apply_op("square", [x])
+
+
+def sqrt(x: TensorLike) -> Tensor:
+    return apply_op("sqrt", [x])
+
+
+def absolute(x: TensorLike) -> Tensor:
+    return apply_op("abs", [x])
+
+
+def scale_shift(x: TensorLike, scale: float = 1.0, shift: float = 0.0) -> Tensor:
+    return apply_op("scale_shift", [x], {"scale": scale, "shift": shift})
+
+
+def clip(x: TensorLike, low: float, high: float) -> Tensor:
+    return apply_op("clip", [x], {"low": low, "high": high})
+
+
+def pow_const(x: TensorLike, exponent: float) -> Tensor:
+    return apply_op("pow_const", [x], {"exponent": exponent})
+
+
+def reduce_sum(x: TensorLike, axis: Optional[int] = None) -> Tensor:
+    return apply_op("sum", [x], {"axis": axis})
+
+
+def reduce_mean(x: TensorLike, axis: Optional[int] = None) -> Tensor:
+    return apply_op("mean", [x], {"axis": axis})
+
+
+def reduce_max(x: TensorLike, axis: Optional[int] = None) -> Tensor:
+    return apply_op("reduce_max", [x], {"axis": axis})
+
+
+def softmax(x: TensorLike) -> Tensor:
+    return apply_op("softmax", [x])
+
+
+def log_softmax(x: TensorLike) -> Tensor:
+    return apply_op("log_softmax", [x])
+
+
+def reshape(x: TensorLike, shape: Sequence[int]) -> Tensor:
+    return apply_op("reshape", [x], {"shape": tuple(shape)})
+
+
+def concat(tensors: Sequence[TensorLike], axis: int = -1) -> Tensor:
+    return apply_op("concat", list(tensors), {"axis": axis})
+
+
+def gather_rows(x: TensorLike, indices: Sequence[int]) -> Tensor:
+    return apply_op("gather_rows", [x], {"indices": np.asarray(indices, dtype=np.int64)})
+
+
+def stop_gradient(x: TensorLike) -> Tensor:
+    return apply_op("stop_gradient", [x])
+
+
+# ------------------------------------------------------------------ composites
+def mse_loss(prediction: TensorLike, target: TensorLike) -> Tensor:
+    """Mean squared error."""
+    return reduce_mean(square(sub(prediction, target)))
+
+
+def huber_loss(prediction: TensorLike, target: TensorLike, delta: float = 1.0) -> Tensor:
+    """Huber loss, composed from primitives."""
+    error = sub(prediction, target)
+    abs_error = absolute(error)
+    quadratic = clip(abs_error, 0.0, delta)
+    linear = sub(abs_error, quadratic)
+    return reduce_mean(add(scale_shift(square(quadratic), 0.5), scale_shift(linear, delta)))
+
+
+LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+def gaussian_log_prob(actions: TensorLike, mean: TensorLike, log_std: TensorLike) -> Tensor:
+    """Log-probability of ``actions`` under a diagonal Gaussian, summed over dims."""
+    std = exp(log_std)
+    z = div(sub(actions, mean), std)
+    per_dim = scale_shift(add(add(square(z), scale_shift(log_std, 2.0)), LOG_2PI), -0.5)
+    return reduce_sum(per_dim, axis=-1)
+
+
+def gaussian_entropy(log_std: TensorLike) -> Tensor:
+    """Entropy of a diagonal Gaussian, summed over dims, averaged over batch."""
+    per_dim = scale_shift(log_std, 1.0, 0.5 * (LOG_2PI + 1.0))
+    return reduce_mean(reduce_sum(per_dim, axis=-1))

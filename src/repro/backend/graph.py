@@ -1,0 +1,80 @@
+"""Graph execution engine (TensorFlow 1.x-style ``session.run``).
+
+In Graph mode the algorithm defines its computations once and then executes
+them through ``session.run``-style calls: one Python -> Backend transition
+per call, inside which every operator of the (implicit) graph executes.  The
+Python side still pays for minibatch sampling and feed-dict construction on
+every iteration, which is why Graph-mode workloads show substantial Python
+time in the paper (finding F.2).
+
+The reproduction keeps the graph implicit: a compiled function re-runs the
+traced Python body inside a single native scope.  A lightweight
+:class:`GraphInfo` records the op stream of the first call so tests and the
+analysis can inspect op counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..system import System
+from .engine import BackendEngine, CompiledFunction
+
+
+@dataclass
+class GraphInfo:
+    """Op-count bookkeeping for one compiled graph."""
+
+    name: str
+    ops_per_call: int = 0
+    traced: bool = False
+    op_names: List[str] = field(default_factory=list)
+
+
+class GraphEngine(BackendEngine):
+    """TensorFlow Graph execution (stable-baselines style)."""
+
+    kind = "graph"
+    wraps_each_op = False
+    fuses_linear = False
+
+    #: Python-side work (in python units) to build a feed dict per call.
+    FEED_PREP_UNITS_PER_ARG = 3.0
+    FEED_PREP_UNITS_FIXED = 6.0
+
+    def __init__(self, system: System, *, flavor: str = "tensorflow", name: Optional[str] = None) -> None:
+        super().__init__(system, flavor=flavor, name=name)
+        self.graphs: List[GraphInfo] = []
+
+    def function(self, fn, *, name: str = "session_run", num_feeds: int = 2, **kwargs) -> CompiledFunction:
+        """Wrap ``fn`` as a graph executed via ``session.run``."""
+        del kwargs
+        info = GraphInfo(name=name)
+        self.graphs.append(info)
+        compiled = _TracingCompiledFunction(
+            self,
+            fn,
+            name=name,
+            prologue_python_units=self.FEED_PREP_UNITS_FIXED + self.FEED_PREP_UNITS_PER_ARG * num_feeds,
+            dispatch_inflation=1.0,
+            wrap_native=True,
+            info=info,
+        )
+        return compiled
+
+
+class _TracingCompiledFunction(CompiledFunction):
+    """Compiled function that records op counts on its first call."""
+
+    def __init__(self, engine: BackendEngine, fn, *, info: GraphInfo, **kwargs) -> None:
+        super().__init__(engine, fn, **kwargs)
+        self.info = info
+
+    def __call__(self, *args, **kwargs):
+        ops_before = self.engine.op_count
+        result = super().__call__(*args, **kwargs)
+        if not self.info.traced:
+            self.info.ops_per_call = self.engine.op_count - ops_before
+            self.info.traced = True
+        return result

@@ -1,0 +1,435 @@
+"""Primitive operator registry for the miniature ML backend.
+
+Each :class:`OpDef` bundles
+
+* ``forward``  — the numpy implementation,
+* ``vjp``      — the vector-Jacobian product used by the tape autodiff,
+* ``kernels``  — the GPU kernels a real backend would launch for the forward
+  op (used by the engines for cost accounting), and
+* ``backward_kernels`` — the kernels of the corresponding gradient op.
+
+The numeric results are real (RL algorithms genuinely train); the kernel
+lists only drive the virtual cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cuda.kernels import KernelSpec, elementwise_kernel, gemm_kernel, reduction_kernel
+
+Arrays = Sequence[np.ndarray]
+Attrs = Mapping[str, object]
+ForwardFn = Callable[[Arrays, Attrs], np.ndarray]
+VjpFn = Callable[[Arrays, np.ndarray, np.ndarray, Attrs], List[Optional[np.ndarray]]]
+KernelsFn = Callable[[Arrays, np.ndarray, Attrs], List[KernelSpec]]
+
+
+@dataclass(frozen=True)
+class OpDef:
+    """Definition of one primitive backend operator."""
+
+    name: str
+    forward: ForwardFn
+    vjp: VjpFn
+    kernels: KernelsFn
+    backward_kernels: KernelsFn
+
+
+OPS: Dict[str, OpDef] = {}
+
+
+def register(op: OpDef) -> OpDef:
+    if op.name in OPS:
+        raise ValueError(f"op {op.name!r} already registered")
+    OPS[op.name] = op
+    return op
+
+
+def get_op(name: str) -> OpDef:
+    try:
+        return OPS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown backend op {name!r}") from exc
+
+
+# --------------------------------------------------------------------- utils
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` (undo numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading added dimensions.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over broadcast (size-1) dimensions.
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _ew_kernels(name: str, ops_per_element: float = 1.0) -> KernelsFn:
+    def kernels(inputs: Arrays, output: np.ndarray, attrs: Attrs) -> List[KernelSpec]:
+        return [elementwise_kernel(output.shape, ops_per_element=ops_per_element, name=name)]
+    return kernels
+
+
+def _binary_backward_kernels(name: str) -> KernelsFn:
+    def kernels(inputs: Arrays, output: np.ndarray, attrs: Attrs) -> List[KernelSpec]:
+        return [elementwise_kernel(inp.shape, ops_per_element=1.0, name=f"grad_{name}") for inp in inputs]
+    return kernels
+
+
+def _unary_backward_kernels(name: str, ops_per_element: float = 1.0) -> KernelsFn:
+    def kernels(inputs: Arrays, output: np.ndarray, attrs: Attrs) -> List[KernelSpec]:
+        return [elementwise_kernel(inputs[0].shape, ops_per_element=ops_per_element, name=f"grad_{name}")]
+    return kernels
+
+
+def _no_kernels(inputs: Arrays, output: np.ndarray, attrs: Attrs) -> List[KernelSpec]:
+    return []
+
+
+# -------------------------------------------------------------------- matmul
+def _matmul_forward(inputs: Arrays, attrs: Attrs) -> np.ndarray:
+    a, b = inputs
+    return a @ b
+
+
+def _matmul_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    a, b = inputs
+    return [grad @ b.T, a.T @ grad]
+
+
+def _matmul_dims(a: np.ndarray, b: np.ndarray) -> Tuple[int, int, int]:
+    m = int(np.prod(a.shape[:-1])) if a.ndim > 1 else 1
+    k = a.shape[-1]
+    n = b.shape[-1]
+    return m, n, k
+
+
+def _matmul_kernels(inputs: Arrays, output: np.ndarray, attrs: Attrs) -> List[KernelSpec]:
+    m, n, k = _matmul_dims(inputs[0], inputs[1])
+    return [gemm_kernel(m, n, k, name="sgemm")]
+
+
+def _matmul_backward_kernels(inputs: Arrays, output: np.ndarray, attrs: Attrs) -> List[KernelSpec]:
+    m, n, k = _matmul_dims(inputs[0], inputs[1])
+    return [gemm_kernel(m, k, n, name="sgemm_dgrad"), gemm_kernel(k, n, m, name="sgemm_wgrad")]
+
+
+register(OpDef("matmul", _matmul_forward, _matmul_vjp, _matmul_kernels, _matmul_backward_kernels))
+
+
+# ------------------------------------------------------------ fused linear op
+def _addmm_forward(inputs: Arrays, attrs: Attrs) -> np.ndarray:
+    x, w, b = inputs
+    return x @ w + b
+
+
+def _addmm_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    x, w, b = inputs
+    return [grad @ w.T, x.T @ grad, unbroadcast(grad, b.shape)]
+
+
+def _addmm_kernels(inputs: Arrays, output: np.ndarray, attrs: Attrs) -> List[KernelSpec]:
+    m, n, k = _matmul_dims(inputs[0], inputs[1])
+    return [gemm_kernel(m, n, k, name="addmm")]
+
+
+def _addmm_backward_kernels(inputs: Arrays, output: np.ndarray, attrs: Attrs) -> List[KernelSpec]:
+    m, n, k = _matmul_dims(inputs[0], inputs[1])
+    return [
+        gemm_kernel(m, k, n, name="addmm_dgrad"),
+        gemm_kernel(k, n, m, name="addmm_wgrad"),
+        reduction_kernel(output.shape, name="addmm_bgrad"),
+    ]
+
+
+register(OpDef("addmm", _addmm_forward, _addmm_vjp, _addmm_kernels, _addmm_backward_kernels))
+
+
+# ----------------------------------------------------------------- bias_add
+def _bias_add_forward(inputs: Arrays, attrs: Attrs) -> np.ndarray:
+    x, b = inputs
+    return x + b
+
+
+def _bias_add_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    x, b = inputs
+    return [grad, unbroadcast(grad, b.shape)]
+
+
+register(OpDef("bias_add", _bias_add_forward, _bias_add_vjp, _ew_kernels("bias_add"), _binary_backward_kernels("bias_add")))
+
+
+# --------------------------------------------------------- binary elementwise
+def _make_binary(name: str, fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+                 vjp: VjpFn, ops_per_element: float = 1.0) -> None:
+    def forward(inputs: Arrays, attrs: Attrs) -> np.ndarray:
+        return fn(inputs[0], inputs[1])
+    register(OpDef(name, forward, vjp, _ew_kernels(name, ops_per_element), _binary_backward_kernels(name)))
+
+
+def _add_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    return [unbroadcast(grad, inputs[0].shape), unbroadcast(grad, inputs[1].shape)]
+
+
+def _sub_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    return [unbroadcast(grad, inputs[0].shape), unbroadcast(-grad, inputs[1].shape)]
+
+
+def _mul_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    a, b = inputs
+    return [unbroadcast(grad * b, a.shape), unbroadcast(grad * a, b.shape)]
+
+
+def _div_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    a, b = inputs
+    return [unbroadcast(grad / b, a.shape), unbroadcast(-grad * a / (b * b), b.shape)]
+
+
+def _minimum_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    a, b = inputs
+    mask = (a <= b).astype(np.float32)
+    return [unbroadcast(grad * mask, a.shape), unbroadcast(grad * (1.0 - mask), b.shape)]
+
+
+def _maximum_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    a, b = inputs
+    mask = (a >= b).astype(np.float32)
+    return [unbroadcast(grad * mask, a.shape), unbroadcast(grad * (1.0 - mask), b.shape)]
+
+
+_make_binary("add", np.add, _add_vjp)
+_make_binary("sub", np.subtract, _sub_vjp)
+_make_binary("mul", np.multiply, _mul_vjp)
+_make_binary("div", np.divide, _div_vjp, ops_per_element=4.0)
+_make_binary("minimum", np.minimum, _minimum_vjp)
+_make_binary("maximum", np.maximum, _maximum_vjp)
+
+
+# ---------------------------------------------------------- unary elementwise
+def _make_unary(name: str, fn: Callable[[np.ndarray], np.ndarray],
+                grad_fn: Callable[[np.ndarray, np.ndarray], np.ndarray],
+                ops_per_element: float = 1.0) -> None:
+    """``grad_fn(x, y)`` returns dy/dx given input x and output y."""
+
+    def forward(inputs: Arrays, attrs: Attrs) -> np.ndarray:
+        return fn(inputs[0])
+
+    def vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+        return [grad * grad_fn(inputs[0], output)]
+
+    register(OpDef(name, forward, vjp, _ew_kernels(name, ops_per_element),
+                   _unary_backward_kernels(name, ops_per_element)))
+
+
+_make_unary("neg", np.negative, lambda x, y: np.full_like(x, -1.0))
+_make_unary("exp", np.exp, lambda x, y: y, ops_per_element=4.0)
+_make_unary("log", lambda x: np.log(np.maximum(x, 1e-12)), lambda x, y: 1.0 / np.maximum(x, 1e-12), ops_per_element=4.0)
+_make_unary("tanh", np.tanh, lambda x, y: 1.0 - y * y, ops_per_element=6.0)
+_make_unary("relu", lambda x: np.maximum(x, 0.0), lambda x, y: (x > 0).astype(np.float32))
+_make_unary("sigmoid", lambda x: 1.0 / (1.0 + np.exp(-x)), lambda x, y: y * (1.0 - y), ops_per_element=5.0)
+_make_unary("softplus", lambda x: np.log1p(np.exp(-np.abs(x))) + np.maximum(x, 0.0),
+            lambda x, y: 1.0 / (1.0 + np.exp(-x)), ops_per_element=6.0)
+_make_unary("square", np.square, lambda x, y: 2.0 * x)
+_make_unary("sqrt", lambda x: np.sqrt(np.maximum(x, 0.0)), lambda x, y: 0.5 / np.maximum(y, 1e-12), ops_per_element=3.0)
+_make_unary("abs", np.abs, lambda x, y: np.sign(x))
+
+
+# ------------------------------------------------------------------ scaling
+def _scale_shift_forward(inputs: Arrays, attrs: Attrs) -> np.ndarray:
+    scale = float(attrs.get("scale", 1.0))
+    shift = float(attrs.get("shift", 0.0))
+    return inputs[0] * scale + shift
+
+
+def _scale_shift_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    return [grad * float(attrs.get("scale", 1.0))]
+
+
+register(OpDef("scale_shift", _scale_shift_forward, _scale_shift_vjp, _ew_kernels("scale_shift"),
+               _unary_backward_kernels("scale_shift")))
+
+
+def _clip_forward(inputs: Arrays, attrs: Attrs) -> np.ndarray:
+    return np.clip(inputs[0], float(attrs["low"]), float(attrs["high"]))
+
+
+def _clip_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    x = inputs[0]
+    mask = ((x >= float(attrs["low"])) & (x <= float(attrs["high"]))).astype(np.float32)
+    return [grad * mask]
+
+
+register(OpDef("clip", _clip_forward, _clip_vjp, _ew_kernels("clip"), _unary_backward_kernels("clip")))
+
+
+def _pow_const_forward(inputs: Arrays, attrs: Attrs) -> np.ndarray:
+    return np.power(inputs[0], float(attrs["exponent"]))
+
+
+def _pow_const_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    p = float(attrs["exponent"])
+    return [grad * p * np.power(inputs[0], p - 1.0)]
+
+
+register(OpDef("pow_const", _pow_const_forward, _pow_const_vjp, _ew_kernels("pow_const", 4.0),
+               _unary_backward_kernels("pow_const", 4.0)))
+
+
+# --------------------------------------------------------------- reductions
+def _axis_of(attrs: Attrs) -> Optional[int]:
+    axis = attrs.get("axis")
+    return None if axis is None else int(axis)  # type: ignore[arg-type]
+
+
+def _expand_reduced(grad: np.ndarray, input_shape: Tuple[int, ...], axis: Optional[int]) -> np.ndarray:
+    if axis is None:
+        return np.broadcast_to(grad, input_shape).astype(np.float32)
+    grad_expanded = np.expand_dims(grad, axis=axis)
+    return np.broadcast_to(grad_expanded, input_shape).astype(np.float32)
+
+
+def _sum_forward(inputs: Arrays, attrs: Attrs) -> np.ndarray:
+    return np.sum(inputs[0], axis=_axis_of(attrs))
+
+
+def _sum_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    return [_expand_reduced(np.asarray(grad), inputs[0].shape, _axis_of(attrs))]
+
+
+def _mean_forward(inputs: Arrays, attrs: Attrs) -> np.ndarray:
+    return np.mean(inputs[0], axis=_axis_of(attrs))
+
+
+def _mean_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    axis = _axis_of(attrs)
+    x = inputs[0]
+    count = x.size if axis is None else x.shape[axis]
+    return [_expand_reduced(np.asarray(grad), x.shape, axis) / float(count)]
+
+
+def _reduce_kernels(name: str) -> KernelsFn:
+    def kernels(inputs: Arrays, output: np.ndarray, attrs: Attrs) -> List[KernelSpec]:
+        return [reduction_kernel(inputs[0].shape, name=name)]
+    return kernels
+
+
+register(OpDef("sum", _sum_forward, _sum_vjp, _reduce_kernels("reduce_sum"), _unary_backward_kernels("sum")))
+register(OpDef("mean", _mean_forward, _mean_vjp, _reduce_kernels("reduce_mean"), _unary_backward_kernels("mean")))
+
+
+def _reduce_max_forward(inputs: Arrays, attrs: Attrs) -> np.ndarray:
+    return np.max(inputs[0], axis=_axis_of(attrs))
+
+
+def _reduce_max_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    axis = _axis_of(attrs)
+    x = inputs[0]
+    if axis is None:
+        mask = (x == output).astype(np.float32)
+    else:
+        mask = (x == np.expand_dims(output, axis)).astype(np.float32)
+    mask /= np.maximum(mask.sum(axis=axis, keepdims=axis is not None), 1.0)
+    return [_expand_reduced(np.asarray(grad), x.shape, axis) * mask]
+
+
+register(OpDef("reduce_max", _reduce_max_forward, _reduce_max_vjp, _reduce_kernels("reduce_max"),
+               _unary_backward_kernels("reduce_max")))
+
+
+# ------------------------------------------------------------------ softmax
+def _softmax_forward(inputs: Arrays, attrs: Attrs) -> np.ndarray:
+    x = inputs[0]
+    shifted = x - np.max(x, axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=-1, keepdims=True)
+
+
+def _softmax_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    s = output
+    dot = np.sum(grad * s, axis=-1, keepdims=True)
+    return [s * (grad - dot)]
+
+
+register(OpDef("softmax", _softmax_forward, _softmax_vjp, _ew_kernels("softmax", 8.0),
+               _unary_backward_kernels("softmax", 8.0)))
+
+
+def _log_softmax_forward(inputs: Arrays, attrs: Attrs) -> np.ndarray:
+    x = inputs[0]
+    shifted = x - np.max(x, axis=-1, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=-1, keepdims=True))
+
+
+def _log_softmax_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    softmax = np.exp(output)
+    return [grad - softmax * np.sum(grad, axis=-1, keepdims=True)]
+
+
+register(OpDef("log_softmax", _log_softmax_forward, _log_softmax_vjp, _ew_kernels("log_softmax", 8.0),
+               _unary_backward_kernels("log_softmax", 8.0)))
+
+
+# ------------------------------------------------------------ shape plumbing
+def _reshape_forward(inputs: Arrays, attrs: Attrs) -> np.ndarray:
+    return inputs[0].reshape(tuple(attrs["shape"]))  # type: ignore[arg-type]
+
+
+def _reshape_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    return [grad.reshape(inputs[0].shape)]
+
+
+register(OpDef("reshape", _reshape_forward, _reshape_vjp, _no_kernels, _no_kernels))
+
+
+def _concat_forward(inputs: Arrays, attrs: Attrs) -> np.ndarray:
+    return np.concatenate(list(inputs), axis=int(attrs.get("axis", -1)))  # type: ignore[arg-type]
+
+
+def _concat_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    axis = int(attrs.get("axis", -1))  # type: ignore[arg-type]
+    sizes = [inp.shape[axis] for inp in inputs]
+    splits = np.cumsum(sizes)[:-1]
+    return list(np.split(grad, splits, axis=axis))
+
+
+def _concat_kernels(inputs: Arrays, output: np.ndarray, attrs: Attrs) -> List[KernelSpec]:
+    return [elementwise_kernel(output.shape, ops_per_element=0.5, name="concat")]
+
+
+register(OpDef("concat", _concat_forward, _concat_vjp, _concat_kernels, _concat_kernels))
+
+
+def _gather_rows_forward(inputs: Arrays, attrs: Attrs) -> np.ndarray:
+    x = inputs[0]
+    indices = np.asarray(attrs["indices"], dtype=np.int64)  # type: ignore[arg-type]
+    return x[np.arange(x.shape[0]), indices]
+
+
+def _gather_rows_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    x = inputs[0]
+    indices = np.asarray(attrs["indices"], dtype=np.int64)  # type: ignore[arg-type]
+    full = np.zeros_like(x)
+    full[np.arange(x.shape[0]), indices] = grad
+    return [full]
+
+
+register(OpDef("gather_rows", _gather_rows_forward, _gather_rows_vjp, _ew_kernels("gather_rows", 0.5),
+               _unary_backward_kernels("gather_rows", 0.5)))
+
+
+def _stop_gradient_forward(inputs: Arrays, attrs: Attrs) -> np.ndarray:
+    return inputs[0]
+
+
+def _stop_gradient_vjp(inputs: Arrays, output: np.ndarray, grad: np.ndarray, attrs: Attrs) -> List[Optional[np.ndarray]]:
+    return [None]
+
+
+register(OpDef("stop_gradient", _stop_gradient_forward, _stop_gradient_vjp, _no_kernels, _no_kernels))

@@ -1,0 +1,158 @@
+"""Optimizers for the miniature backend.
+
+Two implementations of Adam matter for the paper:
+
+* :class:`Adam` — the "fused" GPU implementation every modern backend
+  provides: one update kernel per parameter tensor, applied inside a single
+  backend call.
+* :class:`MPIAdam` — stable-baselines' MPI-friendly Adam, which flattens the
+  gradients, copies them to the host, performs the Adam update in Python, and
+  writes the result back to the device.  During single-node training this is
+  pure overhead: extra CUDA memcpys, extra backend calls and extra Python
+  time — the root cause of the 3.7x backpropagation inflation in DDPG Graph
+  (finding F.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..cuda.kernels import optimizer_kernel, tensor_bytes
+from .context import current_engine
+from .tensor import Parameter
+
+
+class Optimizer:
+    """Base class: holds the parameter list and per-parameter state."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params: List[Parameter] = list(params)
+        self.lr = float(lr)
+        self.step_count = 0
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        raise NotImplementedError
+
+    def _check_grads(self, grads: Sequence[np.ndarray]) -> None:
+        if len(grads) != len(self.params):
+            raise ValueError(f"got {len(grads)} gradients for {len(self.params)} parameters")
+        for param, grad in zip(self.params, grads):
+            if np.asarray(grad).shape != param.shape:
+                raise ValueError(f"gradient shape {np.asarray(grad).shape} != parameter shape {param.shape}")
+
+
+class SGD(Optimizer):
+    """Plain (optionally momentum) SGD with a fused device update."""
+
+    def __init__(self, params: Sequence[Parameter], lr: float = 1e-3, momentum: float = 0.0) -> None:
+        super().__init__(params, lr)
+        self.momentum = float(momentum)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        self._check_grads(grads)
+        engine = current_engine()
+        self.step_count += 1
+        with engine.native_scope("sgd_step"):
+            for param, grad in zip(self.params, grads):
+                engine.account_op("sgd_update", [optimizer_kernel(param.size, name="sgd_update")])
+                grad = np.asarray(grad, dtype=np.float32)
+                if self.momentum > 0:
+                    vel = self._velocity.setdefault(param.id, np.zeros_like(param.data))
+                    vel *= self.momentum
+                    vel += grad
+                    update = vel
+                else:
+                    update = grad
+                param.assign(param.data - self.lr * update)
+
+
+class Adam(Optimizer):
+    """Fused Adam: one device kernel per parameter tensor, one backend call."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+
+    def _adam_update(self, param: Parameter, grad: np.ndarray) -> None:
+        grad = np.asarray(grad, dtype=np.float32)
+        m = self._m.setdefault(param.id, np.zeros_like(param.data))
+        v = self._v.setdefault(param.id, np.zeros_like(param.data))
+        m[...] = self.beta1 * m + (1.0 - self.beta1) * grad
+        v[...] = self.beta2 * v + (1.0 - self.beta2) * grad * grad
+        m_hat = m / (1.0 - self.beta1 ** self.step_count)
+        v_hat = v / (1.0 - self.beta2 ** self.step_count)
+        param.assign(param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps))
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        self._check_grads(grads)
+        engine = current_engine()
+        self.step_count += 1
+        with engine.native_scope("adam_step"):
+            for param, grad in zip(self.params, grads):
+                engine.account_op("adam_update", [optimizer_kernel(param.size, name="adam_update")])
+                self._adam_update(param, grad)
+
+
+class MPIAdam(Adam):
+    """stable-baselines' MPI-friendly Adam (GPU-unfriendly; see finding F.4).
+
+    Per step it issues:
+
+    1. a ``get_flat``-style backend call that copies the flattened gradients
+       (and parameters) from device to host,
+    2. the Adam moment update in interpreted Python on the host, and
+    3. a ``set_from_flat`` backend call that copies the updated parameters
+       back to the device and scatters them into the individual variables.
+    """
+
+    #: python units of work per 1000 scalar parameters for the host-side update
+    PYTHON_UNITS_PER_KPARAM = 14.0
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        self._check_grads(grads)
+        engine = current_engine()
+        system = engine.system
+        self.step_count += 1
+        total_bytes = float(sum(tensor_bytes(p.shape) for p in self.params))
+
+        # (1) Fetch flat gradients + parameters to the host, one transfer per
+        #     variable (get_flat gathers each variable separately).
+        with engine.native_scope("mpi_adam_get_flat"):
+            for param in self.params:
+                # Flatten/gather each variable into the flat vector, then copy
+                # its gradient and value to the host.
+                engine.account_op("flatten_var", [optimizer_kernel(param.size, name="flatten_var")])
+                engine.copy_to_host(float(tensor_bytes(param.shape)), synchronize=False)  # gradient
+                engine.copy_to_host(float(tensor_bytes(param.shape)))                     # value
+        for param in self.params:
+            param.host_copy = param.data.copy()
+
+        # (2) Host-side Adam update in Python.
+        total_params = sum(p.size for p in self.params)
+        system.cpu_work(self.PYTHON_UNITS_PER_KPARAM * total_params / 1000.0)
+        for param, grad in zip(self.params, grads):
+            self._adam_update(param, grad)
+
+        # (3) Push the updated flat parameter vector back to the device and
+        #     scatter it into each variable.
+        del total_bytes
+        with engine.native_scope("mpi_adam_set_from_flat"):
+            for param in self.params:
+                engine.copy_to_device(float(tensor_bytes(param.shape)))
+                engine.account_op("assign", [optimizer_kernel(param.size, name="assign_flat")])

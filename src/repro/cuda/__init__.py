@@ -1,0 +1,34 @@
+"""Simulated CUDA runtime, CUPTI activity collection, and kernel specifications."""
+
+from .cupti import Cupti, CuptiApiRecord, CuptiKernelRecord, CuptiMemcpyRecord
+from .kernels import (
+    FLOAT_BYTES,
+    KernelSpec,
+    bias_kernel,
+    elementwise_kernel,
+    gemm_kernel,
+    optimizer_kernel,
+    reduction_kernel,
+    render_kernel,
+    tensor_bytes,
+)
+from .runtime import ApiCallResult, CudaApiHook, CudaRuntime
+
+__all__ = [
+    "Cupti",
+    "CuptiApiRecord",
+    "CuptiKernelRecord",
+    "CuptiMemcpyRecord",
+    "FLOAT_BYTES",
+    "KernelSpec",
+    "bias_kernel",
+    "elementwise_kernel",
+    "gemm_kernel",
+    "optimizer_kernel",
+    "reduction_kernel",
+    "render_kernel",
+    "tensor_bytes",
+    "ApiCallResult",
+    "CudaApiHook",
+    "CudaRuntime",
+]

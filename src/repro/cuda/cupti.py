@@ -1,0 +1,148 @@
+"""Simulated CUPTI: the CUDA Profiling Tools Interface.
+
+The real CUPTI library records *activity records* for CUDA API calls, kernel
+executions and memory copies, and — important for RL-Scope's calibration —
+its closed-source hooks inflate the CPU-side duration of each CUDA API call
+by an amount that depends on the API (Appendix C.2 of the paper).
+
+This module reproduces both behaviours.  The inflation amounts come from the
+cost model but are *not* visible to the profiler: RL-Scope has to recover
+them through difference-of-average calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..hw.gpu import GPUActivity
+
+
+@dataclass(frozen=True)
+class CuptiApiRecord:
+    """Activity record for one CUDA API call (CPU side)."""
+
+    api_name: str
+    start_us: float
+    end_us: float
+    worker: str
+    correlation_id: int
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass(frozen=True)
+class CuptiKernelRecord:
+    """Activity record for one kernel execution (device side)."""
+
+    kernel_name: str
+    start_us: float
+    end_us: float
+    stream: int
+    worker: str
+    correlation_id: int
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass(frozen=True)
+class CuptiMemcpyRecord:
+    """Activity record for one memory copy (device side)."""
+
+    direction: str
+    start_us: float
+    end_us: float
+    stream: int
+    worker: str
+    correlation_id: int
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+ApiCallback = Callable[[CuptiApiRecord], None]
+ActivityCallback = Callable[[object], None]
+
+
+@dataclass
+class Cupti:
+    """Activity-record collector attached to a :class:`~repro.cuda.runtime.CudaRuntime`."""
+
+    enabled: bool = False
+    api_records: List[CuptiApiRecord] = field(default_factory=list)
+    kernel_records: List[CuptiKernelRecord] = field(default_factory=list)
+    memcpy_records: List[CuptiMemcpyRecord] = field(default_factory=list)
+    _api_callbacks: List[ApiCallback] = field(default_factory=list)
+    _next_correlation_id: int = 1
+
+    # ----------------------------------------------------------------- state
+    def enable(self) -> None:
+        """Enable activity collection (and, implicitly, CUPTI's CPU inflation)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self.api_records.clear()
+        self.kernel_records.clear()
+        self.memcpy_records.clear()
+        self._next_correlation_id = 1
+
+    def subscribe_api(self, callback: ApiCallback) -> None:
+        """Register a callback invoked for every API record while enabled."""
+        self._api_callbacks.append(callback)
+
+    def unsubscribe_api(self, callback: ApiCallback) -> None:
+        self._api_callbacks.remove(callback)
+
+    # --------------------------------------------------------------- records
+    def next_correlation_id(self) -> int:
+        cid = self._next_correlation_id
+        self._next_correlation_id += 1
+        return cid
+
+    def record_api(self, api_name: str, start_us: float, end_us: float, worker: str,
+                   correlation_id: Optional[int] = None) -> CuptiApiRecord:
+        if correlation_id is None:
+            correlation_id = self.next_correlation_id()
+        record = CuptiApiRecord(api_name=api_name, start_us=start_us, end_us=end_us,
+                                worker=worker, correlation_id=correlation_id)
+        if self.enabled:
+            self.api_records.append(record)
+            for callback in self._api_callbacks:
+                callback(record)
+        return record
+
+    def record_kernel(self, activity: GPUActivity, correlation_id: int) -> Optional[CuptiKernelRecord]:
+        if not self.enabled:
+            return None
+        record = CuptiKernelRecord(
+            kernel_name=activity.name,
+            start_us=activity.start_us,
+            end_us=activity.end_us,
+            stream=activity.stream,
+            worker=activity.worker,
+            correlation_id=correlation_id,
+        )
+        self.kernel_records.append(record)
+        return record
+
+    def record_memcpy(self, activity: GPUActivity, correlation_id: int) -> Optional[CuptiMemcpyRecord]:
+        if not self.enabled:
+            return None
+        record = CuptiMemcpyRecord(
+            direction=activity.name,
+            start_us=activity.start_us,
+            end_us=activity.end_us,
+            stream=activity.stream,
+            worker=activity.worker,
+            correlation_id=correlation_id,
+        )
+        self.memcpy_records.append(record)
+        return record

@@ -1,0 +1,74 @@
+"""Kernel specifications: how much device work each backend operator issues.
+
+A :class:`KernelSpec` carries the name plus FLOP / byte estimates that the
+GPU cost model turns into a device-side duration.  Helpers build specs for
+the primitive operators used by the miniature ML backend (GEMM, elementwise,
+reductions, optimizer updates) and for the AirLearning render workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+FLOAT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A single GPU kernel launch request."""
+
+    name: str
+    flops: float
+    bytes_accessed: float
+
+    def scaled(self, factor: float) -> "KernelSpec":
+        return KernelSpec(self.name, self.flops * factor, self.bytes_accessed * factor)
+
+
+def _size(shape: Iterable[int]) -> int:
+    total = 1
+    for dim in shape:
+        total *= int(dim)
+    return total
+
+
+def gemm_kernel(m: int, n: int, k: int, name: str = "volta_sgemm") -> KernelSpec:
+    """Dense matmul ``(m, k) @ (k, n)``: 2*m*n*k FLOPs."""
+    flops = 2.0 * m * n * k
+    bytes_accessed = FLOAT_BYTES * (m * k + k * n + m * n)
+    return KernelSpec(name=name, flops=flops, bytes_accessed=bytes_accessed)
+
+
+def elementwise_kernel(shape: Tuple[int, ...], ops_per_element: float = 1.0, name: str = "elementwise") -> KernelSpec:
+    """Pointwise kernel over ``shape`` (add, relu, tanh, scale, ...)."""
+    n = _size(shape)
+    return KernelSpec(name=name, flops=ops_per_element * n, bytes_accessed=FLOAT_BYTES * 2.0 * n)
+
+
+def reduction_kernel(shape: Tuple[int, ...], name: str = "reduce") -> KernelSpec:
+    """Reduction kernel over ``shape`` (sum, mean, max)."""
+    n = _size(shape)
+    return KernelSpec(name=name, flops=float(n), bytes_accessed=FLOAT_BYTES * float(n))
+
+def bias_kernel(shape: Tuple[int, ...], name: str = "bias_add") -> KernelSpec:
+    return elementwise_kernel(shape, ops_per_element=1.0, name=name)
+
+
+def optimizer_kernel(num_params: int, name: str = "adam_update") -> KernelSpec:
+    """Fused optimizer update over ``num_params`` parameters."""
+    # Adam: ~8 FLOPs per parameter, reads/writes param + two moments + grad.
+    return KernelSpec(name=name, flops=8.0 * num_params, bytes_accessed=FLOAT_BYTES * 8.0 * num_params)
+
+
+def render_kernel(width: int, height: int, samples: int = 4, name: str = "ue4_render") -> KernelSpec:
+    """Photo-realistic frame render (AirLearning's UE4-style simulator)."""
+    pixels = width * height
+    # A few hundred shader FLOPs per pixel per sample is representative of a
+    # deferred-rendering pass; the absolute value only needs to dwarf RL kernels.
+    return KernelSpec(name=name, flops=400.0 * pixels * samples, bytes_accessed=FLOAT_BYTES * 16.0 * pixels)
+
+
+def tensor_bytes(shape: Tuple[int, ...]) -> int:
+    """Bytes occupied by a float32 tensor of ``shape``."""
+    return FLOAT_BYTES * _size(shape)

@@ -1,0 +1,175 @@
+"""Simulated CUDA runtime API.
+
+The miniature ML backend and the AirLearning renderer call this runtime the
+way TensorFlow / PyTorch call ``libcudart``: every call costs CPU time (the
+"CUDA API" category in RL-Scope's breakdown), optionally inflated by CUPTI
+when activity collection is enabled, and asynchronously enqueues device work
+on the shared :class:`~repro.hw.gpu.GPUDevice`.
+
+External profilers attach through two mechanisms, mirroring the real stack:
+
+* :meth:`CudaRuntime.add_hook` — the ``librlscope.so``-style interception
+  hook.  Its book-keeping time is *included in the API call span* (as it is
+  in the real tool, where the hook runs inside the CUPTI callback) and it is
+  notified with the completed API record.
+* :class:`~repro.cuda.cupti.Cupti` activity records — enabled separately,
+  and adding its own closed-source inflation to each API call.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional, Protocol
+
+from ..hw.clock import VirtualClock
+from ..hw.costmodel import CostModel
+from ..hw.gpu import COPY_STREAM, DEFAULT_STREAM, GPUActivity, GPUDevice
+from .cupti import Cupti, CuptiApiRecord
+from .kernels import KernelSpec
+
+
+class CudaApiHook(Protocol):
+    """Interface for interception hooks (RL-Scope's ``librlscope.so``)."""
+
+    def api_overhead_us(self, api_name: str) -> float:
+        """Book-keeping CPU time to include inside the API call span."""
+
+    def on_api(self, record: CuptiApiRecord) -> None:
+        """Notification after the API call completes (no time cost)."""
+
+
+@dataclass(frozen=True)
+class ApiCallResult:
+    """Outcome of one simulated CUDA API call."""
+
+    record: CuptiApiRecord
+    activity: Optional[GPUActivity] = None
+
+
+class CudaRuntime:
+    """Per-worker CUDA runtime bound to a clock, cost model and device."""
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        cost_model: CostModel,
+        device: GPUDevice,
+        *,
+        worker: str = "worker_0",
+        cupti: Optional[Cupti] = None,
+    ) -> None:
+        self.clock = clock
+        self.cost_model = cost_model
+        self.device = device
+        self.worker = worker
+        #: stream used when callers do not specify one; multi-process workloads
+        #: give each worker its own stream (its own CUDA context, in effect).
+        self.default_stream = DEFAULT_STREAM
+        self.cupti = cupti if cupti is not None else Cupti()
+        self._hooks: List[CudaApiHook] = []
+        self.api_call_counts: Counter[str] = Counter()
+        self.kernel_launch_count = 0
+        self.memcpy_count = 0
+
+    # ----------------------------------------------------------------- hooks
+    def add_hook(self, hook: CudaApiHook) -> None:
+        self._hooks.append(hook)
+
+    def remove_hook(self, hook: CudaApiHook) -> None:
+        self._hooks.remove(hook)
+
+    # ------------------------------------------------------------- API calls
+    def _api_call(self, api_name: str) -> CuptiApiRecord:
+        """Advance the clock across one CPU-side CUDA API call and record it."""
+        self.api_call_counts[api_name] += 1
+        duration = self.cost_model.cuda_api(api_name)
+        if self.cupti.enabled:
+            duration += self.cost_model.cupti_inflation(api_name)
+        for hook in self._hooks:
+            duration += hook.api_overhead_us(api_name)
+        start = self.clock.now_us
+        self.clock.advance(duration)
+        end = self.clock.now_us
+        record = self.cupti.record_api(api_name, start, end, self.worker)
+        for hook in self._hooks:
+            hook.on_api(record)
+        return record
+
+    def launch_kernel(self, kernel: KernelSpec, *, stream: Optional[int] = None) -> ApiCallResult:
+        """``cudaLaunchKernel``: CPU-side launch, asynchronous device execution."""
+        if stream is None:
+            stream = self.default_stream
+        record = self._api_call("cudaLaunchKernel")
+        self.kernel_launch_count += 1
+        activity = self.device.launch_kernel(
+            kernel.name,
+            flops=kernel.flops,
+            bytes_accessed=kernel.bytes_accessed,
+            launch_complete_us=record.end_us,
+            stream=stream,
+            worker=self.worker,
+        )
+        self.cupti.record_kernel(activity, record.correlation_id)
+        return ApiCallResult(record=record, activity=activity)
+
+    def memcpy_async(self, direction: str, num_bytes: float, *, stream: Optional[int] = None) -> ApiCallResult:
+        """``cudaMemcpyAsync``: CPU-side call, asynchronous copy-engine transfer."""
+        if stream is None:
+            stream = COPY_STREAM + 10_000 + self.default_stream
+        record = self._api_call("cudaMemcpyAsync")
+        self.memcpy_count += 1
+        activity = self.device.enqueue_memcpy(
+            direction,
+            num_bytes=num_bytes,
+            launch_complete_us=record.end_us,
+            stream=stream,
+            worker=self.worker,
+        )
+        self.cupti.record_memcpy(activity, record.correlation_id)
+        return ApiCallResult(record=record, activity=activity)
+
+    def memset_async(self, num_bytes: float, *, stream: Optional[int] = None) -> ApiCallResult:
+        """``cudaMemsetAsync``: modelled as a tiny device-side fill."""
+        if stream is None:
+            stream = self.default_stream
+        record = self._api_call("cudaMemsetAsync")
+        activity = self.device.launch_kernel(
+            "memset",
+            flops=0.0,
+            bytes_accessed=float(num_bytes),
+            launch_complete_us=record.end_us,
+            stream=stream,
+            worker=self.worker,
+        )
+        self.cupti.record_kernel(activity, record.correlation_id)
+        return ApiCallResult(record=record, activity=activity)
+
+    def malloc(self, num_bytes: float) -> ApiCallResult:
+        """``cudaMalloc``: CPU-only allocation cost."""
+        del num_bytes  # allocation size does not change the modelled CPU cost
+        return ApiCallResult(record=self._api_call("cudaMalloc"))
+
+    def free(self) -> ApiCallResult:
+        """``cudaFree``."""
+        return ApiCallResult(record=self._api_call("cudaFree"))
+
+    # ---------------------------------------------------------------- syncs
+    def stream_synchronize(self, stream: Optional[int] = None) -> ApiCallResult:
+        """``cudaStreamSynchronize``: block the CPU until the stream drains."""
+        if stream is None:
+            stream = COPY_STREAM + 10_000 + self.default_stream
+        record = self._api_call("cudaStreamSynchronize")
+        self.clock.advance_to(self.device.synchronize(self.clock.now_us, stream=stream))
+        return ApiCallResult(record=record)
+
+    def device_synchronize(self) -> ApiCallResult:
+        """``cudaDeviceSynchronize``: block the CPU until the device drains."""
+        record = self._api_call("cudaDeviceSynchronize")
+        self.clock.advance_to(self.device.synchronize(self.clock.now_us))
+        return ApiCallResult(record=record)
+
+    # ------------------------------------------------------------ statistics
+    @property
+    def total_api_calls(self) -> int:
+        return sum(self.api_call_counts.values())

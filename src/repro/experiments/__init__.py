@@ -1,0 +1,62 @@
+"""Experiment harness: regenerates every table and figure of the paper's evaluation."""
+
+from .common import (
+    DEFAULT_TIMESTEPS,
+    WorkloadRun,
+    WorkloadSpec,
+    calibrate_workload,
+    calibration_runner,
+    run_workload,
+)
+from .fig4 import FRAMEWORKS_BY_ALGO, Fig4Result, run_fig4
+from .fig5 import SURVEY_ALGORITHMS, Fig5Result, run_fig5
+from .fig7 import SURVEY_SIMULATORS, Fig7Result, run_fig7
+from .fig8 import DEFAULT_MINIGO_CONFIG, Fig8Result, run_fig8
+from .fig11 import (
+    DEFAULT_FIG11_TIMESTEPS,
+    FIG11A_ALGORITHMS,
+    FIG11B_SIMULATORS,
+    CorrectionValidation,
+    Fig11Result,
+    run_fig11a,
+    run_fig11b,
+    validate_workload,
+)
+from .findings import Finding, check_all
+from .table1 import Table1Row, run_table1
+from . import findings, table1
+
+__all__ = [
+    "DEFAULT_TIMESTEPS",
+    "WorkloadRun",
+    "WorkloadSpec",
+    "calibrate_workload",
+    "calibration_runner",
+    "run_workload",
+    "FRAMEWORKS_BY_ALGO",
+    "Fig4Result",
+    "run_fig4",
+    "SURVEY_ALGORITHMS",
+    "Fig5Result",
+    "run_fig5",
+    "SURVEY_SIMULATORS",
+    "Fig7Result",
+    "run_fig7",
+    "DEFAULT_MINIGO_CONFIG",
+    "Fig8Result",
+    "run_fig8",
+    "DEFAULT_FIG11_TIMESTEPS",
+    "FIG11A_ALGORITHMS",
+    "FIG11B_SIMULATORS",
+    "CorrectionValidation",
+    "Fig11Result",
+    "run_fig11a",
+    "run_fig11b",
+    "validate_workload",
+    "Finding",
+    "check_all",
+    "Table1Row",
+    "run_table1",
+    "findings",
+    "table1",
+]

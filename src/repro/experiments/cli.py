@@ -1,0 +1,69 @@
+"""``rls-experiment``: regenerate a table or figure of the paper from the command line.
+
+Examples::
+
+    rls-experiment table1
+    rls-experiment fig4 --algo TD3 --timesteps 150
+    rls-experiment fig5
+    rls-experiment fig8
+    rls-experiment fig11a --timesteps 100
+    rls-experiment findings          # run everything and check F.1-F.12
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="rls-experiment", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("experiment",
+                        choices=["table1", "fig4", "fig5", "fig7", "fig8", "fig11a", "fig11b", "findings"])
+    parser.add_argument("--algo", default="TD3", help="algorithm for fig4 (TD3 or DDPG)")
+    parser.add_argument("--timesteps", type=int, default=None, help="steps per workload (default: experiment-specific)")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    from . import (
+        run_fig4, run_fig5, run_fig7, run_fig8, run_fig11a, run_fig11b, run_table1, table1, findings,
+    )
+    from .common import DEFAULT_TIMESTEPS
+    from .fig11 import DEFAULT_FIG11_TIMESTEPS
+
+    steps = args.timesteps if args.timesteps is not None else DEFAULT_TIMESTEPS
+    fig11_steps = args.timesteps if args.timesteps is not None else DEFAULT_FIG11_TIMESTEPS
+
+    if args.experiment == "table1":
+        print(table1.report(run_table1()))
+    elif args.experiment == "fig4":
+        print(run_fig4(args.algo, timesteps=steps, seed=args.seed).report())
+    elif args.experiment == "fig5":
+        print(run_fig5(timesteps=steps, seed=args.seed).report())
+    elif args.experiment == "fig7":
+        print(run_fig7(timesteps=steps, seed=args.seed).report())
+    elif args.experiment == "fig8":
+        print(run_fig8().report())
+    elif args.experiment == "fig11a":
+        print(run_fig11a(timesteps=fig11_steps, seed=args.seed).report())
+    elif args.experiment == "fig11b":
+        print(run_fig11b(timesteps=fig11_steps, seed=args.seed).report())
+    elif args.experiment == "findings":
+        fig4_td3 = run_fig4("TD3", timesteps=steps, seed=args.seed)
+        fig4_ddpg = run_fig4("DDPG", timesteps=steps, seed=args.seed)
+        fig5 = run_fig5(timesteps=steps, seed=args.seed)
+        fig7 = run_fig7(timesteps=steps, seed=args.seed)
+        fig8 = run_fig8()
+        checks = findings.check_all(fig4_td3=fig4_td3, fig4_ddpg=fig4_ddpg, fig5=fig5,
+                                    fig7=fig7, fig8=fig8)
+        for finding in checks.values():
+            print(finding)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

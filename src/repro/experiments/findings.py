@@ -1,0 +1,246 @@
+"""Findings F.1-F.12: qualitative claims of the paper checked against regenerated data.
+
+Each check returns a :class:`Finding` with the measured value(s), the paper's
+claim, and whether the *shape* of the claim holds in the reproduction.  The
+thresholds are deliberately looser than the paper's exact numbers: the
+substrate is a simulator, so we check who wins and by roughly what factor,
+not absolute values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..profiler.events import CATEGORY_BACKEND, CATEGORY_CUDA_API, CATEGORY_GPU, CATEGORY_PYTHON
+from .fig4 import Fig4Result
+from .fig5 import Fig5Result
+from .fig7 import Fig7Result
+from .fig8 import Fig8Result
+from .fig11 import Fig11Result
+
+TF_EAGER = "Tensorflow Eager"
+TF_GRAPH = "Tensorflow Graph"
+TF_AUTOGRAPH = "Tensorflow Autograph"
+TORCH_EAGER = "Pytorch Eager"
+
+OP_INFERENCE = "inference"
+OP_BACKPROP = "backpropagation"
+OP_SIMULATION = "simulation"
+
+
+@dataclass
+class Finding:
+    """One checked finding."""
+
+    finding_id: str
+    claim: str
+    measured: Dict[str, float]
+    holds: bool
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        status = "HOLDS" if self.holds else "DIFFERS"
+        values = ", ".join(f"{k}={v:.3g}" for k, v in self.measured.items())
+        return f"[{status}] {self.finding_id}: {self.claim} ({values})"
+
+
+# --------------------------------------------------------------------- fig 4
+def check_f1_eager_slower(fig4: Fig4Result) -> Finding:
+    """F.1: Eager execution is substantially slower than Graph and Autograph."""
+    totals = fig4.total_times_sec()
+    eager = totals[TF_EAGER]
+    graph = totals[TF_GRAPH]
+    autograph = totals[TF_AUTOGRAPH]
+    ratio_graph = eager / graph
+    ratio_autograph = eager / autograph
+    graph_vs_autograph = max(graph, autograph) / min(graph, autograph)
+    holds = ratio_graph > 1.5 and ratio_autograph > 1.5 and graph_vs_autograph < 1.6
+    return Finding("F.1", "TF Eager is 1.9x-4.8x slower than Graph/Autograph, which are close to each other",
+                   {"eager/graph": ratio_graph, "eager/autograph": ratio_autograph,
+                    "graph_vs_autograph": graph_vs_autograph}, holds)
+
+
+def check_f2_autograph_reduces_transitions(fig4: Fig4Result) -> Finding:
+    """F.2: Autograph nearly eliminates Python->Backend transitions for inference."""
+    transitions = fig4.transitions_per_iteration()
+    autograph_inference = transitions[TF_AUTOGRAPH].get(OP_INFERENCE, {}).get(CATEGORY_BACKEND, 0.0)
+    graph_inference = transitions[TF_GRAPH].get(OP_INFERENCE, {}).get(CATEGORY_BACKEND, 0.0)
+    breakdown = fig4.breakdown_sec()
+    graph_python = breakdown[TF_GRAPH].get(OP_INFERENCE, {}).get(CATEGORY_PYTHON, 0.0)
+    autograph_python = breakdown[TF_AUTOGRAPH].get(OP_INFERENCE, {}).get(CATEGORY_PYTHON, 0.0)
+    python_reduction = graph_python / autograph_python if autograph_python > 0 else float("inf")
+    holds = autograph_inference < 0.2 * max(graph_inference, 1e-9) and python_reduction > 1.5
+    return Finding("F.2", "Autograph reduces Python->Backend transitions (and Python time) vs Graph",
+                   {"autograph_transitions_per_iter": autograph_inference,
+                    "graph_transitions_per_iter": graph_inference,
+                    "python_reduction": python_reduction}, holds)
+
+
+def check_f3_pytorch_vs_tf_eager(fig4: Fig4Result) -> Finding:
+    """F.3: PyTorch Eager beats TF Eager; Graph/Autograph beat PyTorch Eager."""
+    totals = fig4.total_times_sec()
+    if TORCH_EAGER not in totals:
+        return Finding("F.3", "requires the ReAgent (PyTorch Eager) configuration", {}, False)
+    tf_eager_over_torch = totals[TF_EAGER] / totals[TORCH_EAGER]
+    torch_over_graph = totals[TORCH_EAGER] / min(totals[TF_GRAPH], totals[TF_AUTOGRAPH])
+    transitions = fig4.transitions_per_iteration()
+    tf_eager_inference = transitions[TF_EAGER].get(OP_INFERENCE, {}).get(CATEGORY_BACKEND, 0.0)
+    torch_inference = transitions[TORCH_EAGER].get(OP_INFERENCE, {}).get(CATEGORY_BACKEND, 1e-9)
+    holds = tf_eager_over_torch > 1.3 and torch_over_graph > 1.2 and tf_eager_inference > torch_inference
+    return Finding("F.3", "PyTorch Eager ~2.3x faster than TF Eager; Graph/Autograph ~2x faster than PyTorch Eager",
+                   {"tf_eager/torch_eager": tf_eager_over_torch,
+                    "torch_eager/best_graph": torch_over_graph,
+                    "tf_eager_inference_transitions": tf_eager_inference,
+                    "torch_inference_transitions": torch_inference}, holds)
+
+
+def check_f4_ddpg_backprop_inflation(fig4_ddpg: Fig4Result) -> Finding:
+    """F.4: DDPG Graph backpropagation is inflated vs Autograph (MPI Adam + separate calls)."""
+    breakdown = fig4_ddpg.breakdown_sec()
+    graph_backprop = sum(breakdown[TF_GRAPH].get(OP_BACKPROP, {}).values())
+    autograph_backprop = sum(breakdown[TF_AUTOGRAPH].get(OP_BACKPROP, {}).values())
+    ratio = graph_backprop / autograph_backprop if autograph_backprop > 0 else float("inf")
+    graph_cuda = breakdown[TF_GRAPH].get(OP_BACKPROP, {}).get(CATEGORY_CUDA_API, 0.0)
+    autograph_cuda = breakdown[TF_AUTOGRAPH].get(OP_BACKPROP, {}).get(CATEGORY_CUDA_API, 1e-9)
+    holds = ratio > 1.8 and graph_cuda / autograph_cuda > 1.3
+    return Finding("F.4", "DDPG Graph backpropagation ~3.7x slower than Autograph (MPI-friendly Adam)",
+                   {"graph/autograph_backprop": ratio, "cuda_inflation": graph_cuda / autograph_cuda}, holds)
+
+
+def check_f5_autograph_simulation_python_inflation(fig4_ddpg: Fig4Result, fig4_td3: Fig4Result) -> Finding:
+    """F.5: Autograph inflates simulation Python time for DDPG (train_freq=100) but not TD3 (1000)."""
+    ddpg = fig4_ddpg.breakdown_sec()
+    td3 = fig4_td3.breakdown_sec()
+    ddpg_ratio = (ddpg[TF_AUTOGRAPH].get(OP_SIMULATION, {}).get(CATEGORY_PYTHON, 0.0)
+                  / max(ddpg[TF_EAGER].get(OP_SIMULATION, {}).get(CATEGORY_PYTHON, 1e-9), 1e-9))
+    td3_ratio = (td3[TF_AUTOGRAPH].get(OP_SIMULATION, {}).get(CATEGORY_PYTHON, 0.0)
+                 / max(td3[TF_EAGER].get(OP_SIMULATION, {}).get(CATEGORY_PYTHON, 1e-9), 1e-9))
+    holds = ddpg_ratio > 1.3 and ddpg_ratio > td3_ratio
+    return Finding("F.5", "Autograph inflates DDPG's simulation Python time ~2.4x (poorly amortised tf.function calls)",
+                   {"ddpg_python_inflation": ddpg_ratio, "td3_python_inflation": td3_ratio}, holds)
+
+
+def check_f6_autograph_inference_backend_inflation(fig4: Fig4Result) -> Finding:
+    """F.6: Autograph inflates inference Backend time vs Graph without extra transitions."""
+    breakdown = fig4.breakdown_sec()
+    autograph_backend = breakdown[TF_AUTOGRAPH].get(OP_INFERENCE, {}).get(CATEGORY_BACKEND, 0.0)
+    graph_backend = breakdown[TF_GRAPH].get(OP_INFERENCE, {}).get(CATEGORY_BACKEND, 1e-9)
+    ratio = autograph_backend / graph_backend
+    transitions = fig4.transitions_per_iteration()
+    autograph_transitions = transitions[TF_AUTOGRAPH].get(OP_INFERENCE, {}).get(CATEGORY_BACKEND, 0.0)
+    graph_transitions = transitions[TF_GRAPH].get(OP_INFERENCE, {}).get(CATEGORY_BACKEND, 0.0)
+    holds = ratio > 2.0 and autograph_transitions <= graph_transitions
+    return Finding("F.6", "Autograph inference Backend time inflated ~4x vs Graph despite fewer transitions",
+                   {"backend_inflation": ratio,
+                    "autograph_transitions": autograph_transitions,
+                    "graph_transitions": graph_transitions}, holds)
+
+
+def check_f7_low_gpu_usage(fig4: Fig4Result) -> Finding:
+    """F.7: total GPU time is low (<= ~14%) across every framework configuration."""
+    fractions = fig4.gpu_fractions()
+    worst = max(fractions.values())
+    holds = worst <= 0.20
+    return Finding("F.7", "GPU time is at most ~14% of training time in every framework",
+                   {f"gpu_frac[{label}]": value for label, value in fractions.items()} | {"max": worst},
+                   holds)
+
+
+def check_f8_cuda_api_dominates_gpu(fig4: Fig4Result) -> Finding:
+    """F.8: CPU-side CUDA API time exceeds GPU kernel execution time (avg ~3.6x)."""
+    ratios = {}
+    for label, run in fig4.runs.items():
+        analysis = run.analysis
+        cuda = analysis.overlap.category_time_us(CATEGORY_CUDA_API, include_untracked=False)
+        gpu = analysis.gpu_time_us()
+        ratios[label] = cuda / gpu if gpu > 0 else float("inf")
+    mean_ratio = sum(ratios.values()) / len(ratios)
+    holds = all(ratio > 1.0 for ratio in ratios.values()) and mean_ratio > 1.5
+    return Finding("F.8", "CUDA API time dominates GPU kernel time (average ~3.6x)",
+                   {**ratios, "mean": mean_ratio}, holds)
+
+
+# --------------------------------------------------------------------- fig 5
+def check_f9_cpu_bound_across_algorithms(fig5: Fig5Result) -> Finding:
+    """F.9: every algorithm is ~90% CPU-bound; even backprop/inference are <= ~13% GPU."""
+    gpu_fracs = {algo: fig5.gpu_fraction(algo) for algo in fig5.runs}
+    op_gpu = {f"{algo}:{op}": fig5.operation_gpu_fraction(algo, op)
+              for algo in fig5.runs for op in (OP_BACKPROP, OP_INFERENCE)}
+    holds = max(gpu_fracs.values()) <= 0.25 and max(op_gpu.values()) <= 0.35
+    return Finding("F.9", "Training is CPU-bound across algorithms; GPU-heavy ops spend <=13% on GPU kernels",
+                   {**{f"gpu[{k}]": v for k, v in gpu_fracs.items()}, **op_gpu}, holds)
+
+
+def check_f10_on_policy_simulation_bound(fig5: Fig5Result) -> Finding:
+    """F.10: on-policy algorithms are at least 3.5x more simulation-bound than off-policy."""
+    ratio = fig5.on_policy_vs_off_policy_simulation_ratio()
+    holds = ratio >= 2.5
+    return Finding("F.10", "On-policy algorithms are >=3.5x more simulation-bound than off-policy",
+                   {"min_on_policy/max_off_policy": ratio}, holds)
+
+
+# --------------------------------------------------------------------- fig 8
+def check_f11_misleading_gpu_utilization(fig8: Fig8Result) -> Finding:
+    """F.11: nvidia-smi reports ~100% utilization while true GPU use is tiny."""
+    reported = fig8.reported_utilization_pct()
+    true_busy = fig8.true_busy_pct()
+    worker_gpu_fraction = 100.0 * fig8.worker_gpu_fraction()
+    holds = reported >= 80.0 and worker_gpu_fraction <= 25.0 and reported > 3.0 * true_busy
+    return Finding("F.11", "nvidia-smi shows ~100% utilization although workers barely use the GPU",
+                   {"reported_pct": reported, "true_busy_pct": true_busy,
+                    "worker_gpu_pct": worker_gpu_fraction}, holds)
+
+
+# --------------------------------------------------------------------- fig 7
+def check_f12_simulation_always_large(fig7: Fig7Result) -> Finding:
+    """F.12: simulation takes >=38% of training time on every simulator; ~99% on AirLearning."""
+    fractions = {sim: fig7.simulation_fraction(sim) for sim in fig7.runs}
+    min_fraction = min(fractions.values())
+    airlearning = fractions.get("AirLearning", 1.0)
+    holds = min_fraction >= 0.30 and airlearning >= 0.90
+    return Finding("F.12", "Simulation is always a large bottleneck (>=38%; ~99.6% for AirLearning)",
+                   {**{f"sim[{k}]": v for k, v in fractions.items()}, "min": min_fraction}, holds)
+
+
+# ------------------------------------------------------------------- fig 11
+def check_overhead_correction(fig11: Fig11Result, *, tolerance_percent: float = 16.0) -> Finding:
+    """Appendix C.3: corrected training time within +/-16% of the uninstrumented time."""
+    biases = {label: v.bias_percent for label, v in fig11.validations.items()}
+    max_bias = fig11.max_abs_bias_percent()
+    holds = max_bias <= tolerance_percent
+    return Finding("C.3", f"Overhead correction within +/-{tolerance_percent:.0f}% of uninstrumented time",
+                   {**biases, "max_abs_bias": max_bias}, holds)
+
+
+def check_all(
+    *,
+    fig4_td3: Optional[Fig4Result] = None,
+    fig4_ddpg: Optional[Fig4Result] = None,
+    fig5: Optional[Fig5Result] = None,
+    fig7: Optional[Fig7Result] = None,
+    fig8: Optional[Fig8Result] = None,
+    fig11: Optional[Fig11Result] = None,
+) -> Dict[str, Finding]:
+    """Check every finding for which the required figure results were supplied."""
+    findings: Dict[str, Finding] = {}
+    if fig4_td3 is not None:
+        findings["F.1"] = check_f1_eager_slower(fig4_td3)
+        findings["F.2"] = check_f2_autograph_reduces_transitions(fig4_td3)
+        findings["F.3"] = check_f3_pytorch_vs_tf_eager(fig4_td3)
+        findings["F.6"] = check_f6_autograph_inference_backend_inflation(fig4_td3)
+        findings["F.7"] = check_f7_low_gpu_usage(fig4_td3)
+        findings["F.8"] = check_f8_cuda_api_dominates_gpu(fig4_td3)
+    if fig4_ddpg is not None:
+        findings["F.4"] = check_f4_ddpg_backprop_inflation(fig4_ddpg)
+        if fig4_td3 is not None:
+            findings["F.5"] = check_f5_autograph_simulation_python_inflation(fig4_ddpg, fig4_td3)
+    if fig5 is not None:
+        findings["F.9"] = check_f9_cpu_bound_across_algorithms(fig5)
+        findings["F.10"] = check_f10_on_policy_simulation_bound(fig5)
+    if fig7 is not None:
+        findings["F.12"] = check_f12_simulation_always_large(fig7)
+    if fig8 is not None:
+        findings["F.11"] = check_f11_misleading_gpu_utilization(fig8)
+    if fig11 is not None:
+        findings["C.3"] = check_overhead_correction(fig11)
+    return findings

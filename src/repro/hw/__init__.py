@@ -1,0 +1,32 @@
+"""Simulated hardware substrate: virtual clock, cost model, GPU device, nvidia-smi."""
+
+from .clock import VirtualClock
+from .costmodel import (
+    CostModel,
+    CostModelConfig,
+    ProfilingOverheads,
+    DEFAULT_CUDA_API_US,
+    DEFAULT_CUPTI_INFLATION_US,
+    DEFAULT_SIM_STEP_US,
+    scaled_sim_costs,
+)
+from .gpu import GPUActivity, GPUDevice, DEFAULT_STREAM, COPY_STREAM
+from .nvidia_smi import UtilizationReport, UtilizationSample, sample_utilization
+
+__all__ = [
+    "VirtualClock",
+    "CostModel",
+    "CostModelConfig",
+    "ProfilingOverheads",
+    "DEFAULT_CUDA_API_US",
+    "DEFAULT_CUPTI_INFLATION_US",
+    "DEFAULT_SIM_STEP_US",
+    "scaled_sim_costs",
+    "GPUActivity",
+    "GPUDevice",
+    "DEFAULT_STREAM",
+    "COPY_STREAM",
+    "UtilizationReport",
+    "UtilizationSample",
+    "sample_utilization",
+]

@@ -1,0 +1,68 @@
+"""Virtual CPU clock used by every simulated component.
+
+The reproduction runs on a discrete-event hardware model instead of a real
+CPU/GPU pair (see DESIGN.md section 4).  Every simulated component advances a
+:class:`VirtualClock` by the durations produced by the cost model; the
+profiler only ever *reads* timestamps from the clock, exactly as the original
+RL-Scope only reads ``clock_gettime`` values.
+
+Timestamps are microseconds stored as ``float``.  A worker process in a
+multi-process workload owns its own clock; clocks of different workers share
+epoch zero so that their GPU activity can be merged on a single device
+timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+
+class VirtualClock:
+    """Monotonic virtual clock measured in microseconds."""
+
+    __slots__ = ("_now_us", "_observers")
+
+    def __init__(self, start_us: float = 0.0) -> None:
+        if start_us < 0:
+            raise ValueError(f"clock cannot start at a negative time: {start_us}")
+        self._now_us = float(start_us)
+        self._observers: List[Callable[[float, float], None]] = []
+
+    @property
+    def now_us(self) -> float:
+        """Current virtual time in microseconds."""
+        return self._now_us
+
+    @property
+    def now_sec(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now_us / 1e6
+
+    def advance(self, duration_us: float) -> float:
+        """Advance the clock by ``duration_us`` and return the new time.
+
+        Negative durations are rejected: virtual time is monotonic.
+        """
+        if duration_us < 0:
+            raise ValueError(f"cannot advance clock by a negative duration: {duration_us}")
+        start = self._now_us
+        self._now_us += float(duration_us)
+        for observer in self._observers:
+            observer(start, self._now_us)
+        return self._now_us
+
+    def advance_to(self, time_us: float) -> float:
+        """Advance the clock to an absolute time (no-op if already past it)."""
+        if time_us > self._now_us:
+            self.advance(time_us - self._now_us)
+        return self._now_us
+
+    def add_observer(self, observer: Callable[[float, float], None]) -> None:
+        """Register a callback invoked as ``observer(start_us, end_us)`` on every advance."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: Callable[[float, float], None]) -> None:
+        self._observers.remove(observer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now_us={self._now_us:.3f})"

@@ -1,0 +1,102 @@
+"""Coarse-grained GPU utilization metric, as reported by ``nvidia-smi``.
+
+Per the NVIDIA documentation cited in the paper, ``nvidia-smi`` reports the
+percentage of *sample periods* (between 1/6 s and 1 s) during which one or
+more kernels were executing — not the fraction of time the GPU was actually
+busy.  RL workloads issue many tiny kernels, so nearly every sample period
+contains at least one kernel and the metric saturates at 100 % even though
+true GPU-bound time is negligible (finding F.11).
+
+This module reproduces that sampling semantics over the simulated device
+timeline so the Figure 8 experiment can contrast the two metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .gpu import GPUActivity, GPUDevice
+
+
+@dataclass(frozen=True)
+class UtilizationSample:
+    """One sample period of the coarse utilization metric."""
+
+    start_us: float
+    end_us: float
+    utilized: bool
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Result of sampling the device timeline like ``nvidia-smi`` does."""
+
+    samples: List[UtilizationSample]
+    sample_period_us: float
+    #: percentage of sample periods with >= 1 kernel active (what nvidia-smi shows)
+    reported_utilization_pct: float
+    #: true fraction of the sampled window during which the device was busy
+    true_busy_pct: float
+    window_start_us: float
+    window_end_us: float
+
+
+def _overlaps(activity: GPUActivity, start_us: float, end_us: float) -> bool:
+    return activity.start_us < end_us and activity.end_us > start_us
+
+
+def sample_utilization(
+    device: GPUDevice,
+    *,
+    window_start_us: float = 0.0,
+    window_end_us: float | None = None,
+    sample_period_us: float = 250_000.0,
+    kinds: Sequence[str] = ("kernel",),
+) -> UtilizationReport:
+    """Sample the device timeline with an ``nvidia-smi``-style utilization counter.
+
+    Parameters
+    ----------
+    device:
+        The simulated GPU whose activity timeline is sampled.
+    window_start_us, window_end_us:
+        The sampled window; defaults to the full span of device activity.
+    sample_period_us:
+        The sampling period.  ``nvidia-smi`` uses 1/6 s to 1 s; the default of
+        0.25 s falls inside that range.
+    kinds:
+        Which activity kinds count as "GPU is being used".
+    """
+    if sample_period_us <= 0:
+        raise ValueError("sample_period_us must be positive")
+    activity = [a for a in device.activity if a.kind in kinds]
+    if window_end_us is None:
+        window_end_us = max((a.end_us for a in activity), default=window_start_us)
+    if window_end_us < window_start_us:
+        raise ValueError("window_end_us must be >= window_start_us")
+
+    samples: List[UtilizationSample] = []
+    cursor = window_start_us
+    utilized_count = 0
+    while cursor < window_end_us:
+        period_end = min(cursor + sample_period_us, window_end_us)
+        utilized = any(_overlaps(a, cursor, period_end) for a in activity)
+        samples.append(UtilizationSample(start_us=cursor, end_us=period_end, utilized=utilized))
+        if utilized:
+            utilized_count += 1
+        cursor = period_end
+
+    reported = 100.0 * utilized_count / len(samples) if samples else 0.0
+    window = window_end_us - window_start_us
+    busy = device.busy_time_us(kinds=kinds) if window > 0 else 0.0
+    # busy_time_us covers all activity; clamp to the window for the true metric.
+    true_pct = 100.0 * min(busy, window) / window if window > 0 else 0.0
+    return UtilizationReport(
+        samples=samples,
+        sample_period_us=sample_period_us,
+        reported_utilization_pct=reported,
+        true_busy_pct=true_pct,
+        window_start_us=window_start_us,
+        window_end_us=window_end_us,
+    )

@@ -1,0 +1,29 @@
+"""Minigo scale-up workload: MCTS self-play, parallel workers, training rounds."""
+
+from .mcts import MCTS, MCTSNode
+from .selfplay import (
+    OP_EXPAND_LEAF,
+    OP_TREE_SEARCH,
+    PolicyValueNet,
+    SelfPlayExample,
+    SelfPlayResult,
+    SelfPlayWorker,
+)
+from .training import MinigoConfig, MinigoRoundResult, MinigoTraining
+from .workers import SelfPlayPool, WorkerRun
+
+__all__ = [
+    "MCTS",
+    "MCTSNode",
+    "OP_EXPAND_LEAF",
+    "OP_TREE_SEARCH",
+    "PolicyValueNet",
+    "SelfPlayExample",
+    "SelfPlayResult",
+    "SelfPlayWorker",
+    "MinigoConfig",
+    "MinigoRoundResult",
+    "MinigoTraining",
+    "SelfPlayPool",
+    "WorkerRun",
+]

@@ -1,0 +1,153 @@
+"""Monte-Carlo tree search guided by a policy/value network (AlphaGoZero-style).
+
+Minigo's self-play workers expand a move tree in Python
+(``mcts_tree_search`` in the paper's Figure 2) and evaluate leaf positions in
+minibatches with neural-network inference (``expand_leaf``).  The search here
+follows the PUCT formulation of AlphaGoZero: child selection by
+``Q + U`` where ``U`` is proportional to the network prior and the parent
+visit count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.go import GoPosition, Move
+
+#: Evaluates a batch of positions -> (policy priors [N, num_moves], values [N]).
+NetworkEvaluator = Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]
+
+
+@dataclass
+class MCTSNode:
+    """One node of the search tree."""
+
+    position: GoPosition
+    parent: Optional["MCTSNode"] = None
+    move: Move = None                     #: move that led here from the parent
+    prior: float = 0.0
+    visit_count: int = 0
+    total_value: float = 0.0
+    children: Dict[int, "MCTSNode"] = field(default_factory=dict)
+    is_expanded: bool = False
+
+    @property
+    def mean_value(self) -> float:
+        return self.total_value / self.visit_count if self.visit_count > 0 else 0.0
+
+    def ucb_score(self, c_puct: float) -> float:
+        if self.parent is None:
+            return self.mean_value
+        exploration = c_puct * self.prior * math.sqrt(self.parent.visit_count) / (1 + self.visit_count)
+        return self.mean_value + exploration
+
+
+class MCTS:
+    """PUCT tree search over Go positions."""
+
+    def __init__(
+        self,
+        evaluator: NetworkEvaluator,
+        *,
+        num_simulations: int = 32,
+        c_puct: float = 1.5,
+        dirichlet_alpha: float = 0.3,
+        exploration_fraction: float = 0.25,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if num_simulations <= 0:
+            raise ValueError("num_simulations must be positive")
+        self.evaluator = evaluator
+        self.num_simulations = num_simulations
+        self.c_puct = c_puct
+        self.dirichlet_alpha = dirichlet_alpha
+        self.exploration_fraction = exploration_fraction
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    # ----------------------------------------------------------------- search
+    def search(self, position: GoPosition, *, add_noise: bool = True) -> MCTSNode:
+        """Run ``num_simulations`` simulations from ``position`` and return the root."""
+        root = MCTSNode(position=position)
+        self._expand(root, add_noise=add_noise)
+        for _ in range(self.num_simulations):
+            node = root
+            # Selection: descend to a leaf.
+            while node.is_expanded and node.children:
+                node = max(node.children.values(), key=lambda child: child.ucb_score(self.c_puct))
+            # Expansion / evaluation.
+            if node.position.is_over:
+                value = node.position.result()
+                # result() is from Black's perspective; convert to the player to move.
+                value = value if node.position.to_play == 1 else -value
+            else:
+                value = self._expand(node, add_noise=False)
+            self._backup(node, value)
+        return root
+
+    def _expand(self, node: MCTSNode, *, add_noise: bool) -> float:
+        """Evaluate the node with the network and create its children."""
+        features = node.position.features()[None, :]
+        priors, values = self.evaluator(features)
+        priors = np.asarray(priors[0], dtype=np.float64)
+        value = float(values[0])
+
+        legal = node.position.legal_moves()
+        legal_indices = [node.position.move_to_index(move) for move in legal]
+        masked = np.zeros_like(priors)
+        masked[legal_indices] = np.maximum(priors[legal_indices], 1e-8)
+        masked /= masked.sum()
+
+        if add_noise and len(legal_indices) > 1:
+            noise = self.rng.dirichlet([self.dirichlet_alpha] * len(legal_indices))
+            masked[legal_indices] = (
+                (1 - self.exploration_fraction) * masked[legal_indices]
+                + self.exploration_fraction * noise
+            )
+
+        for move, index in zip(legal, legal_indices):
+            node.children[index] = MCTSNode(
+                position=node.position.play(move),
+                parent=node,
+                move=move,
+                prior=float(masked[index]),
+            )
+        node.is_expanded = True
+        return value
+
+    @staticmethod
+    def _backup(node: MCTSNode, value: float) -> None:
+        """Propagate the leaf value up the tree, flipping sign per ply."""
+        current: Optional[MCTSNode] = node
+        sign = 1.0
+        while current is not None:
+            current.visit_count += 1
+            current.total_value += sign * value
+            sign = -sign
+            current = current.parent
+
+    # ------------------------------------------------------------- move choice
+    def policy_from_visits(self, root: MCTSNode, *, temperature: float = 1.0) -> np.ndarray:
+        """Normalised visit-count distribution over all moves (including pass)."""
+        size = root.position.size
+        policy = np.zeros(size * size + 1, dtype=np.float64)
+        for index, child in root.children.items():
+            policy[index] = child.visit_count
+        if policy.sum() == 0:
+            policy[-1] = 1.0
+            return policy
+        if temperature <= 1e-6:
+            best = int(np.argmax(policy))
+            one_hot = np.zeros_like(policy)
+            one_hot[best] = 1.0
+            return one_hot
+        policy = policy ** (1.0 / temperature)
+        return policy / policy.sum()
+
+    def choose_move(self, root: MCTSNode, *, temperature: float = 1.0) -> Move:
+        policy = self.policy_from_visits(root, temperature=temperature)
+        index = int(self.rng.choice(len(policy), p=policy))
+        return root.position.index_to_move(index)

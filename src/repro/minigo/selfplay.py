@@ -1,0 +1,159 @@
+"""Minigo self-play: policy/value network and self-play game generation.
+
+One self-play worker repeatedly runs MCTS from the current position
+(``mcts_tree_search``, Python time), evaluating leaf positions with the
+policy/value network (``expand_leaf``, ML-backend + GPU time), exactly the
+annotation structure of Figure 2 in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..backend import functional as F
+from ..backend.context import use_engine
+from ..backend.engine import BackendEngine
+from ..backend.layers import MLP, Module
+from ..backend.tensor import Parameter, Tensor
+from ..profiler.api import Profiler
+from ..sim.go import GoPosition
+from ..system import System
+from .mcts import MCTS
+
+OP_TREE_SEARCH = "mcts_tree_search"
+OP_EXPAND_LEAF = "expand_leaf"
+
+#: Python units charged per MCTS node traversal (tree-walking work in Python).
+TREE_SEARCH_UNITS_PER_SIM = 1500.0
+
+
+class PolicyValueNet(Module):
+    """Small AlphaGoZero-style network: shared trunk, policy head, value head."""
+
+    def __init__(self, board_size: int, hidden: Tuple[int, ...] = (128, 128), *,
+                 rng: Optional[np.random.Generator] = None, name: str = "pv_net") -> None:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        feature_dim = 3 * board_size * board_size
+        num_moves = board_size * board_size + 1
+        self.board_size = board_size
+        self.num_moves = num_moves
+        self.trunk = MLP(feature_dim, list(hidden[:-1]), hidden[-1], activation="relu",
+                         out_activation="relu", name=f"{name}/trunk", rng=rng)
+        self.policy_head = MLP(hidden[-1], [], num_moves, name=f"{name}/policy", rng=rng)
+        self.value_head = MLP(hidden[-1], [], 1, out_activation="tanh", name=f"{name}/value", rng=rng)
+
+    def __call__(self, features: Tensor) -> Tuple[Tensor, Tensor]:
+        trunk = self.trunk(features)
+        policy_logits = self.policy_head(trunk)
+        value = self.value_head(trunk)
+        return policy_logits, value
+
+    def parameters(self) -> List[Parameter]:
+        return self.trunk.parameters() + self.policy_head.parameters() + self.value_head.parameters()
+
+
+@dataclass
+class SelfPlayExample:
+    """One training example: position features, MCTS visit distribution, game outcome."""
+
+    features: np.ndarray
+    policy_target: np.ndarray
+    value_target: float
+
+
+@dataclass
+class SelfPlayResult:
+    """Result of one worker's self-play session."""
+
+    worker: str
+    games: int
+    moves: int
+    examples: List[SelfPlayExample] = field(default_factory=list)
+    black_wins: int = 0
+
+
+class SelfPlayWorker:
+    """One self-play process: its own system/engine, sharing the GPU device."""
+
+    def __init__(
+        self,
+        system: System,
+        engine: BackendEngine,
+        network: PolicyValueNet,
+        *,
+        profiler: Optional[Profiler] = None,
+        board_size: int = 9,
+        num_simulations: int = 16,
+        max_moves: Optional[int] = None,
+        temperature_moves: int = 8,
+        seed: int = 0,
+    ) -> None:
+        self.system = system
+        self.engine = engine
+        self.network = network
+        self.profiler = profiler
+        self.board_size = board_size
+        self.num_simulations = num_simulations
+        self.max_moves = max_moves if max_moves is not None else 2 * board_size * board_size
+        self.temperature_moves = temperature_moves
+        self.rng = np.random.default_rng(seed)
+        self._evaluate_compiled = engine.function(self._evaluate, name="expand_leaf", num_feeds=1)
+
+    # -------------------------------------------------------------- evaluation
+    def _evaluate(self, features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        logits, value = self.network(Tensor(features))
+        priors = F.softmax(logits)
+        return priors.numpy(), value.numpy().reshape(-1)
+
+    def _profiled_evaluator(self, features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Leaf evaluation scoped to the ``expand_leaf`` operation."""
+        if self.profiler is not None:
+            with self.profiler.operation(OP_EXPAND_LEAF):
+                return self._evaluate_compiled(features)
+        return self._evaluate_compiled(features)
+
+    # ----------------------------------------------------------------- play
+    def play_games(self, num_games: int) -> SelfPlayResult:
+        """Play ``num_games`` games of self-play, collecting training examples."""
+        result = SelfPlayResult(worker=self.system.worker, games=num_games, moves=0)
+        if self.profiler is not None:
+            self.profiler.set_phase("selfplay")
+        with use_engine(self.engine):
+            for _ in range(num_games):
+                self._play_one_game(result)
+        return result
+
+    def _play_one_game(self, result: SelfPlayResult) -> None:
+        mcts = MCTS(self._profiled_evaluator, num_simulations=self.num_simulations, rng=self.rng)
+        position = GoPosition.initial(self.board_size)
+        game_examples: List[Tuple[np.ndarray, np.ndarray, int]] = []
+        move_number = 0
+        while not position.is_over and move_number < self.max_moves:
+            if self.profiler is not None:
+                op_cm = self.profiler.operation(OP_TREE_SEARCH)
+            else:
+                from contextlib import nullcontext
+                op_cm = nullcontext()
+            with op_cm:
+                # Python-side tree traversal work.
+                self.system.cpu_work(TREE_SEARCH_UNITS_PER_SIM * self.num_simulations)
+                root = mcts.search(position, add_noise=True)
+                temperature = 1.0 if move_number < self.temperature_moves else 1e-6
+                policy = mcts.policy_from_visits(root, temperature=temperature)
+                move_index = int(self.rng.choice(len(policy), p=policy / policy.sum()))
+                move = position.index_to_move(move_index)
+            game_examples.append((position.features(), policy.astype(np.float32), position.to_play))
+            position = position.play(move)
+            move_number += 1
+            result.moves += 1
+
+        outcome = position.result() if position.is_over else float(np.sign(position.board.area_score()) or 1.0)
+        if outcome > 0:
+            result.black_wins += 1
+        for features, policy, to_play in game_examples:
+            value_target = outcome if to_play == 1 else -outcome
+            result.examples.append(SelfPlayExample(features=features, policy_target=policy,
+                                                   value_target=float(value_target)))

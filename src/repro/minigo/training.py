@@ -1,0 +1,250 @@
+"""The full Minigo training round: self-play, SGD updates, evaluation.
+
+One *generation* of Minigo training (Appendix B.2.2 of the paper) consists of
+three phases:
+
+1. **Self-play** — the current model plays games against itself across a pool
+   of parallel worker processes, producing (position, visit-distribution,
+   outcome) training examples.
+2. **SGD updates** — a trainer process updates the policy/value network on
+   the collected examples, producing a candidate model.
+3. **Evaluation** — the candidate plays the current model; the winner becomes
+   the model of the next generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..backend import functional as F
+from ..backend.autodiff import Tape
+from ..backend.context import use_engine
+from ..backend.graph import GraphEngine
+from ..backend.optimizers import Adam
+from ..backend.tensor import Tensor
+from ..hw.costmodel import CostModelConfig
+from ..hw.gpu import GPUDevice
+from ..hw.nvidia_smi import UtilizationReport, sample_utilization
+from ..profiler.api import Profiler, ProfilerConfig
+from ..profiler.events import EventTrace
+from ..sim.go import GoPosition
+from ..system import System
+from .mcts import MCTS
+from .selfplay import PolicyValueNet, SelfPlayExample, SelfPlayWorker
+from .workers import SelfPlayPool, WorkerRun
+
+
+@dataclass
+class MinigoRoundResult:
+    """Everything produced by one Minigo training round."""
+
+    worker_runs: List[WorkerRun]
+    trainer_trace: Optional[EventTrace]
+    trainer_time_us: float
+    evaluation_trace: Optional[EventTrace]
+    evaluation_time_us: float
+    candidate_wins: int
+    evaluation_games: int
+    candidate_accepted: bool
+    losses: List[float] = field(default_factory=list)
+    device: Optional[GPUDevice] = None
+
+    def traces(self) -> Dict[str, EventTrace]:
+        traces = {run.worker: run.trace for run in self.worker_runs if run.trace is not None}
+        if self.trainer_trace is not None:
+            traces["trainer"] = self.trainer_trace
+        if self.evaluation_trace is not None:
+            traces["evaluate_candidate_model"] = self.evaluation_trace
+        return traces
+
+    def utilization(self, *, sample_period_us: float = 250_000.0) -> UtilizationReport:
+        """nvidia-smi style utilization over the parallel data-collection window."""
+        if self.device is None:
+            raise ValueError("no device recorded for this round")
+        window_end = max((run.total_time_us for run in self.worker_runs), default=0.0)
+        return sample_utilization(self.device, window_end_us=window_end,
+                                  sample_period_us=sample_period_us)
+
+
+@dataclass
+class MinigoConfig:
+    """Scale parameters of one training round (defaults are reproduction-sized)."""
+
+    num_workers: int = 16
+    board_size: int = 5
+    num_simulations: int = 8
+    games_per_worker: int = 1
+    max_moves: Optional[int] = None
+    hidden: Tuple[int, int] = (128, 128)
+    sgd_steps: int = 32
+    sgd_batch_size: int = 32
+    learning_rate: float = 1e-2
+    evaluation_games: int = 2
+    acceptance_threshold: float = 0.55
+    profile: bool = True
+    seed: int = 0
+
+
+class MinigoTraining:
+    """Drives one (or more) Minigo training rounds."""
+
+    def __init__(self, config: Optional[MinigoConfig] = None,
+                 cost_config: Optional[CostModelConfig] = None) -> None:
+        self.config = config if config is not None else MinigoConfig()
+        self.cost_config = cost_config
+        rng = np.random.default_rng(self.config.seed + 7)
+        self.current_weights = PolicyValueNet(self.config.board_size, self.config.hidden,
+                                              rng=rng).state_dict()
+
+    # ------------------------------------------------------------------ round
+    def run_round(self) -> MinigoRoundResult:
+        cfg = self.config
+        # Phase 1: parallel self-play data collection.
+        pool = SelfPlayPool(
+            cfg.num_workers,
+            board_size=cfg.board_size,
+            num_simulations=cfg.num_simulations,
+            games_per_worker=cfg.games_per_worker,
+            max_moves=cfg.max_moves,
+            hidden=cfg.hidden,
+            profile=cfg.profile,
+            cost_config=self.cost_config,
+            seed=cfg.seed,
+        )
+        runs = pool.run(self.current_weights)
+        examples = pool.all_examples()
+
+        # Phase 2: SGD updates on a trainer process (shares the same GPU).
+        candidate_weights, losses, trainer_trace, trainer_time = self._train_candidate(
+            examples, pool.device)
+
+        # Phase 3: evaluation games between current and candidate models.
+        wins, eval_trace, eval_time = self._evaluate_candidate(candidate_weights, pool.device)
+        accepted = wins / max(cfg.evaluation_games, 1) >= cfg.acceptance_threshold
+        if accepted:
+            self.current_weights = candidate_weights
+
+        return MinigoRoundResult(
+            worker_runs=runs,
+            trainer_trace=trainer_trace,
+            trainer_time_us=trainer_time,
+            evaluation_trace=eval_trace,
+            evaluation_time_us=eval_time,
+            candidate_wins=wins,
+            evaluation_games=cfg.evaluation_games,
+            candidate_accepted=accepted,
+            losses=losses,
+            device=pool.device,
+        )
+
+    # ----------------------------------------------------------------- phase 2
+    def _train_candidate(self, examples: List[SelfPlayExample], device: GPUDevice):
+        cfg = self.config
+        system = System.create(seed=cfg.seed + 5, config=self.cost_config,
+                               device=device, worker="trainer")
+        system.cuda.default_stream = cfg.num_workers + 1
+        engine = GraphEngine(system, flavor="tensorflow")
+        profiler: Optional[Profiler] = None
+        if cfg.profile:
+            profiler = Profiler(system, ProfilerConfig.full(), worker="trainer")
+            profiler.attach(engine=engine)
+            profiler.set_phase("sgd_updates")
+
+        rng = np.random.default_rng(cfg.seed + 11)
+        losses: List[float] = []
+        with use_engine(engine):
+            network = PolicyValueNet(cfg.board_size, cfg.hidden, rng=np.random.default_rng(cfg.seed + 7))
+            network.load_state_dict(self.current_weights)
+            optimizer = Adam(network.parameters(), lr=cfg.learning_rate)
+            update = engine.function(self._sgd_step, name="minigo_train_step", num_feeds=3)
+            if examples:
+                for _ in range(cfg.sgd_steps):
+                    batch_indices = rng.integers(0, len(examples), size=min(cfg.sgd_batch_size, len(examples)))
+                    features = np.stack([examples[i].features for i in batch_indices])
+                    policies = np.stack([examples[i].policy_target for i in batch_indices])
+                    values = np.array([examples[i].value_target for i in batch_indices], dtype=np.float32)
+                    if profiler is not None:
+                        with profiler.operation("backpropagation"):
+                            losses.append(update(network, optimizer, features, policies, values))
+                    else:
+                        losses.append(update(network, optimizer, features, policies, values))
+            candidate_weights = network.state_dict()
+
+        trace = profiler.finalize() if profiler is not None else None
+        return candidate_weights, losses, trace, system.clock.now_us
+
+    @staticmethod
+    def _sgd_step(network: PolicyValueNet, optimizer: Adam, features: np.ndarray,
+                  policies: np.ndarray, values: np.ndarray) -> float:
+        with Tape() as tape:
+            logits, value = network(Tensor(features))
+            log_probs = F.log_softmax(logits)
+            policy_loss = F.neg(F.reduce_mean(F.reduce_sum(F.mul(Tensor(policies), log_probs), axis=-1)))
+            value_loss = F.mse_loss(value, Tensor(values.reshape(-1, 1)))
+            loss = F.add(policy_loss, value_loss)
+        grads = tape.gradient(loss, network.parameters())
+        optimizer.step(grads)
+        return loss.item()
+
+    # ----------------------------------------------------------------- phase 3
+    def _evaluate_candidate(self, candidate_weights: List[np.ndarray], device: GPUDevice):
+        cfg = self.config
+        system = System.create(seed=cfg.seed + 6, config=self.cost_config,
+                               device=device, worker="evaluate_candidate_model")
+        system.cuda.default_stream = cfg.num_workers + 2
+        engine = GraphEngine(system, flavor="tensorflow")
+        profiler: Optional[Profiler] = None
+        if cfg.profile:
+            profiler = Profiler(system, ProfilerConfig.full(), worker="evaluate_candidate_model")
+            profiler.attach(engine=engine)
+            profiler.set_phase("evaluation")
+
+        rng = np.random.default_rng(cfg.seed + 13)
+        wins = 0
+        with use_engine(engine):
+            current = PolicyValueNet(cfg.board_size, cfg.hidden, rng=np.random.default_rng(cfg.seed + 7))
+            current.load_state_dict(self.current_weights)
+            candidate = PolicyValueNet(cfg.board_size, cfg.hidden, rng=np.random.default_rng(cfg.seed + 7))
+            candidate.load_state_dict(candidate_weights)
+
+            current_worker = SelfPlayWorker(system, engine, current, profiler=profiler,
+                                            board_size=cfg.board_size,
+                                            num_simulations=max(cfg.num_simulations // 2, 2),
+                                            max_moves=cfg.max_moves, seed=cfg.seed + 21)
+            candidate_worker = SelfPlayWorker(system, engine, candidate, profiler=profiler,
+                                              board_size=cfg.board_size,
+                                              num_simulations=max(cfg.num_simulations // 2, 2),
+                                              max_moves=cfg.max_moves, seed=cfg.seed + 22)
+
+            for game in range(cfg.evaluation_games):
+                candidate_is_black = game % 2 == 0
+                winner_is_black = self._play_match(candidate_worker if candidate_is_black else current_worker,
+                                                   current_worker if candidate_is_black else candidate_worker,
+                                                   rng)
+                if winner_is_black == candidate_is_black:
+                    wins += 1
+
+        trace = profiler.finalize() if profiler is not None else None
+        return wins, trace, system.clock.now_us
+
+    def _play_match(self, black_worker: SelfPlayWorker, white_worker: SelfPlayWorker,
+                    rng: np.random.Generator) -> bool:
+        """Play one evaluation game; returns True if Black wins."""
+        cfg = self.config
+        position = GoPosition.initial(cfg.board_size)
+        max_moves = cfg.max_moves if cfg.max_moves is not None else 2 * cfg.board_size * cfg.board_size
+        move_number = 0
+        while not position.is_over and move_number < max_moves:
+            worker = black_worker if position.to_play == 1 else white_worker
+            mcts = MCTS(worker._profiled_evaluator, num_simulations=worker.num_simulations,
+                        rng=rng)
+            root = mcts.search(position, add_noise=False)
+            move = mcts.choose_move(root, temperature=1e-6)
+            position = position.play(move)
+            move_number += 1
+        if position.is_over:
+            return position.result() > 0
+        return position.board.area_score() > 0

@@ -1,0 +1,129 @@
+"""Parallel self-play worker pool sharing a single GPU.
+
+The paper's Minigo workload runs 16 self-play worker processes in parallel,
+all submitting inference minibatches to one GPU (Section 4.3 / Appendix B.2).
+Each worker here gets its own virtual clock, cost model, CUDA runtime and
+CUPTI instance — its own process, in effect — while kernels land on a shared
+:class:`~repro.hw.gpu.GPUDevice`, each worker on its own stream (its own CUDA
+context).  Worker clocks share epoch zero, so the merged device timeline is
+what an ``nvidia-smi`` sampler would observe during parallel data collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..backend.graph import GraphEngine
+from ..backend.layers import hard_update
+from ..hw.costmodel import CostModelConfig
+from ..hw.gpu import GPUDevice
+from ..profiler.api import Profiler, ProfilerConfig
+from ..profiler.events import EventTrace
+from ..system import System
+from .selfplay import PolicyValueNet, SelfPlayResult, SelfPlayWorker
+
+
+@dataclass
+class WorkerRun:
+    """Output of one worker in the pool."""
+
+    worker: str
+    result: SelfPlayResult
+    trace: Optional[EventTrace]
+    total_time_us: float
+    system: System = field(repr=False, default=None)
+
+
+class SelfPlayPool:
+    """Pool of self-play workers that share one GPU device.
+
+    Workers are simulated sequentially but on independent virtual timelines
+    starting at zero, which is equivalent to running them in parallel on a
+    machine with enough CPU cores (the paper uses one worker per core).
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 16,
+        *,
+        board_size: int = 9,
+        num_simulations: int = 16,
+        games_per_worker: int = 1,
+        max_moves: Optional[int] = None,
+        hidden: tuple = (128, 128),
+        profile: bool = True,
+        cost_config: Optional[CostModelConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        self.num_workers = num_workers
+        self.board_size = board_size
+        self.num_simulations = num_simulations
+        self.games_per_worker = games_per_worker
+        self.max_moves = max_moves
+        self.hidden = hidden
+        self.profile = profile
+        self.cost_config = cost_config
+        self.seed = seed
+        #: the shared accelerator all workers contend for
+        self.device = GPUDevice()
+        self.runs: List[WorkerRun] = []
+
+    # ------------------------------------------------------------------ run
+    def run(self, weights: Optional[List[np.ndarray]] = None) -> List[WorkerRun]:
+        """Run every worker's self-play session; returns per-worker results."""
+        self.runs = []
+        for index in range(self.num_workers):
+            self.runs.append(self._run_worker(index, weights))
+        return self.runs
+
+    def _run_worker(self, index: int, weights: Optional[List[np.ndarray]]) -> WorkerRun:
+        worker_name = f"selfplay_worker_{index}"
+        system = System.create(
+            seed=self.seed + 100 + index,
+            config=self.cost_config,
+            device=self.device,
+            worker=worker_name,
+        )
+        system.cuda.default_stream = index
+        engine = GraphEngine(system, flavor="tensorflow")
+        network = PolicyValueNet(self.board_size, self.hidden,
+                                 rng=np.random.default_rng(self.seed + 7))
+        if weights is not None:
+            network.load_state_dict(weights)
+
+        profiler: Optional[Profiler] = None
+        if self.profile:
+            profiler = Profiler(system, ProfilerConfig.full(), worker=worker_name)
+            profiler.attach(engine=engine)
+
+        worker = SelfPlayWorker(
+            system, engine, network,
+            profiler=profiler,
+            board_size=self.board_size,
+            num_simulations=self.num_simulations,
+            max_moves=self.max_moves,
+            seed=self.seed + 1000 + index,
+        )
+        result = worker.play_games(self.games_per_worker)
+        trace = profiler.finalize() if profiler is not None else None
+        return WorkerRun(worker=worker_name, result=result, trace=trace,
+                         total_time_us=system.clock.now_us, system=system)
+
+    # ------------------------------------------------------------- reporting
+    def traces(self) -> Dict[str, EventTrace]:
+        return {run.worker: run.trace for run in self.runs if run.trace is not None}
+
+    def all_examples(self):
+        examples = []
+        for run in self.runs:
+            examples.extend(run.result.examples)
+        return examples
+
+    def collection_span_us(self) -> float:
+        """Wall-clock span of the parallel collection phase (slowest worker)."""
+        return max((run.total_time_us for run in self.runs), default=0.0)

@@ -1,0 +1,198 @@
+"""Offline analysis: breakdowns, transition counts and multi-process summaries.
+
+This module turns raw traces into the quantities the paper reports:
+
+* per-operation time breakdowns by stack category and resource class
+  (Figures 4a/4b, 5, 7),
+* language-transition counts per training iteration (Figures 4c/4d),
+* per-worker CPU/GPU totals for multi-process workloads (Figure 8),
+* corrected vs. uninstrumented totals for overhead-correction validation
+  (Figure 11).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .calibration import CalibrationResult
+from .correction import corrected_category_breakdown, corrected_total_us, overhead_by_operation_category
+from .events import (
+    CATEGORY_BACKEND,
+    CATEGORY_CUDA_API,
+    CATEGORY_GPU,
+    CATEGORY_PYTHON,
+    CATEGORY_SIMULATOR,
+    Event,
+    EventTrace,
+)
+from .overlap import RESOURCE_CPU, RESOURCE_CPU_GPU, RESOURCE_GPU, UNTRACKED, OverlapResult, compute_overlap
+
+#: Transition categories reported in Figures 4c/4d.
+TRANSITION_CATEGORIES = (CATEGORY_SIMULATOR, CATEGORY_BACKEND, CATEGORY_CUDA_API)
+
+
+@dataclass
+class WorkloadAnalysis:
+    """Analysis of one profiled workload run."""
+
+    trace: EventTrace
+    overlap: OverlapResult
+    calibration: Optional[CalibrationResult] = None
+    iterations: Optional[int] = None
+    _overheads: Optional[Dict[Tuple[str, str], float]] = field(default=None, repr=False)
+
+    # ----------------------------------------------------------- breakdowns
+    def category_breakdown_us(self, *, corrected: bool = True) -> Dict[str, Dict[str, float]]:
+        """operation -> category -> microseconds (corrected when calibration present)."""
+        breakdown = self.overlap.category_breakdown()
+        if corrected and self.calibration is not None:
+            breakdown = corrected_category_breakdown(breakdown, self.overheads())
+        return breakdown
+
+    def category_breakdown_sec(self, *, corrected: bool = True) -> Dict[str, Dict[str, float]]:
+        return {
+            op: {cat: us / 1e6 for cat, us in cats.items()}
+            for op, cats in self.category_breakdown_us(corrected=corrected).items()
+        }
+
+    def resource_breakdown_us(self) -> Dict[str, Dict[str, float]]:
+        """operation -> resource class (CPU / GPU / CPU + GPU) -> microseconds."""
+        return self.overlap.resource_breakdown()
+
+    def overheads(self) -> Dict[Tuple[str, str], float]:
+        if self.calibration is None:
+            return {}
+        if self._overheads is None:
+            self._overheads = overhead_by_operation_category(self.trace, self.calibration)
+        return self._overheads
+
+    # ----------------------------------------------------------------- totals
+    def total_time_us(self, *, corrected: bool = True) -> float:
+        total = float(self.trace.metadata.get("total_time_us", self.trace.span_us()))
+        if corrected and self.calibration is not None:
+            return corrected_total_us(self.trace, self.calibration, total_us=total)
+        return total
+
+    def total_time_sec(self, *, corrected: bool = True) -> float:
+        return self.total_time_us(corrected=corrected) / 1e6
+
+    def gpu_time_us(self) -> float:
+        """Time during which the GPU was executing kernels or copies."""
+        return self.overlap.gpu_time_us()
+
+    def gpu_fraction(self) -> float:
+        """Fraction of (uncorrected tracked) training time with the GPU active."""
+        tracked = self.overlap.total_us(include_untracked=False)
+        return self.gpu_time_us() / tracked if tracked > 0 else 0.0
+
+    def category_fraction(self, category: str) -> float:
+        """Fraction of tracked training time attributed to ``category``."""
+        tracked = self.overlap.total_us(include_untracked=False)
+        return self.overlap.category_time_us(category, include_untracked=False) / tracked if tracked > 0 else 0.0
+
+    def operation_fraction(self, operation: str, *, corrected: bool = True) -> float:
+        """Fraction of training time spent in ``operation``."""
+        breakdown = self.category_breakdown_us(corrected=corrected)
+        totals = {op: sum(cats.values()) for op, cats in breakdown.items()}
+        grand_total = sum(totals.values())
+        return totals.get(operation, 0.0) / grand_total if grand_total > 0 else 0.0
+
+    def operation_category_fraction(self, operation: str, category: str) -> float:
+        """Fraction of an operation's time attributed to ``category``."""
+        breakdown = self.category_breakdown_us(corrected=True)
+        cats = breakdown.get(operation, {})
+        total = sum(cats.values())
+        return cats.get(category, 0.0) / total if total > 0 else 0.0
+
+    # ------------------------------------------------------------ transitions
+    def transition_counts(self) -> Dict[str, Dict[str, int]]:
+        """operation -> transition category -> number of native calls."""
+        locators = _build_locators(self.trace)
+        counts: Dict[str, Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        for event in self.trace.events:
+            if event.category not in TRANSITION_CATEGORIES:
+                continue
+            locator = locators.get(event.worker)
+            operation = locator.locate(event.start_us) if locator is not None else UNTRACKED
+            counts[operation][event.category] += 1
+        return {op: dict(cats) for op, cats in counts.items()}
+
+    def transitions_per_iteration(self, iterations: Optional[int] = None) -> Dict[str, Dict[str, float]]:
+        """operation -> transition category -> transitions per training iteration."""
+        iters = iterations if iterations is not None else self.iterations
+        if not iters:
+            raise ValueError("number of iterations required to normalise transition counts")
+        return {
+            op: {cat: count / iters for cat, count in cats.items()}
+            for op, cats in self.transition_counts().items()
+        }
+
+
+def analyze(
+    trace: EventTrace,
+    *,
+    calibration: Optional[CalibrationResult] = None,
+    iterations: Optional[int] = None,
+) -> WorkloadAnalysis:
+    """Compute the overlap regions for ``trace`` and wrap them for reporting."""
+    overlap = compute_overlap(trace)
+    return WorkloadAnalysis(trace=trace, overlap=overlap, calibration=calibration, iterations=iterations)
+
+
+def _build_locators(trace: EventTrace) -> Dict[str, "_Locator"]:
+    return {
+        worker: _Locator([op for op in trace.operations if op.worker == worker])
+        for worker in trace.workers()
+    }
+
+
+class _Locator:
+    """Innermost-operation lookup by timestamp (shared with correction)."""
+
+    def __init__(self, operations: List[Event]) -> None:
+        self._operations = sorted(operations, key=lambda op: op.start_us)
+        self._starts = [op.start_us for op in self._operations]
+
+    def locate(self, time_us: float) -> str:
+        index = bisect.bisect_right(self._starts, time_us)
+        best: Optional[Event] = None
+        for op in self._operations[:index]:
+            if op.end_us >= time_us:
+                if best is None or op.start_us >= best.start_us:
+                    best = op
+        return best.name if best is not None else UNTRACKED
+
+
+# --------------------------------------------------------------- multi-process
+@dataclass(frozen=True)
+class WorkerSummary:
+    """Per-process summary used by the Minigo multi-process view (Figure 8)."""
+
+    worker: str
+    total_time_us: float
+    cpu_time_us: float
+    gpu_time_us: float
+
+    @property
+    def total_time_sec(self) -> float:
+        return self.total_time_us / 1e6
+
+    @property
+    def gpu_time_sec(self) -> float:
+        return self.gpu_time_us / 1e6
+
+
+def multi_process_summary(traces: Mapping[str, EventTrace]) -> List[WorkerSummary]:
+    """Summarise each worker's trace: total span, CPU-bound time, GPU time."""
+    summaries: List[WorkerSummary] = []
+    for worker, trace in traces.items():
+        overlap = compute_overlap(trace)
+        total = float(trace.metadata.get("total_time_us", trace.span_us()))
+        gpu = overlap.gpu_time_us()
+        gpu_only = overlap.resource_time_us(RESOURCE_GPU)
+        cpu = max(total - gpu_only, 0.0)
+        summaries.append(WorkerSummary(worker=worker, total_time_us=total, cpu_time_us=cpu, gpu_time_us=gpu))
+    return sorted(summaries, key=lambda s: s.worker)

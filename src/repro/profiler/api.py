@@ -1,0 +1,251 @@
+"""RL-Scope user-facing API: phases, operation annotations, and the profiler session.
+
+Usage mirrors the paper's Figure 2::
+
+    profiler = Profiler(system)
+    profiler.attach(engine=engine, envs=[env])
+    profiler.set_phase("data_collection")
+    with profiler.operation("mcts_tree_search"):
+        ...
+        with profiler.operation("expand_leaf"):
+            session_run(...)
+    trace = profiler.finalize()
+
+Every ``with profiler.operation(...)`` block records an operation event; the
+attached interception hooks record Backend / Simulator / CUDA / GPU events
+transparently; Python time is recorded as the gap between C-level events
+while at least one operation is open.  When book-keeping is enabled the
+profiler also *injects* its own overhead into the virtual clock and leaves an
+:class:`~repro.profiler.events.OverheadMarker` behind so offline correction
+can subtract it (Section 3.4).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Optional, Sequence
+
+from ..backend.engine import BackendEngine
+from ..system import System
+from .events import (
+    CATEGORY_GPU,
+    CATEGORY_OPERATION,
+    CATEGORY_PYTHON,
+    OVERHEAD_ANNOTATION,
+    Event,
+    EventTrace,
+    OverheadMarker,
+)
+from .interception import BackendInterception, CudaInterceptionHook, SimulatorInterception
+
+
+@dataclass(frozen=True)
+class ProfilerConfig:
+    """Which book-keeping subsystems are active.
+
+    Each flag enables both the *recording* and the *overhead* of that
+    subsystem — they are inseparable, as in the real tool.  Calibration runs
+    the same workload under several partial configurations (Appendix C.1).
+    """
+
+    annotations: bool = True          #: record operation annotations
+    pyprof: bool = True               #: intercept Python <-> C transitions (backend & simulator)
+    cuda_interception: bool = True    #: intercept CUDA API calls (librlscope.so hooks)
+    cupti: bool = True                #: enable CUPTI activity collection (GPU kernel times)
+
+    @classmethod
+    def full(cls) -> "ProfilerConfig":
+        return cls()
+
+    @classmethod
+    def uninstrumented(cls) -> "ProfilerConfig":
+        return cls(annotations=False, pyprof=False, cuda_interception=False, cupti=False)
+
+    @classmethod
+    def only(cls, **flags: bool) -> "ProfilerConfig":
+        """A configuration with everything off except the given flags."""
+        return replace(cls.uninstrumented(), **flags)
+
+    @property
+    def anything_enabled(self) -> bool:
+        return self.annotations or self.pyprof or self.cuda_interception or self.cupti
+
+
+class Profiler:
+    """One worker's RL-Scope profiling session."""
+
+    def __init__(
+        self,
+        system: System,
+        config: Optional[ProfilerConfig] = None,
+        *,
+        worker: Optional[str] = None,
+        trace_dir: Optional[str] = None,
+    ) -> None:
+        self.system = system
+        self.config = config if config is not None else ProfilerConfig.full()
+        self.worker = worker if worker is not None else system.worker
+        self.trace_dir = trace_dir
+        self.trace = EventTrace(metadata={"worker": self.worker})
+        self.phase = "default"
+        self._operation_stack: List[Event] = []
+        self._operation_starts: List[float] = []
+        self._operation_names: List[str] = []
+        self._c_depth = 0
+        self._python_resume_us: Optional[float] = None
+        self._attached_engines: List[BackendEngine] = []
+        self._attached_envs: List[object] = []
+        self._cuda_hook: Optional[CudaInterceptionHook] = None
+        self._finalized = False
+
+    # ---------------------------------------------------------------- attach
+    def attach(self, *, engine: Optional[BackendEngine] = None,
+               engines: Sequence[BackendEngine] = (), envs: Sequence[object] = ()) -> "Profiler":
+        """Install transparent interception on backends, simulators and CUDA.
+
+        No recompilation or modification of the instrumented components is
+        required: the profiler attaches via their boundary-listener slots and
+        the CUDA runtime's hook list.
+        """
+        all_engines = list(engines) + ([engine] if engine is not None else [])
+        if self.config.pyprof:
+            for eng in all_engines:
+                eng.boundary = BackendInterception(self)
+                self._attached_engines.append(eng)
+            for env in envs:
+                env.boundary = SimulatorInterception(self)  # type: ignore[attr-defined]
+                self._attached_envs.append(env)
+        if self.config.cuda_interception:
+            self._cuda_hook = CudaInterceptionHook(self)
+            self.system.cuda.add_hook(self._cuda_hook)
+        if self.config.cupti:
+            self.system.cuda.cupti.enable()
+        return self
+
+    def detach(self) -> None:
+        """Remove interception from every attached component."""
+        from ..backend.engine import NULL_BOUNDARY
+        for eng in self._attached_engines:
+            eng.boundary = NULL_BOUNDARY
+        for env in self._attached_envs:
+            env.boundary = None  # type: ignore[attr-defined]
+        self._attached_engines.clear()
+        self._attached_envs.clear()
+        if self._cuda_hook is not None:
+            self.system.cuda.remove_hook(self._cuda_hook)
+            self._cuda_hook = None
+        if self.config.cupti:
+            self.system.cuda.cupti.disable()
+
+    # ----------------------------------------------------------------- phases
+    def set_phase(self, phase: str) -> None:
+        """Set the current training phase (e.g. ``data_collection``, ``sgd_updates``)."""
+        self.phase = phase
+
+    # ------------------------------------------------------------- operations
+    @property
+    def current_operation(self) -> Optional[str]:
+        return self._operation_names[-1] if self._operation_names else None
+
+    @contextmanager
+    def operation(self, name: str) -> Iterator[None]:
+        """Annotate a high-level algorithmic operation (Figure 2 of the paper)."""
+        if not self.config.annotations:
+            yield
+            return
+        clock = self.system.clock
+        # Book-keeping overhead of recording the start timestamp.
+        self._inject_annotation_overhead()
+        if self._c_depth == 0:
+            self._flush_python(clock.now_us)
+            self._python_resume_us = clock.now_us
+        start = clock.now_us
+        self._operation_names.append(name)
+        self._operation_starts.append(start)
+        try:
+            yield
+        finally:
+            self._inject_annotation_overhead()
+            end = clock.now_us
+            if self._c_depth == 0:
+                self._flush_python(end)
+                self._python_resume_us = end
+            self._operation_names.pop()
+            op_start = self._operation_starts.pop()
+            self.trace.add_event(Event(
+                category=CATEGORY_OPERATION, name=name,
+                start_us=op_start, end_us=end,
+                worker=self.worker, phase=self.phase,
+            ))
+
+    def _inject_annotation_overhead(self) -> None:
+        clock = self.system.clock
+        self.trace.add_marker(OverheadMarker(
+            kind=OVERHEAD_ANNOTATION, time_us=clock.now_us, worker=self.worker, phase=self.phase,
+        ))
+        clock.advance(self.system.cost_model.interception_overhead("annotation"))
+
+    # ---------------------------------------------------- python gap tracking
+    def _flush_python(self, now_us: float) -> None:
+        """Emit a Python event covering the gap since we last returned to Python."""
+        resume = self._python_resume_us
+        if resume is None or not self._operation_names:
+            self._python_resume_us = None
+            return
+        if now_us > resume:
+            self.trace.add_event(Event(
+                category=CATEGORY_PYTHON, name="python",
+                start_us=resume, end_us=now_us,
+                worker=self.worker, phase=self.phase,
+            ))
+        self._python_resume_us = None
+
+    # Called by the interception hooks.
+    def on_c_enter(self) -> None:
+        self._flush_python(self.system.clock.now_us)
+        self._c_depth += 1
+
+    def on_c_exit(self) -> None:
+        self._c_depth = max(0, self._c_depth - 1)
+        if self._c_depth == 0:
+            self._python_resume_us = self.system.clock.now_us
+
+    def record_event(self, event: Event) -> None:
+        self.trace.add_event(event)
+
+    def record_marker(self, marker: OverheadMarker) -> None:
+        self.trace.add_marker(marker)
+
+    # -------------------------------------------------------------- finalize
+    def finalize(self) -> EventTrace:
+        """Close the session: collect GPU activity from CUPTI and return the trace."""
+        if self._finalized:
+            return self.trace
+        self._flush_python(self.system.clock.now_us)
+        if self.config.cupti:
+            cupti = self.system.cuda.cupti
+            for record in cupti.kernel_records:
+                if record.worker != self.worker:
+                    continue
+                self.trace.add_event(Event(
+                    category=CATEGORY_GPU, name=record.kernel_name,
+                    start_us=record.start_us, end_us=record.end_us,
+                    worker=self.worker, phase=self.phase,
+                ))
+            for record in cupti.memcpy_records:
+                if record.worker != self.worker:
+                    continue
+                self.trace.add_event(Event(
+                    category=CATEGORY_GPU, name=f"memcpy_{record.direction}",
+                    start_us=record.start_us, end_us=record.end_us,
+                    worker=self.worker, phase=self.phase,
+                ))
+        self.trace.metadata.setdefault("total_time_us", self.system.clock.now_us)
+        self.detach()
+        self._finalized = True
+        if self.trace_dir is not None:
+            from .trace_store import TraceDumper
+            dumper = TraceDumper(self.trace_dir, worker=self.worker)
+            dumper.dump(self.trace)
+        return self.trace

@@ -1,0 +1,97 @@
+"""Overhead correction: subtract calibrated book-keeping time from the trace.
+
+The profiler leaves an :class:`~repro.profiler.events.OverheadMarker` at every
+point where its book-keeping code ran.  Correction looks up the calibrated
+average duration of that book-keeping, finds the operation that was active at
+that moment, and subtracts the estimate from the stack category the
+book-keeping time landed in (Python for interception wrappers and
+annotations, CUDA API for the librlscope hook and CUPTI inflation) — i.e. the
+time is removed "at the precise point when it occurs" (Section 3.4).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from .calibration import CalibrationResult
+from .events import OVERHEAD_CATEGORY, Event, EventTrace
+from .overlap import UNTRACKED, OverlapResult
+
+
+class _OperationLocator:
+    """Finds the innermost operation active at a given time for one worker."""
+
+    def __init__(self, operations: List[Event]) -> None:
+        self._operations = sorted(operations, key=lambda op: op.start_us)
+        self._starts = [op.start_us for op in self._operations]
+
+    def locate(self, time_us: float) -> str:
+        index = bisect.bisect_right(self._starts, time_us)
+        best: Optional[Event] = None
+        for op in self._operations[:index]:
+            if op.end_us >= time_us:
+                if best is None or op.start_us >= best.start_us:
+                    best = op
+        return best.name if best is not None else UNTRACKED
+
+
+def overhead_by_operation_category(
+    trace: EventTrace,
+    calibration: CalibrationResult,
+) -> Dict[Tuple[str, str], float]:
+    """Estimated book-keeping time per (operation, category) bucket."""
+    locators = {
+        worker: _OperationLocator([op for op in trace.operations if op.worker == worker])
+        for worker in trace.workers()
+    }
+    totals: Dict[Tuple[str, str], float] = defaultdict(float)
+    for marker in trace.markers:
+        duration = calibration.overhead_for_marker(marker)
+        if duration <= 0:
+            continue
+        locator = locators.get(marker.worker)
+        operation = locator.locate(marker.time_us) if locator is not None else UNTRACKED
+        category = OVERHEAD_CATEGORY[marker.kind]
+        totals[(operation, category)] += duration
+    return dict(totals)
+
+
+def corrected_category_breakdown(
+    breakdown: Dict[str, Dict[str, float]],
+    overheads: Dict[Tuple[str, str], float],
+) -> Dict[str, Dict[str, float]]:
+    """Subtract per-(operation, category) overhead estimates from a breakdown.
+
+    Values are clamped at zero: calibration noise must never produce negative
+    critical-path time.
+    """
+    corrected: Dict[str, Dict[str, float]] = {
+        op: dict(categories) for op, categories in breakdown.items()
+    }
+    for (operation, category), overhead in overheads.items():
+        if operation not in corrected:
+            continue
+        categories = corrected[operation]
+        if category in categories:
+            categories[category] = max(categories[category] - overhead, 0.0)
+        else:
+            # The overhead landed in a category with no measured time (e.g.
+            # all of that category's time *was* overhead); nothing to subtract.
+            continue
+    return corrected
+
+
+def corrected_total_us(trace: EventTrace, calibration: CalibrationResult, *, total_us: Optional[float] = None) -> float:
+    """Corrected total training time: instrumented total minus estimated overhead."""
+    if total_us is None:
+        total_us = float(trace.metadata.get("total_time_us", trace.span_us()))
+    return max(total_us - calibration.total_overhead_us(trace), 0.0)
+
+
+def corrected_overlap_total_us(overlap: OverlapResult, trace: EventTrace, calibration: CalibrationResult) -> float:
+    """Corrected total of the overlap regions (tracked time only)."""
+    overheads = overhead_by_operation_category(trace, calibration)
+    tracked_overhead = sum(v for (op, _), v in overheads.items() if op != UNTRACKED)
+    return max(overlap.total_us(include_untracked=False) - tracked_overhead, 0.0)

@@ -1,0 +1,116 @@
+"""Transparent event interception (Section 3.2 of the paper).
+
+Three hook types correspond to the three interception mechanisms of the real
+tool:
+
+* :class:`BackendInterception` — Python <-> C interception around ML-backend
+  calls (dynamically generated wrappers in the original; boundary listeners
+  here).
+* :class:`SimulatorInterception` — the same mechanism around simulator calls.
+* :class:`CudaInterceptionHook` — the ``librlscope.so`` CUPTI-callback hook
+  that records CUDA API calls.
+
+Each hook records events into the owning profiler's trace and, because
+book-keeping is not free, injects its own overhead into the virtual clock
+while leaving an :class:`~repro.profiler.events.OverheadMarker` behind for
+offline correction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from ..backend.engine import BackendEngine, BoundaryListener
+from ..cuda.cupti import CuptiApiRecord
+from .events import (
+    CATEGORY_BACKEND,
+    CATEGORY_CUDA_API,
+    CATEGORY_SIMULATOR,
+    OVERHEAD_CUDA_INTERCEPTION,
+    OVERHEAD_CUPTI,
+    OVERHEAD_PYPROF,
+    Event,
+    OverheadMarker,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .api import Profiler
+
+
+class BackendInterception(BoundaryListener):
+    """Records Backend events at the Python <-> ML-backend boundary."""
+
+    category = CATEGORY_BACKEND
+
+    def __init__(self, profiler: "Profiler") -> None:
+        self.profiler = profiler
+        self._span_starts: List[float] = []
+        self._span_names: List[str] = []
+
+    def _inject_overhead(self) -> None:
+        profiler = self.profiler
+        profiler.record_marker(OverheadMarker(
+            kind=OVERHEAD_PYPROF,
+            time_us=profiler.system.clock.now_us,
+            worker=profiler.worker,
+            phase=profiler.phase,
+        ))
+        profiler.system.clock.advance(profiler.system.cost_model.interception_overhead("pyprof"))
+
+    def enter(self, engine: BackendEngine, call_name: str) -> None:
+        # Wrapper book-keeping runs in Python before crossing into C.
+        self._inject_overhead()
+        self.profiler.on_c_enter()
+        self._span_starts.append(self.profiler.system.clock.now_us)
+        self._span_names.append(call_name)
+
+    def exit(self, engine: BackendEngine, call_name: str) -> None:
+        profiler = self.profiler
+        end = profiler.system.clock.now_us
+        start = self._span_starts.pop() if self._span_starts else end
+        name = self._span_names.pop() if self._span_names else call_name
+        profiler.record_event(Event(
+            category=self.category, name=name,
+            start_us=start, end_us=end,
+            worker=profiler.worker, phase=profiler.phase,
+        ))
+        profiler.on_c_exit()
+        # Wrapper book-keeping on the way back to Python.
+        self._inject_overhead()
+
+
+class SimulatorInterception(BackendInterception):
+    """Records Simulator events at the Python <-> simulator boundary."""
+
+    category = CATEGORY_SIMULATOR
+
+
+class CudaInterceptionHook:
+    """The ``librlscope.so`` hook: records CUDA API events via CUPTI callbacks."""
+
+    def __init__(self, profiler: "Profiler") -> None:
+        self.profiler = profiler
+
+    def api_overhead_us(self, api_name: str) -> float:
+        """Book-keeping time included inside the API call span."""
+        del api_name  # overhead does not depend on which API was intercepted
+        return self.profiler.system.cost_model.interception_overhead("cuda")
+
+    def on_api(self, record: CuptiApiRecord) -> None:
+        profiler = self.profiler
+        if record.worker != profiler.worker:
+            return
+        profiler.record_event(Event(
+            category=CATEGORY_CUDA_API, name=record.api_name,
+            start_us=record.start_us, end_us=record.end_us,
+            worker=profiler.worker, phase=profiler.phase,
+        ))
+        profiler.record_marker(OverheadMarker(
+            kind=OVERHEAD_CUDA_INTERCEPTION, time_us=record.end_us,
+            api_name=record.api_name, worker=profiler.worker, phase=profiler.phase,
+        ))
+        if profiler.system.cuda.cupti.enabled:
+            profiler.record_marker(OverheadMarker(
+                kind=OVERHEAD_CUPTI, time_us=record.end_us,
+                api_name=record.api_name, worker=profiler.worker, phase=profiler.phase,
+            ))

@@ -1,0 +1,225 @@
+"""Cross-stack event overlap computation (Section 3.3 of the paper).
+
+The raw trace is a set of intervals at different stack levels plus the user's
+(possibly nested) operation annotations.  The overlap algorithm walks the
+trace boundaries left-to-right and, for every elementary region, records
+
+* which **operation** is active (the innermost one),
+* which **categories** are active (Python / Simulator / Backend / CUDA on the
+  CPU side; GPU on the device side),
+
+and sums the region durations per ``(operation, category-set)`` key.  All of
+the paper's breakdowns (Figures 4, 5, 7, 8) are reductions of this map.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from .events import (
+    CATEGORY_GPU,
+    CATEGORY_OPERATION,
+    CPU_CATEGORIES,
+    CPU_CATEGORY_PRIORITY,
+    Event,
+    EventTrace,
+)
+
+#: Key of one overlap bucket: (operation name, active category set).
+OverlapKey = Tuple[str, FrozenSet[str]]
+
+#: Marker operation name for time not covered by any operation annotation.
+UNTRACKED = "<untracked>"
+
+# Resource classes used in the paper's figures.
+RESOURCE_CPU = "CPU"
+RESOURCE_GPU = "GPU"
+RESOURCE_CPU_GPU = "CPU + GPU"
+
+
+@dataclass
+class OverlapResult:
+    """Durations (in microseconds) per (operation, active-category-set) region."""
+
+    regions: Dict[OverlapKey, float] = field(default_factory=dict)
+
+    # ---------------------------------------------------------------- totals
+    def total_us(self, *, include_untracked: bool = True) -> float:
+        return sum(
+            duration for (operation, _), duration in self.regions.items()
+            if include_untracked or operation != UNTRACKED
+        )
+
+    def operations(self) -> List[str]:
+        return sorted({operation for operation, _ in self.regions if operation != UNTRACKED})
+
+    # ------------------------------------------------------------ reductions
+    def resource_class(self, categories: FrozenSet[str]) -> str:
+        has_cpu = any(cat in CPU_CATEGORIES for cat in categories)
+        has_gpu = CATEGORY_GPU in categories
+        if has_cpu and has_gpu:
+            return RESOURCE_CPU_GPU
+        if has_gpu:
+            return RESOURCE_GPU
+        return RESOURCE_CPU
+
+    @staticmethod
+    def cpu_category(categories: FrozenSet[str]) -> Optional[str]:
+        """The most specific CPU category active in a region (or None)."""
+        cpu = [cat for cat in categories if cat in CPU_CATEGORIES]
+        if not cpu:
+            return None
+        return max(cpu, key=lambda cat: CPU_CATEGORY_PRIORITY[cat])
+
+    def category_breakdown(self, *, include_untracked: bool = False) -> Dict[str, Dict[str, float]]:
+        """Per-operation stacked breakdown: operation -> category label -> microseconds.
+
+        The category label is the most specific CPU category of a region, or
+        ``"GPU"`` for regions where only the GPU is active.  Each region is
+        counted exactly once, so per-operation values sum to that operation's
+        total time.
+        """
+        out: Dict[str, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
+        for (operation, categories), duration in self.regions.items():
+            if operation == UNTRACKED and not include_untracked:
+                continue
+            label = self.cpu_category(categories) or CATEGORY_GPU
+            out[operation][label] += duration
+        return {op: dict(cats) for op, cats in out.items()}
+
+    def resource_breakdown(self, *, include_untracked: bool = False) -> Dict[str, Dict[str, float]]:
+        """Per-operation breakdown by resource class (CPU / GPU / CPU + GPU)."""
+        out: Dict[str, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
+        for (operation, categories), duration in self.regions.items():
+            if operation == UNTRACKED and not include_untracked:
+                continue
+            out[operation][self.resource_class(categories)] += duration
+        return {op: dict(resources) for op, resources in out.items()}
+
+    def full_breakdown(self, *, include_untracked: bool = False) -> Dict[Tuple[str, str, str], float]:
+        """Rows keyed by (operation, category label, resource class) -> microseconds."""
+        out: Dict[Tuple[str, str, str], float] = defaultdict(float)
+        for (operation, categories), duration in self.regions.items():
+            if operation == UNTRACKED and not include_untracked:
+                continue
+            label = self.cpu_category(categories) or CATEGORY_GPU
+            out[(operation, label, self.resource_class(categories))] += duration
+        return dict(out)
+
+    def gpu_time_us(self, *, include_untracked: bool = True) -> float:
+        """Total time during which the GPU was executing (GPU-only plus CPU+GPU)."""
+        return sum(
+            duration for (operation, categories), duration in self.regions.items()
+            if CATEGORY_GPU in categories and (include_untracked or operation != UNTRACKED)
+        )
+
+    def resource_time_us(self, resource: str, *, include_untracked: bool = True) -> float:
+        """Total time attributed to one resource class (CPU / GPU / CPU + GPU)."""
+        return sum(
+            duration for (operation, categories), duration in self.regions.items()
+            if self.resource_class(categories) == resource
+            and (include_untracked or operation != UNTRACKED)
+        )
+
+    def category_time_us(self, category: str, *, include_untracked: bool = True) -> float:
+        """Total time attributed to ``category`` across all operations."""
+        total = 0.0
+        for (operation, categories), duration in self.regions.items():
+            if operation == UNTRACKED and not include_untracked:
+                continue
+            label = self.cpu_category(categories) or CATEGORY_GPU
+            if label == category:
+                total += duration
+        return total
+
+
+def _innermost_operation(active_ops: List[Event]) -> str:
+    """The innermost of a set of properly-nested active operation events."""
+    if not active_ops:
+        return UNTRACKED
+    # Operations nest properly, so the one that started last is the innermost.
+    return max(active_ops, key=lambda op: op.start_us).name
+
+
+def compute_overlap(
+    trace: EventTrace,
+    *,
+    workers: Optional[Iterable[str]] = None,
+) -> OverlapResult:
+    """Compute cross-stack overlap regions for one worker's trace.
+
+    When ``workers`` is given, each worker's events are processed against its
+    own operations and the region durations are summed (per-process critical
+    paths, as in the multi-process Minigo view).
+    """
+    if workers is None:
+        worker_list = trace.workers() or ["worker_0"]
+    else:
+        worker_list = list(workers)
+
+    result = OverlapResult(regions=defaultdict(float))
+    for worker in worker_list:
+        _accumulate_worker(trace, worker, result.regions)
+    result.regions = dict(result.regions)
+    return result
+
+
+def _accumulate_worker(trace: EventTrace, worker: str, regions: Dict[OverlapKey, float]) -> None:
+    events = [e for e in trace.events if e.worker == worker and e.end_us > e.start_us]
+    operations = [op for op in trace.operations if op.worker == worker and op.end_us > op.start_us]
+    if not events and not operations:
+        return
+
+    # Sweep line over every interval boundary.
+    boundaries: set = set()
+    for event in events:
+        boundaries.add(event.start_us)
+        boundaries.add(event.end_us)
+    for op in operations:
+        boundaries.add(op.start_us)
+        boundaries.add(op.end_us)
+    points = sorted(boundaries)
+    if len(points) < 2:
+        return
+
+    # Build per-point deltas for efficiency: category -> count changes.
+    starts: Dict[float, List[Event]] = defaultdict(list)
+    ends: Dict[float, List[Event]] = defaultdict(list)
+    for event in events:
+        starts[event.start_us].append(event)
+        ends[event.end_us].append(event)
+    op_starts: Dict[float, List[Event]] = defaultdict(list)
+    op_ends: Dict[float, List[Event]] = defaultdict(list)
+    for op in operations:
+        op_starts[op.start_us].append(op)
+        op_ends[op.end_us].append(op)
+
+    active_counts: Dict[str, int] = defaultdict(int)
+    active_ops: List[Event] = []
+
+    for i, point in enumerate(points):
+        # Process interval [previous point, point) before applying changes at `point`.
+        for op in op_ends.get(point, ()):  # closing before opening keeps zero-length ops out
+            if op in active_ops:
+                active_ops.remove(op)
+        for event in ends.get(point, ()):
+            active_counts[event.category] -= 1
+
+        for op in op_starts.get(point, ()):
+            active_ops.append(op)
+        for event in starts.get(point, ()):
+            active_counts[event.category] += 1
+
+        if i + 1 >= len(points):
+            break
+        segment = points[i + 1] - point
+        categories = frozenset(cat for cat, count in active_counts.items() if count > 0 and cat != CATEGORY_OPERATION)
+        if not categories and not active_ops:
+            continue
+        operation = _innermost_operation(active_ops)
+        if not categories:
+            # Operation open but nothing measured (should not normally happen).
+            continue
+        regions[(operation, categories)] += segment

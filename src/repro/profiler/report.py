@@ -1,0 +1,121 @@
+"""Textual reports: the tables/series behind each of the paper's figures.
+
+Plotting is out of scope for an offline reproduction; instead every figure
+has a report function that prints the same rows/series the paper plots, so
+the shapes (who wins, by what factor, where crossovers fall) can be compared
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .analysis import WorkloadAnalysis
+from .events import CATEGORY_BACKEND, CATEGORY_CUDA_API, CATEGORY_GPU, CATEGORY_PYTHON, CATEGORY_SIMULATOR
+
+#: Category order used for stacked-bar style tables (matches Figure 4's legend).
+CATEGORY_ORDER = (CATEGORY_SIMULATOR, CATEGORY_PYTHON, CATEGORY_CUDA_API, CATEGORY_BACKEND, CATEGORY_GPU)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Simple fixed-width table formatter."""
+    str_rows = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    return str(value)
+
+
+def breakdown_table(
+    analyses: Mapping[str, WorkloadAnalysis],
+    *,
+    corrected: bool = True,
+    as_percent: bool = False,
+) -> str:
+    """Time-breakdown table: one row per (configuration, operation, category)."""
+    rows: List[List[object]] = []
+    for config_name, analysis in analyses.items():
+        breakdown = analysis.category_breakdown_sec(corrected=corrected)
+        config_total = sum(sum(cats.values()) for cats in breakdown.values())
+        for operation in sorted(breakdown):
+            categories = breakdown[operation]
+            op_total = sum(categories.values())
+            for category in CATEGORY_ORDER:
+                if category not in categories:
+                    continue
+                value = categories[category]
+                if as_percent:
+                    value = 100.0 * value / config_total if config_total > 0 else 0.0
+                rows.append([config_name, operation, category, value, 100.0 * op_total / config_total if config_total else 0.0])
+    unit = "% of total" if as_percent else "seconds"
+    return format_table(["configuration", "operation", "category", unit, "op % of total"], rows)
+
+
+def total_time_table(analyses: Mapping[str, WorkloadAnalysis], *, corrected: bool = True) -> str:
+    """Total training time per configuration (the black bars of Figure 4)."""
+    rows = [
+        [name, analysis.total_time_sec(corrected=corrected), 100.0 * analysis.gpu_fraction()]
+        for name, analysis in analyses.items()
+    ]
+    return format_table(["configuration", "total training time (s)", "GPU time (%)"], rows)
+
+
+def transitions_table(analyses: Mapping[str, WorkloadAnalysis], iterations: Optional[int] = None) -> str:
+    """Language transitions per iteration (Figures 4c/4d)."""
+    rows: List[List[object]] = []
+    for config_name, analysis in analyses.items():
+        per_iter = analysis.transitions_per_iteration(iterations)
+        for operation in sorted(per_iter):
+            for category, value in sorted(per_iter[operation].items()):
+                rows.append([config_name, operation, category, value])
+    return format_table(["configuration", "operation", "transition", "per iteration"], rows)
+
+
+def correction_table(rows: Mapping[str, Mapping[str, float]]) -> str:
+    """Overhead-correction validation table (Figure 11).
+
+    ``rows`` maps a workload label to a dict with keys ``corrected_sec``,
+    ``uninstrumented_sec``, ``instrumented_sec`` and ``bias_percent``.
+    """
+    table_rows = [
+        [label,
+         values["instrumented_sec"],
+         values["corrected_sec"],
+         values["uninstrumented_sec"],
+         values["bias_percent"]]
+        for label, values in rows.items()
+    ]
+    return format_table(
+        ["workload", "instrumented (s)", "corrected (s)", "uninstrumented (s)", "bias (%)"],
+        table_rows,
+    )
+
+
+def worker_table(summaries, utilization_pct: Optional[float] = None, true_busy_pct: Optional[float] = None) -> str:
+    """Per-worker CPU/GPU summary (Figure 8)."""
+    rows = [
+        [summary.worker, summary.total_time_sec, summary.gpu_time_sec]
+        for summary in summaries
+    ]
+    table = format_table(["worker", "total time (s)", "GPU kernel time (s)"], rows)
+    footer_lines = []
+    if utilization_pct is not None:
+        footer_lines.append(f"nvidia-smi reported GPU utilization: {utilization_pct:.1f}%")
+    if true_busy_pct is not None:
+        footer_lines.append(f"true GPU busy fraction:              {true_busy_pct:.3f}%")
+    if footer_lines:
+        table = table + "\n" + "\n".join(footer_lines)
+    return table

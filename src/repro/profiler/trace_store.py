@@ -1,0 +1,143 @@
+"""Trace storage: chunked, off-critical-path trace files (Appendix A.1).
+
+The original tool aggregates trace records in a C++ library and flushes them
+to Protobuf files of ~20 MB off the critical path.  The reproduction keeps
+the same structure — events are buffered and flushed in chunks, the flush
+costs no virtual time because it happens off the critical path — but uses a
+compact JSON container per chunk plus an index file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from .events import Event, EventTrace, OverheadMarker
+
+INDEX_FILE = "rlscope_index.json"
+CHUNK_PREFIX = "trace_chunk"
+
+
+@dataclass
+class TraceChunk:
+    """One on-disk chunk of trace records."""
+
+    path: Path
+    num_events: int
+    num_operations: int
+    num_markers: int
+
+
+class TraceDumper:
+    """Buffers trace records and flushes them to chunk files."""
+
+    def __init__(self, directory: str, *, worker: str = "worker_0", chunk_events: int = 50_000) -> None:
+        if chunk_events <= 0:
+            raise ValueError("chunk_events must be positive")
+        self.directory = Path(directory)
+        self.worker = worker
+        self.chunk_events = chunk_events
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.chunks: List[TraceChunk] = []
+        self._chunk_counter = 0
+
+    # ------------------------------------------------------------------ dump
+    def dump(self, trace: EventTrace) -> List[TraceChunk]:
+        """Write the whole trace as one or more chunks plus an index file."""
+        events = list(trace.events)
+        operations = list(trace.operations)
+        markers = list(trace.markers)
+        written: List[TraceChunk] = []
+        # Chunk on the (usually dominant) flat event list; operations and
+        # markers ride along with the first chunk.
+        for offset in range(0, max(len(events), 1), self.chunk_events):
+            chunk_events = events[offset:offset + self.chunk_events]
+            chunk_ops = operations if offset == 0 else []
+            chunk_markers = markers if offset == 0 else []
+            written.append(self._write_chunk(chunk_events, chunk_ops, chunk_markers))
+        self.chunks.extend(written)
+        self._write_index(trace.metadata)
+        return written
+
+    def _write_chunk(self, events: List[Event], operations: List[Event],
+                     markers: List[OverheadMarker]) -> TraceChunk:
+        path = self.directory / f"{CHUNK_PREFIX}_{self.worker}_{self._chunk_counter:05d}.json"
+        self._chunk_counter += 1
+        payload = {
+            "worker": self.worker,
+            "events": [e.to_dict() for e in events],
+            "operations": [op.to_dict() for op in operations],
+            "markers": [m.to_dict() for m in markers],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        return TraceChunk(path=path, num_events=len(events),
+                          num_operations=len(operations), num_markers=len(markers))
+
+    def _write_index(self, metadata: Dict[str, object]) -> None:
+        index_path = self.directory / INDEX_FILE
+        existing: Dict[str, object] = {}
+        if index_path.exists():
+            with open(index_path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+        workers = dict(existing.get("workers", {}))  # type: ignore[arg-type]
+        workers[self.worker] = {
+            "chunks": [str(chunk.path.name) for chunk in self.chunks],
+            "metadata": metadata,
+        }
+        with open(index_path, "w", encoding="utf-8") as handle:
+            json.dump({"workers": workers}, handle, indent=2)
+
+
+class TraceReader:
+    """Reads traces previously written by :class:`TraceDumper`."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = Path(directory)
+        index_path = self.directory / INDEX_FILE
+        if not index_path.exists():
+            raise FileNotFoundError(f"no RL-Scope trace index found in {directory}")
+        with open(index_path, "r", encoding="utf-8") as handle:
+            self.index = json.load(handle)
+
+    def workers(self) -> List[str]:
+        return sorted(self.index.get("workers", {}).keys())
+
+    def read_worker(self, worker: str) -> EventTrace:
+        entry = self.index["workers"].get(worker)
+        if entry is None:
+            raise KeyError(f"worker {worker!r} not present in trace index")
+        trace = EventTrace(metadata=dict(entry.get("metadata", {})))
+        for chunk_name in entry["chunks"]:
+            path = self.directory / chunk_name
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            for data in payload["events"]:
+                trace.events.append(Event.from_dict(data))
+            for data in payload["operations"]:
+                trace.operations.append(Event.from_dict(data))
+            for data in payload["markers"]:
+                trace.markers.append(OverheadMarker.from_dict(data))
+        return trace
+
+    def read_all(self) -> Dict[str, EventTrace]:
+        return {worker: self.read_worker(worker) for worker in self.workers()}
+
+    def iter_chunks(self) -> Iterator[Path]:
+        for worker in self.workers():
+            for chunk_name in self.index["workers"][worker]["chunks"]:
+                yield self.directory / chunk_name
+
+
+def load_trace(directory: str, worker: Optional[str] = None) -> EventTrace:
+    """Convenience loader: read one worker's trace (or the only worker)."""
+    reader = TraceReader(directory)
+    workers = reader.workers()
+    if worker is None:
+        if len(workers) != 1:
+            raise ValueError(f"trace directory contains {len(workers)} workers; specify one of {workers}")
+        worker = workers[0]
+    return reader.read_worker(worker)

@@ -1,0 +1,133 @@
+"""Advantage Actor-Critic (synchronous A2C).
+
+A2C is one of the two on-policy algorithms of the algorithm survey
+(Figure 5).  It collects a short on-policy rollout, computes GAE advantages,
+and performs a single combined policy/value gradient step per rollout — which
+is why it is by far the most simulation-bound workload in the survey
+(finding F.10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..backend import functional as F
+from ..backend.autodiff import Tape
+from ..backend.context import use_engine
+from ..backend.tensor import Tensor
+from .base import OP_BACKPROPAGATION, OnPolicyAlgorithm, TrainResult
+from .buffers import Rollout
+from .networks import CategoricalPolicy, GaussianActor, ValueCritic
+
+
+class A2C(OnPolicyAlgorithm):
+    """Synchronous advantage actor-critic with GAE."""
+
+    name = "A2C"
+
+    # ------------------------------------------------------------------ build
+    def _build(self) -> None:
+        cfg = self.config
+        hidden = cfg.hidden_sizes
+        if self.env.is_discrete:
+            self.policy = CategoricalPolicy(self.obs_dim, self.env.action_space.n, hidden,
+                                            rng=self.net_rng, name="pi")
+        else:
+            self.policy = GaussianActor(self.obs_dim, self.action_dim, hidden, rng=self.net_rng, name="pi")
+        self.value = ValueCritic(self.obs_dim, hidden, rng=self.net_rng, name="vf")
+        params = self.policy.parameters() + self.value.parameters()
+        self.optimizer = self.framework.make_optimizer(params, cfg.actor_lr, algo=self.name)
+        self._params = params
+
+        self._policy_infer = self.framework.compile(
+            self._policy_value_forward, kind="inference", name="policy_forward", num_feeds=1)
+        self._update_compiled = self.framework.compile(
+            self._update_step, kind="update", name="a2c_train_step", num_feeds=4)
+
+    # -------------------------------------------------------------- inference
+    def _policy_value_forward(self, obs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Policy head output (mean or logits) and value estimate."""
+        obs_t = Tensor(obs)
+        head = self.policy(obs_t)
+        value = self.value(obs_t)
+        return head.numpy(), value.numpy()
+
+    def _policy_step(self, obs: np.ndarray) -> Tuple[np.ndarray, float, float]:
+        head, value = self._policy_infer(self._batch_obs(obs))
+        if self.env.is_discrete:
+            logits = head[0]
+            probs = np.exp(logits - logits.max())
+            probs /= probs.sum()
+            action = int(self.rng.choice(len(probs), p=probs))
+            log_prob = float(np.log(probs[action] + 1e-12))
+            return np.array(action), log_prob, float(value[0, 0])
+        mean = head[0]
+        action = self.policy.sample_numpy(mean, self.rng)
+        log_prob = float(self._numpy_gaussian_log_prob(action, mean))
+        return action, log_prob, float(value[0, 0])
+
+    def _numpy_gaussian_log_prob(self, action: np.ndarray, mean: np.ndarray) -> float:
+        log_std = np.clip(self.policy.log_std.data, self.policy.LOG_STD_MIN, self.policy.LOG_STD_MAX)
+        std = np.exp(log_std)
+        z = (action - mean) / std
+        return float(np.sum(-0.5 * (z ** 2 + 2 * log_std + np.log(2 * np.pi))))
+
+    def _value_estimate(self, obs: np.ndarray) -> float:
+        _, value = self._policy_infer(self._batch_obs(obs))
+        return float(value[0, 0])
+
+    def predict(self, obs: np.ndarray) -> np.ndarray:
+        with use_engine(self.engine):
+            head, _ = self._policy_infer(self._batch_obs(obs))
+        if self.env.is_discrete:
+            return int(np.argmax(head[0]))
+        return head[0]
+
+    # ----------------------------------------------------------------- update
+    def _update_from_rollout(self, rollout: Rollout, result: TrainResult) -> None:
+        with self._op(OP_BACKPROPAGATION):
+            losses = self._update_compiled(rollout)
+        result.gradient_updates += 1
+        for name, value in losses.items():
+            result.record_loss(name, value)
+
+    def _policy_loss_terms(self, obs: Tensor, actions: Tensor, advantages: Tensor) -> Tuple[Tensor, Tensor]:
+        """(policy loss, entropy) for either action-space type."""
+        if self.env.is_discrete:
+            log_probs = self.policy.log_probs(obs)
+            indices = actions.numpy().astype(np.int64).reshape(-1)
+            action_log_prob = F.gather_rows(log_probs, indices)
+            probs = F.softmax(self.policy(obs))
+            entropy = F.neg(F.reduce_mean(F.reduce_sum(F.mul(probs, F.log(probs)), axis=-1)))
+        else:
+            action_log_prob = self.policy.log_prob(obs, actions)
+            _, log_std = self.policy.distribution(obs)
+            entropy = F.gaussian_entropy(log_std)
+        policy_loss = F.neg(F.reduce_mean(F.mul(action_log_prob, advantages)))
+        return policy_loss, entropy
+
+    def _update_step(self, rollout: Rollout) -> Dict[str, float]:
+        cfg = self.config
+        obs = Tensor(rollout.observations)
+        actions = Tensor(rollout.actions)
+        advantages_np = rollout.advantages
+        advantages_np = (advantages_np - advantages_np.mean()) / (advantages_np.std() + 1e-8)
+        advantages = Tensor(advantages_np)
+        returns = Tensor(rollout.returns.reshape(-1, 1))
+
+        with Tape() as tape:
+            policy_loss, entropy = self._policy_loss_terms(obs, actions, advantages)
+            value_loss = F.mse_loss(self.value(obs), returns)
+            loss = F.sub(
+                F.add(policy_loss, F.scale_shift(value_loss, cfg.value_coef)),
+                F.scale_shift(entropy, cfg.entropy_coef),
+            )
+        grads = tape.gradient(loss, self._params)
+        self.optimizer.step(grads)
+        return {
+            "policy_loss": policy_loss.item(),
+            "value_loss": value_loss.item(),
+            "entropy": entropy.item(),
+        }

@@ -1,0 +1,198 @@
+"""Experience storage: replay buffer (off-policy) and rollout buffer (on-policy).
+
+Sampling happens in interpreted Python/numpy on the critical path — one of the
+structural reasons RL training keeps returning to high-level code between
+backend calls (Section 2.2) — so both buffers charge Python work to the
+virtual clock proportional to the amount of data handled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..system import System
+
+
+@dataclass(frozen=True)
+class Batch:
+    """A minibatch of transitions."""
+
+    observations: np.ndarray
+    actions: np.ndarray
+    rewards: np.ndarray
+    next_observations: np.ndarray
+    dones: np.ndarray
+
+    def __len__(self) -> int:
+        return self.observations.shape[0]
+
+
+class ReplayBuffer:
+    """Fixed-capacity FIFO replay buffer for off-policy algorithms."""
+
+    #: python units of work per stored transition / per sampled row
+    ADD_UNITS = 1.5
+    SAMPLE_UNITS_PER_ROW = 0.35
+
+    def __init__(
+        self,
+        capacity: int,
+        obs_dim: int,
+        action_dim: int,
+        *,
+        system: Optional[System] = None,
+        seed: int = 0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.system = system
+        self.rng = np.random.default_rng(seed)
+        self.observations = np.zeros((capacity, obs_dim), dtype=np.float32)
+        self.actions = np.zeros((capacity, action_dim), dtype=np.float32)
+        self.rewards = np.zeros((capacity,), dtype=np.float32)
+        self.next_observations = np.zeros((capacity, obs_dim), dtype=np.float32)
+        self.dones = np.zeros((capacity,), dtype=np.float32)
+        self._index = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        return self._size == self.capacity
+
+    def add(self, obs: np.ndarray, action, reward: float, next_obs: np.ndarray, done: bool) -> None:
+        """Store one transition."""
+        if self.system is not None:
+            self.system.cpu_work(self.ADD_UNITS)
+        i = self._index
+        self.observations[i] = obs
+        self.actions[i] = np.asarray(action, dtype=np.float32).reshape(self.actions.shape[1:])
+        self.rewards[i] = reward
+        self.next_observations[i] = next_obs
+        self.dones[i] = float(done)
+        self._index = (self._index + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int) -> Batch:
+        """Uniformly sample a minibatch (Python-side work on the critical path)."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self._size == 0:
+            raise ValueError("cannot sample from an empty replay buffer")
+        if self.system is not None:
+            self.system.cpu_work(self.SAMPLE_UNITS_PER_ROW * batch_size)
+        indices = self.rng.integers(0, self._size, size=batch_size)
+        return Batch(
+            observations=self.observations[indices],
+            actions=self.actions[indices],
+            rewards=self.rewards[indices],
+            next_observations=self.next_observations[indices],
+            dones=self.dones[indices],
+        )
+
+
+@dataclass(frozen=True)
+class Rollout:
+    """A finished on-policy rollout with computed returns and advantages."""
+
+    observations: np.ndarray
+    actions: np.ndarray
+    rewards: np.ndarray
+    values: np.ndarray
+    log_probs: np.ndarray
+    advantages: np.ndarray
+    returns: np.ndarray
+
+    def __len__(self) -> int:
+        return self.observations.shape[0]
+
+
+class RolloutBuffer:
+    """On-policy rollout storage with GAE(lambda) advantage estimation."""
+
+    ADD_UNITS = 1.5
+    FINISH_UNITS_PER_ROW = 0.4
+
+    def __init__(
+        self,
+        n_steps: int,
+        obs_dim: int,
+        action_dim: int,
+        *,
+        gamma: float = 0.99,
+        gae_lambda: float = 0.95,
+        system: Optional[System] = None,
+    ) -> None:
+        if n_steps <= 0:
+            raise ValueError("n_steps must be positive")
+        if not 0.0 <= gamma <= 1.0:
+            raise ValueError("gamma must be in [0, 1]")
+        if not 0.0 <= gae_lambda <= 1.0:
+            raise ValueError("gae_lambda must be in [0, 1]")
+        self.n_steps = n_steps
+        self.gamma = gamma
+        self.gae_lambda = gae_lambda
+        self.system = system
+        self.observations = np.zeros((n_steps, obs_dim), dtype=np.float32)
+        self.actions = np.zeros((n_steps, action_dim), dtype=np.float32)
+        self.rewards = np.zeros(n_steps, dtype=np.float32)
+        self.values = np.zeros(n_steps, dtype=np.float32)
+        self.log_probs = np.zeros(n_steps, dtype=np.float32)
+        self.dones = np.zeros(n_steps, dtype=np.float32)
+        self._pos = 0
+
+    def __len__(self) -> int:
+        return self._pos
+
+    @property
+    def is_full(self) -> bool:
+        return self._pos == self.n_steps
+
+    def reset(self) -> None:
+        self._pos = 0
+
+    def add(self, obs: np.ndarray, action, reward: float, value: float, log_prob: float, done: bool) -> None:
+        if self.is_full:
+            raise ValueError("rollout buffer is full; call finish()/reset() first")
+        if self.system is not None:
+            self.system.cpu_work(self.ADD_UNITS)
+        i = self._pos
+        self.observations[i] = obs
+        self.actions[i] = np.asarray(action, dtype=np.float32).reshape(self.actions.shape[1:])
+        self.rewards[i] = reward
+        self.values[i] = value
+        self.log_probs[i] = log_prob
+        self.dones[i] = float(done)
+        self._pos += 1
+
+    def finish(self, last_value: float) -> Rollout:
+        """Compute GAE advantages and discounted returns for the stored steps."""
+        if self._pos == 0:
+            raise ValueError("cannot finish an empty rollout")
+        if self.system is not None:
+            self.system.cpu_work(self.FINISH_UNITS_PER_ROW * self._pos)
+        n = self._pos
+        advantages = np.zeros(n, dtype=np.float32)
+        last_gae = 0.0
+        for t in reversed(range(n)):
+            next_value = last_value if t == n - 1 else self.values[t + 1]
+            next_non_terminal = 1.0 - self.dones[t]
+            delta = self.rewards[t] + self.gamma * next_value * next_non_terminal - self.values[t]
+            last_gae = delta + self.gamma * self.gae_lambda * next_non_terminal * last_gae
+            advantages[t] = last_gae
+        returns = advantages + self.values[:n]
+        return Rollout(
+            observations=self.observations[:n].copy(),
+            actions=self.actions[:n].copy(),
+            rewards=self.rewards[:n].copy(),
+            values=self.values[:n].copy(),
+            log_probs=self.log_probs[:n].copy(),
+            advantages=advantages,
+            returns=returns,
+        )

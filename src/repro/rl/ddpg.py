@@ -1,0 +1,102 @@
+"""Deep Deterministic Policy Gradient (off-policy, continuous control).
+
+DDPG is one of the paper's two headline off-policy algorithms (Figures 4b/4d
+and 5).  The stable-baselines implementation the paper profiles has two
+GPU-unfriendly quirks that this reproduction preserves through the framework
+adapter (finding F.4): the MPI-friendly Adam optimizer that round-trips
+parameters through the CPU, and target-network updates issued as separate
+backend calls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..backend import functional as F
+from ..backend.autodiff import Tape
+from ..backend.context import use_engine
+from ..backend.layers import hard_update, soft_update
+from ..backend.tensor import Tensor
+from .base import OffPolicyAlgorithm
+from .buffers import Batch
+from .networks import DeterministicActor, QCritic
+from .noise import OrnsteinUhlenbeckNoise
+
+
+class DDPG(OffPolicyAlgorithm):
+    """DDPG with target networks, OU exploration noise and soft target updates."""
+
+    name = "DDPG"
+
+    # ------------------------------------------------------------------ build
+    def _build(self) -> None:
+        cfg = self.config
+        hidden = cfg.hidden_sizes
+        self.actor = DeterministicActor(self.obs_dim, self.action_dim, hidden, rng=self.net_rng, name="actor")
+        self.critic = QCritic(self.obs_dim, self.action_dim, hidden, rng=self.net_rng, name="critic")
+        self.target_actor = DeterministicActor(self.obs_dim, self.action_dim, hidden,
+                                                rng=self.net_rng, name="target_actor")
+        self.target_critic = QCritic(self.obs_dim, self.action_dim, hidden, rng=self.net_rng, name="target_critic")
+        hard_update(self.target_actor, self.actor)
+        hard_update(self.target_critic, self.critic)
+
+        self.actor_optimizer = self.framework.make_optimizer(self.actor.parameters(), cfg.actor_lr, algo=self.name)
+        self.critic_optimizer = self.framework.make_optimizer(self.critic.parameters(), cfg.critic_lr, algo=self.name)
+        self.noise = OrnsteinUhlenbeckNoise(self.action_dim, sigma=cfg.exploration_noise, seed=self.seed + 3)
+
+        self._actor_infer = self.framework.compile(
+            self._actor_forward, kind="inference", name="actor_forward", num_feeds=1)
+        self._update_compiled = self.framework.compile(
+            self._update_step, kind="update", name="ddpg_train_step", num_feeds=5)
+
+    # -------------------------------------------------------------- inference
+    def _actor_forward(self, obs: np.ndarray) -> np.ndarray:
+        return self.actor(Tensor(obs)).numpy()
+
+    def _explore_action(self, obs: np.ndarray, timestep: int) -> np.ndarray:
+        action = self._actor_infer(self._batch_obs(obs))[0]
+        action = action + self.noise.sample()
+        return np.clip(action, self.env.action_space.low, self.env.action_space.high)
+
+    def predict(self, obs: np.ndarray) -> np.ndarray:
+        with use_engine(self.engine):
+            return self._actor_infer(self._batch_obs(obs))[0]
+
+    # ----------------------------------------------------------------- update
+    def _update(self, batch: Batch) -> Dict[str, float]:
+        return self._update_compiled(batch)
+
+    def _update_step(self, batch: Batch) -> Dict[str, float]:
+        cfg = self.config
+        obs = Tensor(batch.observations)
+        actions = Tensor(batch.actions)
+        next_obs = Tensor(batch.next_observations)
+        rewards = Tensor(batch.rewards.reshape(-1, 1))
+        not_done = Tensor((1.0 - batch.dones).reshape(-1, 1))
+
+        # Bellman targets (no gradient flows into the target networks).
+        target_actions = self.target_actor(next_obs)
+        target_q = self.target_critic(next_obs, target_actions)
+        y = F.add(rewards, F.mul(F.scale_shift(not_done, cfg.gamma), target_q))
+
+        # Critic update.
+        with Tape() as tape:
+            q = self.critic(obs, actions)
+            critic_loss = F.mse_loss(q, F.stop_gradient(y))
+        critic_grads = tape.gradient(critic_loss, self.critic.parameters())
+        self.critic_optimizer.step(critic_grads)
+
+        # Actor update: maximise Q(s, pi(s)).
+        with Tape() as tape:
+            actor_loss = F.neg(F.reduce_mean(self.critic(obs, self.actor(obs))))
+        actor_grads = tape.gradient(actor_loss, self.actor.parameters())
+        self.actor_optimizer.step(actor_grads)
+
+        # Polyak target updates (separate backend calls in stable-baselines DDPG).
+        separate = self.framework.separate_target_update_calls(self.name)
+        soft_update(self.target_actor, self.actor, cfg.tau, separate_calls=separate)
+        soft_update(self.target_critic, self.critic, cfg.tau, separate_calls=separate)
+
+        return {"critic_loss": critic_loss.item(), "actor_loss": actor_loss.item()}

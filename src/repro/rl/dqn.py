@@ -1,0 +1,95 @@
+"""Deep Q-Network (DQN), the paper's running example workload (Section 2.1).
+
+DQN is not part of the evaluation figures but is the algorithm the paper uses
+to explain the structure of an RL training loop (inference -> simulation ->
+backpropagation over replayed experience), so it is included both for the
+quickstart example and for discrete-action workloads such as Pong.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..backend import functional as F
+from ..backend.autodiff import Tape
+from ..backend.context import use_engine
+from ..backend.layers import MLP, hard_update
+from ..backend.tensor import Tensor
+from .base import OffPolicyAlgorithm
+from .buffers import Batch
+
+
+class DQN(OffPolicyAlgorithm):
+    """DQN with a target network, epsilon-greedy exploration and Huber loss."""
+
+    name = "DQN"
+
+    # ------------------------------------------------------------------ build
+    def _build(self) -> None:
+        if not self.env.is_discrete:
+            raise ValueError("DQN requires a discrete action space")
+        cfg = self.config
+        hidden = cfg.hidden_sizes
+        num_actions = self.env.action_space.n
+        self.q_network = MLP(self.obs_dim, hidden, num_actions, activation="relu",
+                             name="q", rng=self.net_rng)
+        self.target_network = MLP(self.obs_dim, hidden, num_actions, activation="relu",
+                                  name="q_target", rng=self.net_rng)
+        hard_update(self.target_network, self.q_network)
+        self.optimizer = self.framework.make_optimizer(self.q_network.parameters(), cfg.critic_lr, algo=self.name)
+        self._updates_since_target_sync = 0
+
+        self._q_infer = self.framework.compile(
+            self._q_forward, kind="inference", name="q_forward", num_feeds=1)
+        self._update_compiled = self.framework.compile(
+            self._update_step, kind="update", name="dqn_train_step", num_feeds=5)
+
+    # -------------------------------------------------------------- inference
+    def _q_forward(self, obs: np.ndarray) -> np.ndarray:
+        return self.q_network(Tensor(obs)).numpy()
+
+    def _epsilon(self, timestep: int) -> float:
+        cfg = self.config
+        fraction = min(1.0, timestep / max(cfg.epsilon_decay_steps, 1))
+        return cfg.epsilon_start + fraction * (cfg.epsilon_end - cfg.epsilon_start)
+
+    def _explore_action(self, obs: np.ndarray, timestep: int) -> int:
+        if self.rng.uniform() < self._epsilon(timestep):
+            return int(self.env.action_space.sample(self.rng))
+        q_values = self._q_infer(self._batch_obs(obs))[0]
+        return int(np.argmax(q_values))
+
+    def predict(self, obs: np.ndarray) -> int:
+        with use_engine(self.engine):
+            q_values = self._q_infer(self._batch_obs(obs))[0]
+        return int(np.argmax(q_values))
+
+    # ----------------------------------------------------------------- update
+    def _update(self, batch: Batch) -> Dict[str, float]:
+        return self._update_compiled(batch)
+
+    def _update_step(self, batch: Batch) -> Dict[str, float]:
+        cfg = self.config
+        obs = Tensor(batch.observations)
+        next_obs = Tensor(batch.next_observations)
+        actions = batch.actions.astype(np.int64).reshape(-1)
+        rewards = Tensor(batch.rewards)
+        not_done = Tensor(1.0 - batch.dones)
+
+        # Bellman target from the (frozen) target network.
+        next_q = F.reduce_max(self.target_network(next_obs), axis=-1)
+        y = F.add(rewards, F.mul(F.scale_shift(not_done, cfg.gamma), next_q))
+
+        with Tape() as tape:
+            q_selected = F.gather_rows(self.q_network(obs), actions)
+            loss = F.huber_loss(q_selected, F.stop_gradient(y))
+        grads = tape.gradient(loss, self.q_network.parameters())
+        self.optimizer.step(grads)
+
+        self._updates_since_target_sync += 1
+        if self._updates_since_target_sync >= cfg.target_update_interval:
+            hard_update(self.target_network, self.q_network)
+            self._updates_since_target_sync = 0
+        return {"q_loss": loss.item()}

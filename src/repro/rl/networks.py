@@ -1,0 +1,138 @@
+"""Policy and value networks used by the RL algorithms.
+
+All of them are small MLPs, like the networks of the paper's workloads
+(Section 2.2): two hidden layers of a few hundred units at most.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..backend import functional as F
+from ..backend.layers import MLP, Module
+from ..backend.tensor import Parameter, Tensor
+
+
+class DeterministicActor(Module):
+    """Deterministic policy ``a = tanh(MLP(s))`` scaled to the action range (DDPG/TD3)."""
+
+    def __init__(self, obs_dim: int, action_dim: int, hidden: Sequence[int] = (256, 256), *,
+                 action_scale: float = 1.0, rng: Optional[np.random.Generator] = None,
+                 name: str = "actor") -> None:
+        self.net = MLP(obs_dim, hidden, action_dim, activation="relu", out_activation="tanh",
+                       name=name, rng=rng)
+        self.action_scale = float(action_scale)
+
+    def __call__(self, obs: Tensor) -> Tensor:
+        action = self.net(obs)
+        if self.action_scale != 1.0:
+            action = F.scale_shift(action, scale=self.action_scale)
+        return action
+
+    def parameters(self) -> List[Parameter]:
+        return self.net.parameters()
+
+
+class QCritic(Module):
+    """Action-value critic ``Q(s, a)`` over concatenated state/action."""
+
+    def __init__(self, obs_dim: int, action_dim: int, hidden: Sequence[int] = (256, 256), *,
+                 rng: Optional[np.random.Generator] = None, name: str = "critic") -> None:
+        self.net = MLP(obs_dim + action_dim, hidden, 1, activation="relu", name=name, rng=rng)
+
+    def __call__(self, obs: Tensor, action: Tensor) -> Tensor:
+        return self.net(F.concat([obs, action], axis=-1))
+
+    def parameters(self) -> List[Parameter]:
+        return self.net.parameters()
+
+
+class ValueCritic(Module):
+    """State-value critic ``V(s)`` (A2C/PPO)."""
+
+    def __init__(self, obs_dim: int, hidden: Sequence[int] = (64, 64), *,
+                 rng: Optional[np.random.Generator] = None, name: str = "value") -> None:
+        self.net = MLP(obs_dim, hidden, 1, activation="tanh", name=name, rng=rng)
+
+    def __call__(self, obs: Tensor) -> Tensor:
+        return self.net(obs)
+
+    def parameters(self) -> List[Parameter]:
+        return self.net.parameters()
+
+
+class GaussianActor(Module):
+    """Diagonal-Gaussian policy with a state-independent log-std (A2C/PPO/SAC).
+
+    ``forward`` returns the mean; ``log_std`` is a trainable parameter vector.
+    """
+
+    LOG_STD_MIN = -5.0
+    LOG_STD_MAX = 2.0
+
+    def __init__(self, obs_dim: int, action_dim: int, hidden: Sequence[int] = (64, 64), *,
+                 init_log_std: float = -0.5, rng: Optional[np.random.Generator] = None,
+                 name: str = "pi") -> None:
+        self.net = MLP(obs_dim, hidden, action_dim, activation="tanh", name=name, rng=rng)
+        self.log_std = Parameter(np.full(action_dim, init_log_std, dtype=np.float32), name=f"{name}/log_std")
+        self.action_dim = action_dim
+
+    def __call__(self, obs: Tensor) -> Tensor:
+        return self.net(obs)
+
+    def distribution(self, obs: Tensor) -> Tuple[Tensor, Tensor]:
+        """Mean and (clipped) log-std tensors of the policy distribution."""
+        mean = self.net(obs)
+        log_std = F.clip(self.log_std, self.LOG_STD_MIN, self.LOG_STD_MAX)
+        return mean, log_std
+
+    def log_prob(self, obs: Tensor, actions: Tensor) -> Tensor:
+        mean, log_std = self.distribution(obs)
+        return F.gaussian_log_prob(actions, mean, log_std)
+
+    def sample_numpy(self, mean: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Draw an action on the CPU from the current (numpy) mean and log-std."""
+        std = np.exp(np.clip(self.log_std.data, self.LOG_STD_MIN, self.LOG_STD_MAX))
+        return (mean + std * rng.normal(size=mean.shape)).astype(np.float32)
+
+    def parameters(self) -> List[Parameter]:
+        return self.net.parameters() + [self.log_std]
+
+
+class CategoricalPolicy(Module):
+    """Discrete-action policy producing logits (DQN-style nets reuse plain MLPs)."""
+
+    def __init__(self, obs_dim: int, num_actions: int, hidden: Sequence[int] = (64, 64), *,
+                 rng: Optional[np.random.Generator] = None, name: str = "pi") -> None:
+        self.net = MLP(obs_dim, hidden, num_actions, activation="tanh", name=name, rng=rng)
+        self.num_actions = num_actions
+
+    def __call__(self, obs: Tensor) -> Tensor:
+        return self.net(obs)
+
+    def log_probs(self, obs: Tensor) -> Tensor:
+        return F.log_softmax(self.net(obs))
+
+    def parameters(self) -> List[Parameter]:
+        return self.net.parameters()
+
+
+class TwinQCritic(Module):
+    """Two independent Q critics (TD3/SAC clipped double-Q)."""
+
+    def __init__(self, obs_dim: int, action_dim: int, hidden: Sequence[int] = (256, 256), *,
+                 rng: Optional[np.random.Generator] = None, name: str = "twin_q") -> None:
+        self.q1 = QCritic(obs_dim, action_dim, hidden, rng=rng, name=f"{name}/q1")
+        self.q2 = QCritic(obs_dim, action_dim, hidden, rng=rng, name=f"{name}/q2")
+
+    def __call__(self, obs: Tensor, action: Tensor) -> Tuple[Tensor, Tensor]:
+        return self.q1(obs, action), self.q2(obs, action)
+
+    def min_q(self, obs: Tensor, action: Tensor) -> Tensor:
+        q1, q2 = self(obs, action)
+        return F.minimum(q1, q2)
+
+    def parameters(self) -> List[Parameter]:
+        return self.q1.parameters() + self.q2.parameters()

@@ -1,0 +1,55 @@
+"""Exploration noise processes for continuous-control algorithms."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class GaussianNoise:
+    """Independent Gaussian exploration noise (used by TD3 and SAC-style exploration)."""
+
+    def __init__(self, dim: int, sigma: float = 0.1, *, seed: int = 0) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.dim = dim
+        self.sigma = sigma
+        self.rng = np.random.default_rng(seed)
+
+    def sample(self) -> np.ndarray:
+        return self.rng.normal(0.0, self.sigma, size=self.dim).astype(np.float32)
+
+    def reset(self) -> None:  # pragma: no cover - stateless
+        """Gaussian noise has no state to reset."""
+
+
+class OrnsteinUhlenbeckNoise:
+    """Temporally correlated OU noise, the classic DDPG exploration process."""
+
+    def __init__(
+        self,
+        dim: int,
+        sigma: float = 0.2,
+        theta: float = 0.15,
+        dt: float = 1e-2,
+        *,
+        seed: int = 0,
+    ) -> None:
+        if sigma < 0 or theta < 0 or dt <= 0:
+            raise ValueError("invalid OU noise parameters")
+        self.dim = dim
+        self.sigma = sigma
+        self.theta = theta
+        self.dt = dt
+        self.rng = np.random.default_rng(seed)
+        self.state = np.zeros(dim, dtype=np.float32)
+
+    def reset(self) -> None:
+        self.state = np.zeros(self.dim, dtype=np.float32)
+
+    def sample(self) -> np.ndarray:
+        drift = self.theta * (0.0 - self.state) * self.dt
+        diffusion = self.sigma * np.sqrt(self.dt) * self.rng.normal(size=self.dim)
+        self.state = (self.state + drift + diffusion).astype(np.float32)
+        return self.state.copy()

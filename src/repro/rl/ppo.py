@@ -1,0 +1,151 @@
+"""Proximal Policy Optimization (PPO2, clipped surrogate objective).
+
+PPO2 is the top-performing on-policy algorithm the paper uses both in the
+algorithm survey (Figure 5) and as the fixed algorithm of the simulator
+survey (Figure 7).  It collects ``n_steps`` of on-policy experience, then
+performs several epochs of clipped-surrogate minibatch updates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..backend import functional as F
+from ..backend.autodiff import Tape
+from ..backend.context import use_engine
+from ..backend.tensor import Tensor
+from .base import OP_BACKPROPAGATION, OnPolicyAlgorithm, TrainResult
+from .buffers import Rollout
+from .networks import CategoricalPolicy, GaussianActor, ValueCritic
+
+
+class PPO2(OnPolicyAlgorithm):
+    """PPO with clipped surrogate objective and minibatch epochs."""
+
+    name = "PPO2"
+
+    # ------------------------------------------------------------------ build
+    def _build(self) -> None:
+        cfg = self.config
+        hidden = cfg.hidden_sizes
+        if self.env.is_discrete:
+            self.policy = CategoricalPolicy(self.obs_dim, self.env.action_space.n, hidden,
+                                            rng=self.net_rng, name="pi")
+        else:
+            self.policy = GaussianActor(self.obs_dim, self.action_dim, hidden, rng=self.net_rng, name="pi")
+        self.value = ValueCritic(self.obs_dim, hidden, rng=self.net_rng, name="vf")
+        params = self.policy.parameters() + self.value.parameters()
+        self.optimizer = self.framework.make_optimizer(params, cfg.actor_lr, algo=self.name)
+        self._params = params
+
+        self._policy_infer = self.framework.compile(
+            self._policy_value_forward, kind="inference", name="policy_forward", num_feeds=1)
+        self._update_compiled = self.framework.compile(
+            self._minibatch_update, kind="update", name="ppo_train_step", num_feeds=5)
+
+    # -------------------------------------------------------------- inference
+    def _policy_value_forward(self, obs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        obs_t = Tensor(obs)
+        return self.policy(obs_t).numpy(), self.value(obs_t).numpy()
+
+    def _policy_step(self, obs: np.ndarray) -> Tuple[np.ndarray, float, float]:
+        head, value = self._policy_infer(self._batch_obs(obs))
+        if self.env.is_discrete:
+            logits = head[0]
+            probs = np.exp(logits - logits.max())
+            probs /= probs.sum()
+            action = int(self.rng.choice(len(probs), p=probs))
+            log_prob = float(np.log(probs[action] + 1e-12))
+            return np.array(action), log_prob, float(value[0, 0])
+        mean = head[0]
+        action = self.policy.sample_numpy(mean, self.rng)
+        log_prob = self._numpy_gaussian_log_prob(action, mean)
+        return action, log_prob, float(value[0, 0])
+
+    def _numpy_gaussian_log_prob(self, action: np.ndarray, mean: np.ndarray) -> float:
+        log_std = np.clip(self.policy.log_std.data, self.policy.LOG_STD_MIN, self.policy.LOG_STD_MAX)
+        std = np.exp(log_std)
+        z = (action - mean) / std
+        return float(np.sum(-0.5 * (z ** 2 + 2 * log_std + np.log(2 * np.pi))))
+
+    def _value_estimate(self, obs: np.ndarray) -> float:
+        _, value = self._policy_infer(self._batch_obs(obs))
+        return float(value[0, 0])
+
+    def predict(self, obs: np.ndarray) -> np.ndarray:
+        with use_engine(self.engine):
+            head, _ = self._policy_infer(self._batch_obs(obs))
+        if self.env.is_discrete:
+            return int(np.argmax(head[0]))
+        return head[0]
+
+    # ----------------------------------------------------------------- update
+    def _update_from_rollout(self, rollout: Rollout, result: TrainResult) -> None:
+        cfg = self.config
+        n = len(rollout)
+        advantages = rollout.advantages
+        advantages = (advantages - advantages.mean()) / (advantages.std() + 1e-8)
+        indices = np.arange(n)
+        minibatch_size = max(1, n // cfg.n_minibatches)
+        for _ in range(cfg.n_epochs):
+            self.rng.shuffle(indices)
+            for start in range(0, n, minibatch_size):
+                mb = indices[start:start + minibatch_size]
+                # Minibatch slicing is Python/numpy work on the critical path.
+                self.system.cpu_work(0.2 * len(mb))
+                with self._op(OP_BACKPROPAGATION):
+                    losses = self._update_compiled(
+                        rollout.observations[mb], rollout.actions[mb], advantages[mb],
+                        rollout.returns[mb], rollout.log_probs[mb])
+                result.gradient_updates += 1
+                for name, value in losses.items():
+                    result.record_loss(name, value)
+
+    def _log_prob_and_entropy(self, obs: Tensor, actions: Tensor) -> Tuple[Tensor, Tensor]:
+        if self.env.is_discrete:
+            log_probs = self.policy.log_probs(obs)
+            indices = actions.numpy().astype(np.int64).reshape(-1)
+            action_log_prob = F.gather_rows(log_probs, indices)
+            probs = F.softmax(self.policy(obs))
+            entropy = F.neg(F.reduce_mean(F.reduce_sum(F.mul(probs, F.log(probs)), axis=-1)))
+        else:
+            action_log_prob = self.policy.log_prob(obs, actions)
+            _, log_std = self.policy.distribution(obs)
+            entropy = F.gaussian_entropy(log_std)
+        return action_log_prob, entropy
+
+    def _minibatch_update(
+        self,
+        observations: np.ndarray,
+        actions: np.ndarray,
+        advantages: np.ndarray,
+        returns: np.ndarray,
+        old_log_probs: np.ndarray,
+    ) -> Dict[str, float]:
+        cfg = self.config
+        obs = Tensor(observations)
+        actions_t = Tensor(actions)
+        advantages_t = Tensor(advantages)
+        returns_t = Tensor(returns.reshape(-1, 1))
+        old_log_probs_t = Tensor(old_log_probs)
+
+        with Tape() as tape:
+            log_prob, entropy = self._log_prob_and_entropy(obs, actions_t)
+            ratio = F.exp(F.sub(log_prob, old_log_probs_t))
+            unclipped = F.mul(ratio, advantages_t)
+            clipped = F.mul(F.clip(ratio, 1.0 - cfg.clip_range, 1.0 + cfg.clip_range), advantages_t)
+            policy_loss = F.neg(F.reduce_mean(F.minimum(unclipped, clipped)))
+            value_loss = F.mse_loss(self.value(obs), returns_t)
+            loss = F.sub(
+                F.add(policy_loss, F.scale_shift(value_loss, cfg.value_coef)),
+                F.scale_shift(entropy, cfg.entropy_coef),
+            )
+        grads = tape.gradient(loss, self._params)
+        self.optimizer.step(grads)
+        return {
+            "policy_loss": policy_loss.item(),
+            "value_loss": value_loss.item(),
+            "entropy": entropy.item(),
+        }

@@ -1,0 +1,118 @@
+"""Soft Actor-Critic (off-policy, maximum-entropy continuous control).
+
+SAC appears in the algorithm survey (Figure 5) as the second off-policy
+algorithm alongside DDPG.  The implementation uses a squashed-Gaussian policy
+with the reparameterisation trick, twin critics with clipped double-Q
+targets, and a fixed entropy temperature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..backend import functional as F
+from ..backend.autodiff import Tape
+from ..backend.context import use_engine
+from ..backend.layers import hard_update, soft_update
+from ..backend.tensor import Tensor
+from .base import OffPolicyAlgorithm
+from .buffers import Batch
+from .networks import GaussianActor, TwinQCritic
+
+_LOG_PROB_EPS = 1e-6
+
+
+class SAC(OffPolicyAlgorithm):
+    """SAC with a squashed-Gaussian policy and fixed temperature."""
+
+    name = "SAC"
+
+    # ------------------------------------------------------------------ build
+    def _build(self) -> None:
+        cfg = self.config
+        hidden = cfg.hidden_sizes
+        self.actor = GaussianActor(self.obs_dim, self.action_dim, hidden, rng=self.net_rng, name="pi")
+        self.critic = TwinQCritic(self.obs_dim, self.action_dim, hidden, rng=self.net_rng, name="q")
+        self.target_critic = TwinQCritic(self.obs_dim, self.action_dim, hidden, rng=self.net_rng, name="q_target")
+        hard_update(self.target_critic, self.critic)
+
+        self.actor_optimizer = self.framework.make_optimizer(self.actor.parameters(), cfg.actor_lr, algo=self.name)
+        self.critic_optimizer = self.framework.make_optimizer(self.critic.parameters(), cfg.critic_lr, algo=self.name)
+
+        self._actor_infer = self.framework.compile(
+            self._actor_forward, kind="inference", name="actor_forward", num_feeds=1)
+        self._update_compiled = self.framework.compile(
+            self._update_step, kind="update", name="sac_train_step", num_feeds=5)
+
+    # ----------------------------------------------------------- distribution
+    def _squashed_sample(self, obs: Tensor, noise: np.ndarray) -> Tuple[Tensor, Tensor]:
+        """Reparameterised squashed-Gaussian sample and its log-probability."""
+        mean, log_std = self.actor.distribution(obs)
+        std = F.exp(log_std)
+        pre_tanh = F.add(mean, F.mul(std, Tensor(noise)))
+        action = F.tanh(pre_tanh)
+        log_prob = F.gaussian_log_prob(pre_tanh, mean, log_std)
+        # Tanh-squashing correction: log det of the Jacobian.
+        correction = F.reduce_sum(
+            F.log(F.scale_shift(F.square(action), -1.0, 1.0 + _LOG_PROB_EPS)), axis=-1)
+        log_prob = F.sub(log_prob, correction)
+        return action, log_prob
+
+    # -------------------------------------------------------------- inference
+    def _actor_forward(self, obs: np.ndarray) -> np.ndarray:
+        """Mean action (used for greedy evaluation and exploration's base)."""
+        mean = self.actor(Tensor(obs))
+        return F.tanh(mean).numpy()
+
+    def _explore_action(self, obs: np.ndarray, timestep: int) -> np.ndarray:
+        mean = self._actor_infer(self._batch_obs(obs))[0]
+        std = np.exp(np.clip(self.actor.log_std.data, self.actor.LOG_STD_MIN, self.actor.LOG_STD_MAX))
+        action = np.tanh(np.arctanh(np.clip(mean, -0.999, 0.999)) + std * self.rng.normal(size=mean.shape))
+        return np.clip(action, self.env.action_space.low, self.env.action_space.high).astype(np.float32)
+
+    def predict(self, obs: np.ndarray) -> np.ndarray:
+        with use_engine(self.engine):
+            return self._actor_infer(self._batch_obs(obs))[0]
+
+    # ----------------------------------------------------------------- update
+    def _update(self, batch: Batch) -> Dict[str, float]:
+        return self._update_compiled(batch)
+
+    def _update_step(self, batch: Batch) -> Dict[str, float]:
+        cfg = self.config
+        batch_size = len(batch)
+        obs = Tensor(batch.observations)
+        actions = Tensor(batch.actions)
+        next_obs = Tensor(batch.next_observations)
+        rewards = Tensor(batch.rewards.reshape(-1, 1))
+        not_done = Tensor((1.0 - batch.dones).reshape(-1, 1))
+
+        # Soft Bellman target: min target Q of a fresh next action minus entropy term.
+        next_noise = self.rng.normal(size=(batch_size, self.action_dim)).astype(np.float32)
+        next_action, next_log_prob = self._squashed_sample(next_obs, next_noise)
+        target_q = self.target_critic.min_q(next_obs, next_action)
+        entropy_term = F.scale_shift(F.reshape(next_log_prob, (batch_size, 1)), cfg.alpha)
+        soft_target = F.sub(target_q, entropy_term)
+        y = F.add(rewards, F.mul(F.scale_shift(not_done, cfg.gamma), soft_target))
+
+        # Critic update.
+        with Tape() as tape:
+            q1, q2 = self.critic(obs, actions)
+            critic_loss = F.add(F.mse_loss(q1, F.stop_gradient(y)), F.mse_loss(q2, F.stop_gradient(y)))
+        critic_grads = tape.gradient(critic_loss, self.critic.parameters())
+        self.critic_optimizer.step(critic_grads)
+
+        # Actor update: maximise soft value of reparameterised actions.
+        actor_noise = self.rng.normal(size=(batch_size, self.action_dim)).astype(np.float32)
+        with Tape() as tape:
+            new_action, log_prob = self._squashed_sample(obs, actor_noise)
+            q_new = self.critic.min_q(obs, new_action)
+            actor_loss = F.reduce_mean(
+                F.sub(F.scale_shift(F.reshape(log_prob, (batch_size, 1)), cfg.alpha), q_new))
+        actor_grads = tape.gradient(actor_loss, self.actor.parameters())
+        self.actor_optimizer.step(actor_grads)
+
+        soft_update(self.target_critic, self.critic, cfg.tau)
+        return {"critic_loss": critic_loss.item(), "actor_loss": actor_loss.item()}

@@ -1,0 +1,111 @@
+"""Twin Delayed DDPG (TD3).
+
+TD3 is the second headline off-policy algorithm of the framework study
+(Figures 4a/4c).  Relative to DDPG it adds clipped double-Q learning, target
+policy smoothing, and delayed policy updates; its stable-baselines zoo
+configuration also performs 1000 consecutive simulator steps per collection
+cycle (vs. DDPG's 100), which is what lets it amortise Autograph's per-call
+overhead (finding F.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..backend import functional as F
+from ..backend.autodiff import Tape
+from ..backend.context import use_engine
+from ..backend.layers import hard_update, soft_update
+from ..backend.tensor import Tensor
+from .base import OffPolicyAlgorithm
+from .buffers import Batch
+from .networks import DeterministicActor, TwinQCritic
+from .noise import GaussianNoise
+
+
+class TD3(OffPolicyAlgorithm):
+    """TD3 with twin critics, target smoothing and delayed policy updates."""
+
+    name = "TD3"
+
+    # ------------------------------------------------------------------ build
+    def _build(self) -> None:
+        cfg = self.config
+        hidden = cfg.hidden_sizes
+        self.actor = DeterministicActor(self.obs_dim, self.action_dim, hidden, rng=self.net_rng, name="actor")
+        self.critic = TwinQCritic(self.obs_dim, self.action_dim, hidden, rng=self.net_rng, name="critic")
+        self.target_actor = DeterministicActor(self.obs_dim, self.action_dim, hidden,
+                                                rng=self.net_rng, name="target_actor")
+        self.target_critic = TwinQCritic(self.obs_dim, self.action_dim, hidden,
+                                         rng=self.net_rng, name="target_critic")
+        hard_update(self.target_actor, self.actor)
+        hard_update(self.target_critic, self.critic)
+
+        self.actor_optimizer = self.framework.make_optimizer(self.actor.parameters(), cfg.actor_lr, algo=self.name)
+        self.critic_optimizer = self.framework.make_optimizer(self.critic.parameters(), cfg.critic_lr, algo=self.name)
+        self.noise = GaussianNoise(self.action_dim, sigma=cfg.exploration_noise, seed=self.seed + 3)
+        self._update_count = 0
+
+        self._actor_infer = self.framework.compile(
+            self._actor_forward, kind="inference", name="actor_forward", num_feeds=1)
+        self._update_compiled = self.framework.compile(
+            self._update_step, kind="update", name="td3_train_step", num_feeds=5)
+
+    # -------------------------------------------------------------- inference
+    def _actor_forward(self, obs: np.ndarray) -> np.ndarray:
+        return self.actor(Tensor(obs)).numpy()
+
+    def _explore_action(self, obs: np.ndarray, timestep: int) -> np.ndarray:
+        action = self._actor_infer(self._batch_obs(obs))[0] + self.noise.sample()
+        return np.clip(action, self.env.action_space.low, self.env.action_space.high)
+
+    def predict(self, obs: np.ndarray) -> np.ndarray:
+        with use_engine(self.engine):
+            return self._actor_infer(self._batch_obs(obs))[0]
+
+    # ----------------------------------------------------------------- update
+    def _update(self, batch: Batch) -> Dict[str, float]:
+        return self._update_compiled(batch)
+
+    def _update_step(self, batch: Batch) -> Dict[str, float]:
+        cfg = self.config
+        self._update_count += 1
+        obs = Tensor(batch.observations)
+        actions = Tensor(batch.actions)
+        next_obs = Tensor(batch.next_observations)
+        rewards = Tensor(batch.rewards.reshape(-1, 1))
+        not_done = Tensor((1.0 - batch.dones).reshape(-1, 1))
+
+        # Target policy smoothing: noisy target actions, clipped to the action range.
+        smoothing = np.clip(
+            self.rng.normal(0.0, cfg.target_noise, size=batch.actions.shape),
+            -cfg.target_noise_clip, cfg.target_noise_clip,
+        ).astype(np.float32)
+        target_actions = F.clip(
+            F.add(self.target_actor(next_obs), Tensor(smoothing)),
+            float(self.env.action_space.low), float(self.env.action_space.high),
+        )
+        target_q = self.target_critic.min_q(next_obs, target_actions)
+        y = F.add(rewards, F.mul(F.scale_shift(not_done, cfg.gamma), target_q))
+
+        # Twin-critic update.
+        with Tape() as tape:
+            q1, q2 = self.critic(obs, actions)
+            critic_loss = F.add(F.mse_loss(q1, F.stop_gradient(y)), F.mse_loss(q2, F.stop_gradient(y)))
+        critic_grads = tape.gradient(critic_loss, self.critic.parameters())
+        self.critic_optimizer.step(critic_grads)
+
+        losses = {"critic_loss": critic_loss.item()}
+
+        # Delayed policy and target updates.
+        if self._update_count % cfg.policy_delay == 0:
+            with Tape() as tape:
+                actor_loss = F.neg(F.reduce_mean(self.critic.q1(obs, self.actor(obs))))
+            actor_grads = tape.gradient(actor_loss, self.actor.parameters())
+            self.actor_optimizer.step(actor_grads)
+            soft_update(self.target_actor, self.actor, cfg.tau)
+            soft_update(self.target_critic, self.critic, cfg.tau)
+            losses["actor_loss"] = actor_loss.item()
+        return losses

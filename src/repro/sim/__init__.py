@@ -1,0 +1,39 @@
+"""Simulators: Atari Pong, MuJoCo-style locomotion, Go, and AirLearning."""
+
+from .airlearning import AirLearningEnv
+from .atari import PongEnv
+from .base import Env, StepResult
+from .go import BLACK, EMPTY, WHITE, GoBoard, GoEnv, GoPosition, opponent
+from .mujoco import AntEnv, HalfCheetahEnv, HopperEnv, LocomotionEnv, Walker2DEnv
+from .physics import BodySpec, LocomotionDynamics
+from .registry import SIMULATOR_COMPLEXITY, available_simulators, make, register
+from .spaces import Box, Discrete, Space, space_dim
+
+__all__ = [
+    "AirLearningEnv",
+    "PongEnv",
+    "Env",
+    "StepResult",
+    "BLACK",
+    "EMPTY",
+    "WHITE",
+    "GoBoard",
+    "GoEnv",
+    "GoPosition",
+    "opponent",
+    "AntEnv",
+    "HalfCheetahEnv",
+    "HopperEnv",
+    "LocomotionEnv",
+    "Walker2DEnv",
+    "BodySpec",
+    "LocomotionDynamics",
+    "SIMULATOR_COMPLEXITY",
+    "available_simulators",
+    "make",
+    "register",
+    "Box",
+    "Discrete",
+    "Space",
+    "space_dim",
+]

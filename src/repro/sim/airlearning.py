@@ -1,0 +1,139 @@
+"""AirLearning-style drone navigation with photo-realistic rendering cost.
+
+The paper's high-complexity simulator (Appendix B.1) is the AirLearning UAV
+point-to-point navigation task running on a UE4 game engine: each simulator
+step is dominated by physics plus photo-realistic rendering, part of which
+runs on the GPU.  The reproduction models a quad-rotor point-mass navigating
+a 3-D obstacle field; every step pays the (very large) AirLearning CPU step
+cost from the cost model and issues a frame-render kernel on the simulated
+GPU, so simulation dominates training time (finding F.12, 99.6 % simulation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ..cuda.kernels import render_kernel
+from ..system import System
+from .base import Env, StepResult
+from .spaces import Box, Discrete
+
+#: Discrete action set: hover plus +/- unit accelerations along each axis.
+ACTIONS = np.array(
+    [
+        [0.0, 0.0, 0.0],
+        [1.0, 0.0, 0.0], [-1.0, 0.0, 0.0],
+        [0.0, 1.0, 0.0], [0.0, -1.0, 0.0],
+        [0.0, 0.0, 1.0], [0.0, 0.0, -1.0],
+    ],
+    dtype=np.float32,
+)
+
+
+class AirLearningEnv(Env):
+    """Point-to-point UAV navigation through a random obstacle field."""
+
+    sim_id = "AirLearning"
+    python_glue_units = 6.0
+    ARENA_SIZE = 20.0
+    GOAL_RADIUS = 1.0
+    NUM_OBSTACLES = 12
+    OBSTACLE_RADIUS = 1.0
+    MAX_STEPS = 400
+    DT = 0.05
+    RENDER_WIDTH = 640
+    RENDER_HEIGHT = 480
+
+    #: observation: position (3) + velocity (3) + goal vector (3) + 8 ray distances
+    observation_space = Box(low=-1.0, high=1.0, shape=(17,))
+    action_space = Discrete(len(ACTIONS))
+
+    def __init__(self, system: System, *, seed: int = 0, render_on_gpu: bool = True) -> None:
+        super().__init__(system, seed=seed)
+        self.render_on_gpu = render_on_gpu
+        self.position = np.zeros(3, dtype=np.float32)
+        self.velocity = np.zeros(3, dtype=np.float32)
+        self.goal = np.zeros(3, dtype=np.float32)
+        self.obstacles: List[np.ndarray] = []
+        self._steps_in_episode = 0
+
+    # --------------------------------------------------------------- helpers
+    def _ray_distances(self) -> np.ndarray:
+        """Distances to the nearest obstacle along 8 horizontal rays (normalised)."""
+        angles = np.linspace(0.0, 2.0 * np.pi, 8, endpoint=False)
+        directions = np.stack([np.cos(angles), np.sin(angles), np.zeros(8)], axis=1)
+        distances = np.full(8, 1.0, dtype=np.float32)
+        max_range = self.ARENA_SIZE
+        for i, direction in enumerate(directions):
+            for obstacle in self.obstacles:
+                to_obstacle = obstacle - self.position
+                projection = float(np.dot(to_obstacle, direction))
+                if projection <= 0:
+                    continue
+                lateral = np.linalg.norm(to_obstacle - projection * direction)
+                if lateral <= self.OBSTACLE_RADIUS:
+                    distances[i] = min(distances[i], projection / max_range)
+        return distances
+
+    def _observation(self) -> np.ndarray:
+        scale = self.ARENA_SIZE
+        return np.concatenate([
+            self.position / scale,
+            self.velocity / 5.0,
+            (self.goal - self.position) / scale,
+            self._ray_distances(),
+        ]).astype(np.float32)
+
+    def _render_frame(self) -> None:
+        """Photo-realistic frame render: issued to the GPU by the game engine."""
+        if self.render_on_gpu:
+            self.system.cuda.launch_kernel(
+                render_kernel(self.RENDER_WIDTH, self.RENDER_HEIGHT, samples=2)
+            )
+
+    # -------------------------------------------------------------- Env hooks
+    def _reset_state(self) -> np.ndarray:
+        half = self.ARENA_SIZE / 2
+        self.position = self.rng.uniform(-half * 0.8, half * 0.8, size=3).astype(np.float32)
+        self.position[2] = abs(self.position[2]) * 0.3 + 1.0
+        self.velocity = np.zeros(3, dtype=np.float32)
+        self.goal = self.rng.uniform(-half * 0.8, half * 0.8, size=3).astype(np.float32)
+        self.goal[2] = abs(self.goal[2]) * 0.3 + 1.0
+        self.obstacles = [
+            self.rng.uniform(-half, half, size=3).astype(np.float32)
+            for _ in range(self.NUM_OBSTACLES)
+        ]
+        self._steps_in_episode = 0
+        self._render_frame()
+        return self._observation()
+
+    def _step_state(self, action: int) -> StepResult:
+        self._steps_in_episode += 1
+        previous_distance = float(np.linalg.norm(self.goal - self.position))
+
+        acceleration = ACTIONS[int(action)] * 4.0
+        self.velocity = np.clip(self.velocity + self.DT * acceleration - 0.05 * self.velocity, -5.0, 5.0)
+        self.position = self.position + self.DT * self.velocity
+        half = self.ARENA_SIZE / 2
+        self.position = np.clip(self.position, [-half, -half, 0.2], [half, half, half])
+
+        self._render_frame()
+
+        distance = float(np.linalg.norm(self.goal - self.position))
+        collided = any(
+            np.linalg.norm(self.position - obstacle) < self.OBSTACLE_RADIUS
+            for obstacle in self.obstacles
+        )
+        reached = distance < self.GOAL_RADIUS
+
+        reward = (previous_distance - distance) - 0.01
+        if reached:
+            reward += 10.0
+        if collided:
+            reward -= 5.0
+
+        done = reached or collided or self._steps_in_episode >= self.MAX_STEPS
+        info: Dict[str, Any] = {"distance_to_goal": distance, "collided": collided, "reached": reached}
+        return self._observation(), reward, done, info

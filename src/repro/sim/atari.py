@@ -1,0 +1,137 @@
+"""Atari Pong, the paper's low-complexity example simulator (Section 2.1).
+
+A real, playable Pong: ball and two paddles with simple physics, a scripted
+opponent that tracks the ball imperfectly, and a win condition at 21 points.
+Observations are a RAM-style 8-dimensional state vector (paddle positions,
+ball position and velocity, score difference) rather than raw pixels so the
+networks stay in the small-MLP regime the paper's workloads use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from ..system import System
+from .base import Env, StepResult
+from .spaces import Box, Discrete
+
+ACTION_NOOP = 0
+ACTION_UP = 1
+ACTION_DOWN = 2
+
+
+class PongEnv(Env):
+    """Single-player-vs-scripted-opponent Pong."""
+
+    sim_id = "Pong"
+    FIELD_HEIGHT = 1.0
+    FIELD_WIDTH = 1.0
+    PADDLE_HEIGHT = 0.2
+    PADDLE_SPEED = 0.04
+    BALL_SPEED = 0.03
+    WIN_SCORE = 21
+    MAX_STEPS = 5_000
+
+    observation_space = Box(low=-1.0, high=1.0, shape=(8,))
+    action_space = Discrete(3)
+
+    def __init__(self, system: System, *, seed: int = 0, opponent_skill: float = 0.8) -> None:
+        super().__init__(system, seed=seed)
+        if not 0.0 <= opponent_skill <= 1.0:
+            raise ValueError("opponent_skill must be in [0, 1]")
+        self.opponent_skill = opponent_skill
+        self._state: Dict[str, float] = {}
+        self._steps_in_episode = 0
+
+    # --------------------------------------------------------------- helpers
+    def _observation(self) -> np.ndarray:
+        s = self._state
+        return np.array(
+            [
+                s["agent_y"], s["opp_y"],
+                s["ball_x"], s["ball_y"],
+                s["ball_vx"] / self.BALL_SPEED, s["ball_vy"] / self.BALL_SPEED,
+                (s["agent_score"] - s["opp_score"]) / self.WIN_SCORE,
+                self._steps_in_episode / self.MAX_STEPS,
+            ],
+            dtype=np.float32,
+        )
+
+    def _serve(self, direction: float) -> None:
+        angle = self.rng.uniform(-0.7, 0.7)
+        self._state.update(
+            ball_x=0.5,
+            ball_y=float(self.rng.uniform(0.3, 0.7)),
+            ball_vx=direction * self.BALL_SPEED * float(np.cos(angle)),
+            ball_vy=self.BALL_SPEED * float(np.sin(angle)),
+        )
+
+    # -------------------------------------------------------------- Env hooks
+    def _reset_state(self) -> np.ndarray:
+        self._state = {
+            "agent_y": 0.5, "opp_y": 0.5,
+            "agent_score": 0.0, "opp_score": 0.0,
+            "ball_x": 0.5, "ball_y": 0.5, "ball_vx": 0.0, "ball_vy": 0.0,
+        }
+        self._steps_in_episode = 0
+        self._serve(direction=1.0 if self.rng.uniform() < 0.5 else -1.0)
+        return self._observation()
+
+    def _step_state(self, action: int) -> StepResult:
+        s = self._state
+        self._steps_in_episode += 1
+
+        # Agent paddle (right side).
+        if action == ACTION_UP:
+            s["agent_y"] = min(s["agent_y"] + self.PADDLE_SPEED, 1.0)
+        elif action == ACTION_DOWN:
+            s["agent_y"] = max(s["agent_y"] - self.PADDLE_SPEED, 0.0)
+
+        # Scripted opponent tracks the ball with limited skill.
+        if self.rng.uniform() < self.opponent_skill:
+            if s["ball_y"] > s["opp_y"] + 0.02:
+                s["opp_y"] = min(s["opp_y"] + self.PADDLE_SPEED, 1.0)
+            elif s["ball_y"] < s["opp_y"] - 0.02:
+                s["opp_y"] = max(s["opp_y"] - self.PADDLE_SPEED, 0.0)
+
+        # Ball physics.
+        s["ball_x"] += s["ball_vx"]
+        s["ball_y"] += s["ball_vy"]
+        if s["ball_y"] <= 0.0 or s["ball_y"] >= self.FIELD_HEIGHT:
+            s["ball_vy"] = -s["ball_vy"]
+            s["ball_y"] = float(np.clip(s["ball_y"], 0.0, self.FIELD_HEIGHT))
+
+        reward = 0.0
+        # Right wall: agent must intercept.
+        if s["ball_x"] >= self.FIELD_WIDTH:
+            if abs(s["ball_y"] - s["agent_y"]) <= self.PADDLE_HEIGHT / 2:
+                s["ball_vx"] = -abs(s["ball_vx"])
+                s["ball_vy"] += (s["ball_y"] - s["agent_y"]) * 0.05
+                s["ball_x"] = self.FIELD_WIDTH
+            else:
+                s["opp_score"] += 1
+                reward = -1.0
+                self._serve(direction=-1.0)
+        # Left wall: opponent must intercept.
+        elif s["ball_x"] <= 0.0:
+            if abs(s["ball_y"] - s["opp_y"]) <= self.PADDLE_HEIGHT / 2:
+                s["ball_vx"] = abs(s["ball_vx"])
+                s["ball_vy"] += (s["ball_y"] - s["opp_y"]) * 0.05
+                s["ball_x"] = 0.0
+            else:
+                s["agent_score"] += 1
+                reward = 1.0
+                self._serve(direction=1.0)
+
+        done = (
+            s["agent_score"] >= self.WIN_SCORE
+            or s["opp_score"] >= self.WIN_SCORE
+            or self._steps_in_episode >= self.MAX_STEPS
+        )
+        info: Dict[str, Any] = {
+            "agent_score": int(s["agent_score"]),
+            "opponent_score": int(s["opp_score"]),
+        }
+        return self._observation(), reward, done, info

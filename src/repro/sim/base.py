@@ -1,0 +1,118 @@
+"""Simulator base class.
+
+Every simulator follows the gym-style ``reset() / step(action)`` contract.
+The *native* part of a step — what would be the Atari emulator, MuJoCo, or a
+UE4 game engine in the real stack — runs inside a boundary scope that the
+profiler's Python <-> C interception can observe, and advances the virtual
+clock by the simulator's modelled step cost.  The thin Python glue around it
+(action conversion, observation post-processing) costs interpreted-Python
+time, as it does in real RL scripts.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..system import System
+from .spaces import Box, Discrete, Space
+
+StepResult = Tuple[np.ndarray, float, bool, Dict[str, Any]]
+
+
+class Env:
+    """Base simulator with cost accounting and an interception boundary."""
+
+    #: Cost-model key of this simulator (see ``DEFAULT_SIM_STEP_US``).
+    sim_id: str = "Pong"
+    #: interpreted-Python units of glue work per step (action/observation marshalling)
+    python_glue_units: float = 4.0
+
+    observation_space: Space
+    action_space: Space
+
+    def __init__(self, system: System, *, seed: int = 0) -> None:
+        self.system = system
+        self.rng = np.random.default_rng(seed)
+        self.boundary = None  #: profiler interception point (None when unprofiled)
+        self.step_count = 0
+        self.episode_count = 0
+        self._done = True
+
+    # ------------------------------------------------------------ native part
+    @contextmanager
+    def _native(self, call_name: str) -> Iterator[None]:
+        """The Python -> simulator-C-library boundary."""
+        if self.boundary is not None:
+            self.boundary.enter(self, call_name)
+        try:
+            yield
+        finally:
+            if self.boundary is not None:
+                self.boundary.exit(self, call_name)
+
+    # ----------------------------------------------------------------- API
+    def reset(self) -> np.ndarray:
+        """Start a new episode and return the initial observation."""
+        self.system.cpu_work(self.python_glue_units)
+        with self._native("reset"):
+            self.system.clock.advance(self.system.cost_model.sim_reset(self.sim_id))
+            observation = self._reset_state()
+        self._done = False
+        self.episode_count += 1
+        return np.asarray(observation, dtype=np.float32)
+
+    def step(self, action) -> StepResult:
+        """Advance the simulation by one step."""
+        if self._done:
+            raise RuntimeError("step() called on a finished episode; call reset() first")
+        self.system.cpu_work(self.python_glue_units)
+        action = self._prepare_action(action)
+        with self._native("step"):
+            self.system.clock.advance(self.system.cost_model.sim_step(self.sim_id))
+            observation, reward, done, info = self._step_state(action)
+        self.system.cpu_work(self.python_glue_units * 0.5)
+        self.step_count += 1
+        self._done = bool(done)
+        return np.asarray(observation, dtype=np.float32), float(reward), bool(done), info
+
+    def seed(self, seed: int) -> None:
+        self.rng = np.random.default_rng(seed)
+
+    # -------------------------------------------------------------- override
+    def _prepare_action(self, action):
+        """Validate/convert the incoming action (Python-side)."""
+        if isinstance(self.action_space, Box):
+            return self.action_space.clip(np.asarray(action, dtype=np.float32).reshape(self.action_space.shape))
+        if isinstance(self.action_space, Discrete):
+            action = int(np.asarray(action).reshape(()))
+            if not self.action_space.contains(action):
+                raise ValueError(f"action {action} outside Discrete({self.action_space.n})")
+            return action
+        return action
+
+    def _reset_state(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def _step_state(self, action) -> StepResult:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ misc
+    @property
+    def observation_dim(self) -> int:
+        space = self.observation_space
+        return space.size if isinstance(space, Box) else space.n
+
+    @property
+    def action_dim(self) -> int:
+        space = self.action_space
+        return space.size if isinstance(space, Box) else space.n
+
+    @property
+    def is_discrete(self) -> bool:
+        return isinstance(self.action_space, Discrete)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(sim_id={self.sim_id!r})"

@@ -1,0 +1,276 @@
+"""The game of Go: board rules, a position class for MCTS, and a gym-style env.
+
+Minigo (the scale-up workload of Section 4.3) trains a policy/value network
+through MCTS self-play on Go.  This module implements the game itself: stone
+placement, capture, the suicide rule, simple-ko, passing, and area scoring
+with komi, on a configurable board size (9x9 by default to keep the
+reproduction fast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..system import System
+from .base import Env, StepResult
+from .spaces import Box, Discrete
+
+EMPTY = 0
+BLACK = 1
+WHITE = -1
+
+Move = Optional[Tuple[int, int]]  #: board coordinate, or None for "pass"
+
+
+def opponent(color: int) -> int:
+    return -color
+
+
+class GoBoard:
+    """Board state plus the rules of play."""
+
+    def __init__(self, size: int = 9, komi: float = 6.5) -> None:
+        if size < 3:
+            raise ValueError("board size must be at least 3")
+        self.size = size
+        self.komi = komi
+        self.board = np.zeros((size, size), dtype=np.int8)
+        self.ko_point: Optional[Tuple[int, int]] = None
+
+    # ------------------------------------------------------------------ utils
+    def copy(self) -> "GoBoard":
+        new = GoBoard(self.size, self.komi)
+        new.board = self.board.copy()
+        new.ko_point = self.ko_point
+        return new
+
+    def in_bounds(self, row: int, col: int) -> bool:
+        return 0 <= row < self.size and 0 <= col < self.size
+
+    def neighbors(self, row: int, col: int) -> Iterable[Tuple[int, int]]:
+        for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            r, c = row + dr, col + dc
+            if self.in_bounds(r, c):
+                yield r, c
+
+    def group_and_liberties(self, row: int, col: int) -> Tuple[Set[Tuple[int, int]], Set[Tuple[int, int]]]:
+        """Connected group containing (row, col) and its liberties."""
+        color = self.board[row, col]
+        if color == EMPTY:
+            raise ValueError("no stone at the given point")
+        group: Set[Tuple[int, int]] = set()
+        liberties: Set[Tuple[int, int]] = set()
+        frontier = [(row, col)]
+        while frontier:
+            point = frontier.pop()
+            if point in group:
+                continue
+            group.add(point)
+            for neighbor in self.neighbors(*point):
+                value = self.board[neighbor]
+                if value == EMPTY:
+                    liberties.add(neighbor)
+                elif value == color and neighbor not in group:
+                    frontier.append(neighbor)
+        return group, liberties
+
+    # ------------------------------------------------------------------ rules
+    def is_legal(self, move: Move, color: int) -> bool:
+        if move is None:
+            return True
+        row, col = move
+        if not self.in_bounds(row, col) or self.board[row, col] != EMPTY:
+            return False
+        if self.ko_point == (row, col):
+            return False
+        # Tentatively play to check for suicide.
+        scratch = self.copy()
+        scratch.ko_point = None
+        captured = scratch._place(row, col, color)
+        if captured:
+            return True
+        _, liberties = scratch.group_and_liberties(row, col)
+        return len(liberties) > 0
+
+    def _place(self, row: int, col: int, color: int) -> List[Tuple[int, int]]:
+        """Place a stone and remove captured opponent groups; returns captures."""
+        self.board[row, col] = color
+        captured: List[Tuple[int, int]] = []
+        for neighbor in self.neighbors(row, col):
+            if self.board[neighbor] == opponent(color):
+                group, liberties = self.group_and_liberties(*neighbor)
+                if not liberties:
+                    for point in group:
+                        self.board[point] = EMPTY
+                        captured.append(point)
+        return captured
+
+    def play(self, move: Move, color: int) -> List[Tuple[int, int]]:
+        """Apply a legal move; returns the list of captured points."""
+        if not self.is_legal(move, color):
+            raise ValueError(f"illegal move {move} for color {color}")
+        self.ko_point = None
+        if move is None:
+            return []
+        row, col = move
+        captured = self._place(row, col, color)
+        # Simple ko: a single-stone capture that leaves the new stone with a
+        # single liberty at the captured point forbids immediate recapture.
+        if len(captured) == 1:
+            group, liberties = self.group_and_liberties(row, col)
+            if len(group) == 1 and len(liberties) == 1:
+                self.ko_point = captured[0]
+        return captured
+
+    def legal_moves(self, color: int, *, include_pass: bool = True) -> List[Move]:
+        moves: List[Move] = [
+            (row, col)
+            for row in range(self.size)
+            for col in range(self.size)
+            if self.board[row, col] == EMPTY and self.is_legal((row, col), color)
+        ]
+        if include_pass:
+            moves.append(None)
+        return moves
+
+    # ---------------------------------------------------------------- scoring
+    def area_score(self) -> float:
+        """Area score from Black's perspective (stones + territory - komi)."""
+        black = float(np.sum(self.board == BLACK))
+        white = float(np.sum(self.board == WHITE))
+        territory_black, territory_white = self._territory()
+        return (black + territory_black) - (white + territory_white) - self.komi
+
+    def _territory(self) -> Tuple[float, float]:
+        visited: Set[Tuple[int, int]] = set()
+        black_territory = 0.0
+        white_territory = 0.0
+        for row in range(self.size):
+            for col in range(self.size):
+                if self.board[row, col] != EMPTY or (row, col) in visited:
+                    continue
+                region: Set[Tuple[int, int]] = set()
+                borders: Set[int] = set()
+                frontier = [(row, col)]
+                while frontier:
+                    point = frontier.pop()
+                    if point in region:
+                        continue
+                    region.add(point)
+                    for neighbor in self.neighbors(*point):
+                        value = self.board[neighbor]
+                        if value == EMPTY:
+                            if neighbor not in region:
+                                frontier.append(neighbor)
+                        else:
+                            borders.add(int(value))
+                visited |= region
+                if borders == {BLACK}:
+                    black_territory += len(region)
+                elif borders == {WHITE}:
+                    white_territory += len(region)
+        return black_territory, white_territory
+
+
+@dataclass
+class GoPosition:
+    """Immutable-ish game position for tree search: board + whose turn + pass count."""
+
+    board: GoBoard
+    to_play: int = BLACK
+    consecutive_passes: int = 0
+    move_count: int = 0
+
+    @classmethod
+    def initial(cls, size: int = 9, komi: float = 6.5) -> "GoPosition":
+        return cls(board=GoBoard(size, komi))
+
+    @property
+    def size(self) -> int:
+        return self.board.size
+
+    def legal_moves(self) -> List[Move]:
+        return self.board.legal_moves(self.to_play)
+
+    def play(self, move: Move) -> "GoPosition":
+        """Return the successor position after the current player plays ``move``."""
+        board = self.board.copy()
+        board.play(move, self.to_play)
+        passes = self.consecutive_passes + 1 if move is None else 0
+        return GoPosition(
+            board=board,
+            to_play=opponent(self.to_play),
+            consecutive_passes=passes,
+            move_count=self.move_count + 1,
+        )
+
+    @property
+    def is_over(self) -> bool:
+        return self.consecutive_passes >= 2 or self.move_count >= 2 * self.size * self.size
+
+    def result(self) -> float:
+        """+1 if Black wins, -1 if White wins (0 is impossible with fractional komi)."""
+        score = self.board.area_score()
+        return 1.0 if score > 0 else -1.0
+
+    def features(self) -> np.ndarray:
+        """Flat feature vector for the policy/value network."""
+        own = (self.board.board == self.to_play).astype(np.float32)
+        other = (self.board.board == opponent(self.to_play)).astype(np.float32)
+        turn = np.full((self.size, self.size), 1.0 if self.to_play == BLACK else 0.0, dtype=np.float32)
+        return np.concatenate([own.reshape(-1), other.reshape(-1), turn.reshape(-1)])
+
+    def move_to_index(self, move: Move) -> int:
+        if move is None:
+            return self.size * self.size
+        return move[0] * self.size + move[1]
+
+    def index_to_move(self, index: int) -> Move:
+        if index == self.size * self.size:
+            return None
+        return divmod(index, self.size)
+
+
+class GoEnv(Env):
+    """Gym-style Go against a uniformly random opponent (plays White)."""
+
+    sim_id = "Go"
+
+    def __init__(self, system: System, *, seed: int = 0, size: int = 9, komi: float = 6.5) -> None:
+        super().__init__(system, seed=seed)
+        self.size = size
+        self.komi = komi
+        self.observation_space = Box(low=0.0, high=1.0, shape=(3 * size * size,))
+        self.action_space = Discrete(size * size + 1)
+        self.position = GoPosition.initial(size, komi)
+
+    def _reset_state(self) -> np.ndarray:
+        self.position = GoPosition.initial(self.size, self.komi)
+        return self.position.features()
+
+    def _step_state(self, action: int) -> StepResult:
+        move = self.position.index_to_move(int(action))
+        if not self.position.board.is_legal(move, self.position.to_play):
+            # Illegal moves are converted to a pass with a small penalty; this
+            # keeps random policies from dead-locking the environment.
+            move = None
+            penalty = -0.1
+        else:
+            penalty = 0.0
+        self.position = self.position.play(move)
+
+        if not self.position.is_over:
+            # Random opponent reply.
+            moves = self.position.legal_moves()
+            reply = moves[self.rng.integers(0, len(moves))]
+            self.position = self.position.play(reply)
+
+        done = self.position.is_over
+        reward = penalty
+        if done:
+            reward += self.position.board.area_score() > 0 and 1.0 or -1.0
+        info: Dict[str, Any] = {"move_count": self.position.move_count}
+        return self.position.features(), reward, done, info

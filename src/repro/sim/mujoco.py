@@ -1,0 +1,83 @@
+"""MuJoCo-style locomotion environments: Walker2D, Hopper, HalfCheetah, Ant.
+
+Observation/action dimensionalities match the OpenAI Gym MuJoCo tasks the
+paper evaluates on; the per-step CPU cost comes from the cost model
+(``DEFAULT_SIM_STEP_US``), ordered by each body's real complexity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..system import System
+from .base import Env, StepResult
+from .physics import BodySpec, LocomotionDynamics
+from .spaces import Box
+
+
+class LocomotionEnv(Env):
+    """Common behaviour of the MuJoCo-style locomotion tasks."""
+
+    spec: BodySpec
+    max_episode_steps: int = 1_000
+
+    def __init__(self, system: System, *, seed: int = 0) -> None:
+        super().__init__(system, seed=seed)
+        self.observation_space = Box(low=-np.inf, high=np.inf, shape=(self.spec.obs_dim,))
+        self.action_space = Box(low=-1.0, high=1.0, shape=(self.spec.num_joints,))
+        self.dynamics = LocomotionDynamics(self.spec, self.rng)
+        self._steps_in_episode = 0
+
+    def _reset_state(self) -> np.ndarray:
+        self.dynamics.reset()
+        self._steps_in_episode = 0
+        return self.dynamics.observation(self.spec.obs_dim)
+
+    def _step_state(self, action: np.ndarray) -> StepResult:
+        forward_velocity, ctrl_cost = self.dynamics.step(action)
+        self._steps_in_episode += 1
+        healthy = self.dynamics.is_healthy
+        reward = (
+            self.spec.forward_reward_weight * forward_velocity
+            - ctrl_cost
+            + (self.spec.healthy_reward if healthy else 0.0)
+        )
+        done = (not healthy) or self._steps_in_episode >= self.max_episode_steps
+        info: Dict[str, Any] = {
+            "x_position": self.dynamics.torso_x,
+            "forward_velocity": forward_velocity,
+            "is_healthy": healthy,
+        }
+        return self.dynamics.observation(self.spec.obs_dim), reward, done, info
+
+
+class Walker2DEnv(LocomotionEnv):
+    """Walking bipedal humanoid (the simulator of Figures 4 and 5)."""
+
+    sim_id = "Walker2D"
+    spec = BodySpec(name="Walker2D", num_joints=6, obs_dim=17, healthy_z_range=(0.8, 2.0))
+
+
+class HopperEnv(LocomotionEnv):
+    """One-legged hopper."""
+
+    sim_id = "Hopper"
+    spec = BodySpec(name="Hopper", num_joints=3, obs_dim=11, healthy_z_range=(0.7, 2.0))
+
+
+class HalfCheetahEnv(LocomotionEnv):
+    """Planar cheetah; episodes never terminate early in Gym, so the healthy range is wide."""
+
+    sim_id = "HalfCheetah"
+    spec = BodySpec(name="HalfCheetah", num_joints=6, obs_dim=17, healthy_z_range=(-10.0, 10.0),
+                    healthy_reward=0.0)
+
+
+class AntEnv(LocomotionEnv):
+    """Quadruped ant; the 111-dim observation includes contact-force padding."""
+
+    sim_id = "Ant"
+    spec = BodySpec(name="Ant", num_joints=8, obs_dim=111, healthy_z_range=(0.2, 1.0),
+                    ctrl_cost_weight=0.5e-3)

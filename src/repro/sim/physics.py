@@ -1,0 +1,103 @@
+"""Lightweight articulated-locomotion dynamics used by the MuJoCo-style tasks.
+
+The paper's medium-complexity simulators (Walker2D, Hopper, HalfCheetah, Ant)
+are MuJoCo locomotion tasks: an articulated body pushes itself forward, the
+reward is forward velocity minus a control penalty, and the episode ends if
+the torso leaves a healthy height range.  The reproduction models the body as
+a set of actuated joints with damped second-order dynamics coupled to a torso
+whose forward speed depends on coordinated joint motion.  This is not a
+contact solver, but it preserves what matters for the profiling study: a
+CPU-side step of realistic cost, observations/actions of the right
+dimensionality, rewards that policies can actually improve, and episodes that
+terminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BodySpec:
+    """Dimensions and dynamics constants of one locomotion body."""
+
+    name: str
+    num_joints: int
+    obs_dim: int
+    healthy_z_range: Tuple[float, float] = (0.4, 2.5)
+    forward_reward_weight: float = 1.0
+    ctrl_cost_weight: float = 1e-3
+    healthy_reward: float = 1.0
+    dt: float = 0.008
+    joint_damping: float = 2.0
+    joint_stiffness: float = 8.0
+    gear: float = 6.0
+
+
+class LocomotionDynamics:
+    """Damped joint dynamics with a torso that moves forward when joints oscillate coherently."""
+
+    def __init__(self, spec: BodySpec, rng: np.random.Generator) -> None:
+        self.spec = spec
+        self.rng = rng
+        n = spec.num_joints
+        # Fixed per-body coupling that maps joint velocities to forward thrust.
+        self._thrust_weights = rng.normal(0.0, 1.0, size=n).astype(np.float64)
+        self._thrust_weights /= np.linalg.norm(self._thrust_weights) + 1e-8
+        self.reset()
+
+    # ------------------------------------------------------------------ state
+    def reset(self) -> None:
+        n = self.spec.num_joints
+        self.qpos = self.rng.uniform(-0.1, 0.1, size=n)
+        self.qvel = self.rng.uniform(-0.05, 0.05, size=n)
+        self.torso_z = 1.25 + self.rng.uniform(-0.05, 0.05)
+        self.torso_x = 0.0
+        self.torso_vx = 0.0
+        self.torso_vz = 0.0
+
+    def step(self, action: np.ndarray) -> Tuple[float, float]:
+        """Advance one control step; returns (forward velocity, control cost)."""
+        spec = self.spec
+        action = np.clip(np.asarray(action, dtype=np.float64).reshape(spec.num_joints), -1.0, 1.0)
+        # Joint dynamics: torque-driven, damped springs.
+        torque = spec.gear * action
+        qacc = torque - spec.joint_damping * self.qvel - spec.joint_stiffness * self.qpos
+        self.qvel = self.qvel + spec.dt * qacc
+        self.qpos = self.qpos + spec.dt * self.qvel
+
+        # Forward thrust from coordinated joint motion; drag limits top speed.
+        thrust = float(np.dot(self._thrust_weights, self.qvel))
+        self.torso_vx += spec.dt * (2.0 * thrust - 0.8 * self.torso_vx)
+        self.torso_x += spec.dt * self.torso_vx
+
+        # Vertical wobble: large joint excursions destabilise the torso.
+        instability = float(np.mean(np.abs(self.qpos))) - 0.6
+        self.torso_vz += spec.dt * (-3.0 * instability - 0.5 * self.torso_vz
+                                    + 0.2 * self.rng.normal())
+        self.torso_z += spec.dt * self.torso_vz
+
+        ctrl_cost = spec.ctrl_cost_weight * float(np.sum(np.square(action)))
+        return self.torso_vx, ctrl_cost
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def is_healthy(self) -> bool:
+        low, high = self.spec.healthy_z_range
+        return bool(low <= self.torso_z <= high and np.all(np.isfinite(self.qpos)))
+
+    def observation(self, obs_dim: int) -> np.ndarray:
+        """Observation vector padded/truncated to ``obs_dim`` (Ant pads with contact-like zeros)."""
+        core = np.concatenate([
+            [self.torso_z, self.torso_vx, self.torso_vz],
+            self.qpos,
+            self.qvel,
+        ])
+        if core.size >= obs_dim:
+            return core[:obs_dim].astype(np.float32)
+        padded = np.zeros(obs_dim, dtype=np.float32)
+        padded[: core.size] = core
+        return padded

@@ -1,0 +1,53 @@
+"""Simulator registry: ``make("Walker2D", system)`` factory."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..system import System
+from .airlearning import AirLearningEnv
+from .atari import PongEnv
+from .base import Env
+from .go import GoEnv
+from .mujoco import AntEnv, HalfCheetahEnv, HopperEnv, Walker2DEnv
+
+_REGISTRY: Dict[str, Callable[..., Env]] = {
+    "Pong": PongEnv,
+    "Walker2D": Walker2DEnv,
+    "Hopper": HopperEnv,
+    "HalfCheetah": HalfCheetahEnv,
+    "Ant": AntEnv,
+    "Go": GoEnv,
+    "AirLearning": AirLearningEnv,
+}
+
+#: Simulator complexity classes from Figure 6 of the paper.
+SIMULATOR_COMPLEXITY = {
+    "Pong": "low",
+    "Go": "low",
+    "Hopper": "medium",
+    "Walker2D": "medium",
+    "HalfCheetah": "medium",
+    "Ant": "medium",
+    "AirLearning": "high",
+}
+
+
+def register(name: str, factory: Callable[..., Env]) -> None:
+    """Register a custom simulator factory."""
+    if name in _REGISTRY:
+        raise ValueError(f"simulator {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def available_simulators() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def make(name: str, system: System, *, seed: int = 0, **kwargs) -> Env:
+    """Instantiate a simulator by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown simulator {name!r}; available: {available_simulators()}") from exc
+    return factory(system, seed=seed, **kwargs)

@@ -1,0 +1,58 @@
+"""Observation/action spaces (gym-style)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Box:
+    """Continuous space with elementwise bounds."""
+
+    low: float
+    high: float
+    shape: Tuple[int, ...]
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=self.shape).astype(np.float32)
+
+    def contains(self, value: np.ndarray) -> bool:
+        value = np.asarray(value)
+        return value.shape == self.shape and bool(np.all(value >= self.low - 1e-6) and np.all(value <= self.high + 1e-6))
+
+    def clip(self, value: np.ndarray) -> np.ndarray:
+        return np.clip(np.asarray(value, dtype=np.float32), self.low, self.high)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape))
+
+
+@dataclass(frozen=True)
+class Discrete:
+    """Finite space of ``n`` actions labelled ``0..n-1``."""
+
+    n: int
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(0, self.n))
+
+    def contains(self, value: Union[int, np.integer]) -> bool:
+        return 0 <= int(value) < self.n
+
+    @property
+    def size(self) -> int:
+        return self.n
+
+
+Space = Union[Box, Discrete]
+
+
+def space_dim(space: Space) -> int:
+    """Flat dimensionality used when wiring a network to a space."""
+    if isinstance(space, Box):
+        return space.size
+    return space.n

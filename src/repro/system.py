@@ -1,0 +1,64 @@
+"""Per-worker wiring of the simulated stack.
+
+A :class:`System` bundles the virtual clock, cost model, GPU device and CUDA
+runtime that one worker (process) of a workload uses.  Multiple systems can
+share a single :class:`~repro.hw.gpu.GPUDevice` — that is how the Minigo
+scale-up workload models 16 self-play processes contending for one GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .cuda.cupti import Cupti
+from .cuda.runtime import CudaRuntime
+from .hw.clock import VirtualClock
+from .hw.costmodel import CostModel, CostModelConfig
+from .hw.gpu import GPUDevice
+
+
+@dataclass
+class System:
+    """Everything a simulated worker needs to account for time."""
+
+    clock: VirtualClock
+    cost_model: CostModel
+    device: GPUDevice
+    cuda: CudaRuntime
+    worker: str = "worker_0"
+
+    @classmethod
+    def create(
+        cls,
+        *,
+        seed: int = 0,
+        config: Optional[CostModelConfig] = None,
+        device: Optional[GPUDevice] = None,
+        cupti: Optional[Cupti] = None,
+        worker: str = "worker_0",
+    ) -> "System":
+        """Build a fresh worker system (optionally sharing ``device``/``cupti``)."""
+        cost_model = CostModel(config, seed=seed)
+        clock = VirtualClock()
+        if device is None:
+            device = GPUDevice(cost_model=cost_model)
+        cuda = CudaRuntime(clock, cost_model, device, worker=worker, cupti=cupti)
+        return cls(clock=clock, cost_model=cost_model, device=device, cuda=cuda, worker=worker)
+
+    # ------------------------------------------------------------------ time
+    def cpu_work(self, units: float = 1.0) -> None:
+        """Advance the clock by ``units`` of interpreted Python work."""
+        self.clock.advance(self.cost_model.python_work(units))
+
+    def crossing(self) -> None:
+        """Advance the clock by one Python <-> C marshalling crossing."""
+        self.clock.advance(self.cost_model.python_c_crossing())
+
+    @property
+    def now_us(self) -> float:
+        return self.clock.now_us
+
+    @property
+    def now_sec(self) -> float:
+        return self.clock.now_sec

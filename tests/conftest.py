@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import EagerEngine, GraphEngine, clear_engines
+from repro.hw.costmodel import CostModelConfig
+from repro.system import System
+
+
+@pytest.fixture(autouse=True)
+def _clean_engine_stack():
+    """Make sure no engine leaks between tests."""
+    clear_engines()
+    yield
+    clear_engines()
+
+
+@pytest.fixture
+def system() -> System:
+    return System.create(seed=0)
+
+
+@pytest.fixture
+def deterministic_system() -> System:
+    """A system whose cost model has zero jitter (exact timing arithmetic)."""
+    return System.create(seed=0, config=CostModelConfig(jitter=0.0))
+
+
+@pytest.fixture
+def eager_engine(system) -> EagerEngine:
+    return EagerEngine(system)
+
+
+@pytest.fixture
+def graph_engine(system) -> GraphEngine:
+    return GraphEngine(system)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,189 @@
+"""Tests for backend primitive ops and the tape autodiff (gradient correctness)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.backend import EagerEngine, Tape, functional as F, use_engine
+from repro.backend.autodiff import apply_op, numeric_gradient
+from repro.backend.ops import OPS, get_op, unbroadcast
+from repro.backend.tensor import Tensor
+from repro.system import System
+
+
+@pytest.fixture
+def engine():
+    return EagerEngine(System.create(seed=0))
+
+
+def test_registry_contains_core_ops():
+    for name in ["matmul", "addmm", "add", "mul", "tanh", "relu", "softmax", "sum", "mean",
+                 "concat", "gather_rows", "clip", "stop_gradient"]:
+        assert get_op(name).name == name
+    with pytest.raises(KeyError):
+        get_op("not_an_op")
+
+
+def test_unbroadcast_reduces_to_target_shape():
+    grad = np.ones((4, 3), dtype=np.float32)
+    assert unbroadcast(grad, (3,)).shape == (3,)
+    assert unbroadcast(grad, (1, 3)).shape == (1, 3)
+    assert np.allclose(unbroadcast(grad, (3,)), 4.0)
+
+
+def _check_gradient(engine, fn, x, tol=2e-2):
+    """Compare the tape gradient of scalar fn(x) against central differences."""
+    with use_engine(engine):
+        tensor = Tensor(x, requires_grad=True)
+        with Tape() as tape:
+            loss = fn(tensor)
+        grad = tape.gradient(loss, [tensor])[0]
+
+        def numeric(value):
+            return fn(Tensor(value)).item()
+
+        expected = numeric_gradient(numeric, x)
+    assert np.allclose(grad, expected, atol=tol, rtol=tol), f"max err {np.abs(grad - expected).max()}"
+
+
+UNARY_CASES = [
+    ("tanh", lambda t: F.reduce_sum(F.tanh(t))),
+    ("relu", lambda t: F.reduce_sum(F.relu(t))),
+    ("sigmoid", lambda t: F.reduce_sum(F.sigmoid(t))),
+    ("softplus", lambda t: F.reduce_sum(F.softplus(t))),
+    ("square", lambda t: F.reduce_sum(F.square(t))),
+    ("exp", lambda t: F.reduce_sum(F.exp(t))),
+    ("mean", lambda t: F.reduce_mean(t)),
+    ("scale_shift", lambda t: F.reduce_sum(F.scale_shift(t, 2.5, -1.0))),
+    ("softmax", lambda t: F.reduce_sum(F.square(F.softmax(t)))),
+    ("log_softmax", lambda t: F.reduce_sum(F.square(F.log_softmax(t)))),
+    ("abs", lambda t: F.reduce_sum(F.absolute(t))),
+    ("neg", lambda t: F.reduce_sum(F.neg(t))),
+]
+
+
+@pytest.mark.parametrize("name,fn", UNARY_CASES, ids=[c[0] for c in UNARY_CASES])
+def test_unary_gradients_match_numeric(engine, name, fn):
+    rng = np.random.default_rng(3)
+    x = rng.normal(0.5, 1.0, size=(3, 4)).astype(np.float32)
+    _check_gradient(engine, fn, x)
+
+
+def test_matmul_gradient(engine):
+    rng = np.random.default_rng(0)
+    b = rng.normal(size=(4, 2)).astype(np.float32)
+    _check_gradient(engine, lambda t: F.reduce_sum(F.square(F.matmul(t, Tensor(b)))),
+                    rng.normal(size=(3, 4)).astype(np.float32))
+
+
+def test_addmm_matches_unfused(engine):
+    rng = np.random.default_rng(1)
+    x, w, bias = (rng.normal(size=s).astype(np.float32) for s in [(5, 3), (3, 2), (2,)])
+    with use_engine(engine):
+        fused = F.addmm(Tensor(x), Tensor(w), Tensor(bias))
+        unfused = F.bias_add(F.matmul(Tensor(x), Tensor(w)), Tensor(bias))
+    assert np.allclose(fused.numpy(), unfused.numpy(), atol=1e-5)
+
+
+def test_gather_rows_and_concat_gradients(engine):
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(4, 5)).astype(np.float32)
+    indices = [0, 2, 4, 1]
+    _check_gradient(engine, lambda t: F.reduce_sum(F.square(F.gather_rows(t, indices))), x)
+    y = rng.normal(size=(4, 3)).astype(np.float32)
+    _check_gradient(engine, lambda t: F.reduce_sum(F.square(F.concat([t, Tensor(y)], axis=-1))), x)
+
+
+def test_minimum_maximum_clip_gradients(engine):
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=(3, 3)).astype(np.float32)
+    other = rng.normal(size=(3, 3)).astype(np.float32)
+    _check_gradient(engine, lambda t: F.reduce_sum(F.minimum(t, Tensor(other))), x)
+    _check_gradient(engine, lambda t: F.reduce_sum(F.maximum(t, Tensor(other))), x)
+    _check_gradient(engine, lambda t: F.reduce_sum(F.clip(t, -0.5, 0.5)), x)
+
+
+def test_stop_gradient_blocks_flow(engine):
+    with use_engine(engine):
+        x = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        with Tape() as tape:
+            loss = F.reduce_sum(F.mul(F.stop_gradient(x), x))
+        grad = tape.gradient(loss, [x])[0]
+    # d/dx of stop_grad(x) * x is stop_grad(x) = 1 (not 2x).
+    assert np.allclose(grad, 1.0)
+
+
+def test_gaussian_log_prob_matches_scipy(engine):
+    from scipy import stats
+    rng = np.random.default_rng(5)
+    mean = rng.normal(size=(4, 3)).astype(np.float32)
+    log_std = rng.normal(scale=0.3, size=(3,)).astype(np.float32)
+    actions = rng.normal(size=(4, 3)).astype(np.float32)
+    with use_engine(engine):
+        log_prob = F.gaussian_log_prob(Tensor(actions), Tensor(mean), Tensor(log_std)).numpy()
+    expected = stats.norm.logpdf(actions, loc=mean, scale=np.exp(log_std)).sum(axis=-1)
+    assert np.allclose(log_prob, expected, atol=1e-4)
+
+
+def test_mse_and_huber_losses(engine):
+    with use_engine(engine):
+        pred = Tensor(np.array([[1.0], [3.0]], dtype=np.float32))
+        target = Tensor(np.array([[0.0], [0.0]], dtype=np.float32))
+        assert F.mse_loss(pred, target).item() == pytest.approx(5.0)
+        huber = F.huber_loss(pred, target, delta=1.0).item()
+    # elementwise huber: 0.5 for |1| and 2.5 for |3| -> mean 1.5
+    assert huber == pytest.approx(1.5, rel=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(hnp.arrays(np.float32, hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=5),
+                  elements=st.floats(-3, 3, width=32)))
+def test_softmax_rows_sum_to_one(x):
+    engine = EagerEngine(System.create(seed=0))
+    with use_engine(engine):
+        out = F.softmax(Tensor(x)).numpy()
+    assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-5)
+    assert np.all(out >= 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(hnp.arrays(np.float32, (3, 4), elements=st.floats(-5, 5, width=32)),
+       hnp.arrays(np.float32, (3, 4), elements=st.floats(-5, 5, width=32)))
+def test_add_sub_roundtrip(a, b):
+    engine = EagerEngine(System.create(seed=0))
+    with use_engine(engine):
+        roundtrip = F.sub(F.add(Tensor(a), Tensor(b)), Tensor(b)).numpy()
+    assert np.allclose(roundtrip, a, atol=1e-4)
+
+
+def test_every_registered_op_reports_kernels_consistently():
+    """Forward kernels must always be a list of KernelSpec (possibly empty)."""
+    rng = np.random.default_rng(0)
+    sample_inputs = {
+        "matmul": [rng.normal(size=(2, 3)), rng.normal(size=(3, 2))],
+        "addmm": [rng.normal(size=(2, 3)), rng.normal(size=(3, 2)), rng.normal(size=(2,))],
+        "concat": [rng.normal(size=(2, 2)), rng.normal(size=(2, 2))],
+        "gather_rows": [rng.normal(size=(2, 3))],
+    }
+    sample_attrs = {
+        "clip": {"low": -1.0, "high": 1.0},
+        "pow_const": {"exponent": 2.0},
+        "scale_shift": {"scale": 1.0, "shift": 0.0},
+        "reshape": {"shape": (4,)},
+        "gather_rows": {"indices": np.array([0, 1])},
+        "concat": {"axis": -1},
+        "sum": {"axis": None},
+        "mean": {"axis": None},
+        "reduce_max": {"axis": None},
+    }
+    for name, op in OPS.items():
+        default_inputs = [rng.normal(size=(2, 2)), rng.normal(size=(2, 2))]
+        inputs = [np.asarray(x, dtype=np.float32) for x in sample_inputs.get(name, default_inputs)]
+        attrs = sample_attrs.get(name, {})
+        output = np.asarray(op.forward(inputs, attrs), dtype=np.float32)
+        kernels = op.kernels(inputs, output, attrs)
+        backward = op.backward_kernels(inputs, output, attrs)
+        assert isinstance(kernels, list) and isinstance(backward, list)
+        for spec in kernels + backward:
+            assert spec.flops >= 0 and spec.bytes_accessed >= 0

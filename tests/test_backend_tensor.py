@@ -1,0 +1,148 @@
+"""Tests for tensors, parameters, the Tape edge cases, and rl networks."""
+
+import numpy as np
+import pytest
+
+from repro.backend import EagerEngine, Tape, functional as F, use_engine
+from repro.backend.autodiff import current_tape
+from repro.backend.tensor import Parameter, Tensor, as_array
+from repro.rl.networks import (
+    CategoricalPolicy,
+    DeterministicActor,
+    GaussianActor,
+    QCritic,
+    TwinQCritic,
+    ValueCritic,
+)
+from repro.system import System
+
+
+# -------------------------------------------------------------------- tensors
+def test_tensor_construction_and_properties():
+    t = Tensor([[1.0, 2.0], [3.0, 4.0]], name="x")
+    assert t.shape == (2, 2)
+    assert t.ndim == 2
+    assert t.size == 4
+    assert t.nbytes == 16
+    assert t.dtype_is_float32 if hasattr(t, "dtype_is_float32") else t.data.dtype == np.float32
+    assert not t.requires_grad
+    copy = t.copy()
+    copy.data[0, 0] = 99.0
+    assert t.data[0, 0] == 1.0
+    assert Tensor(5.0).item() == pytest.approx(5.0)
+
+
+def test_tensor_ids_are_unique():
+    ids = {Tensor(0.0).id for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_as_array_passthrough():
+    t = Tensor([1.0, 2.0])
+    assert as_array(t) is t.data
+    assert as_array([1, 2]).dtype == np.float32
+
+
+def test_parameter_assign_shape_check():
+    p = Parameter(np.zeros((2, 3)), name="w")
+    assert p.requires_grad
+    p.assign(np.ones((2, 3)))
+    assert np.all(p.data == 1.0)
+    with pytest.raises(ValueError):
+        p.assign(np.ones((3, 2)))
+
+
+# ----------------------------------------------------------------------- tape
+def test_tape_stack_and_watch(system):
+    engine = EagerEngine(system)
+    assert current_tape() is None
+    with use_engine(engine):
+        x = Tensor(np.ones(3, dtype=np.float32))  # does not require grad
+        with Tape() as tape:
+            assert current_tape() is tape
+            tape.watch(x)
+            y = F.reduce_sum(F.square(x))
+        grad = tape.gradient(y, [x])[0]
+        assert np.allclose(grad, 2.0)
+    assert current_tape() is None
+
+
+def test_tape_gradient_of_unrelated_source_is_zero(system):
+    engine = EagerEngine(system)
+    with use_engine(engine):
+        x = Parameter(np.ones(2, dtype=np.float32))
+        unrelated = Parameter(np.ones(2, dtype=np.float32))
+        with Tape() as tape:
+            loss = F.reduce_sum(F.square(x))
+        grads = tape.gradient(loss, [x, unrelated])
+    assert np.allclose(grads[0], 2.0)
+    assert np.allclose(grads[1], 0.0)
+
+
+def test_nested_tapes_record_independently(system):
+    engine = EagerEngine(system)
+    with use_engine(engine):
+        x = Parameter(np.array([2.0], dtype=np.float32))
+        with Tape() as outer:
+            y = F.square(x)
+            with Tape() as inner:
+                z = F.square(x)
+            inner_grad = inner.gradient(z, [x])[0]
+        outer_grad = outer.gradient(y, [x])[0]
+    assert inner_grad == pytest.approx(4.0)
+    assert outer_grad == pytest.approx(4.0)
+
+
+# ------------------------------------------------------------------- networks
+@pytest.fixture
+def net_engine():
+    return EagerEngine(System.create(seed=0))
+
+
+def test_deterministic_actor_bounds_actions(net_engine, rng):
+    with use_engine(net_engine):
+        actor = DeterministicActor(5, 3, hidden=(16, 16), action_scale=2.0, rng=rng)
+        out = actor(Tensor(rng.normal(size=(7, 5)).astype(np.float32))).numpy()
+    assert out.shape == (7, 3)
+    assert np.all(np.abs(out) <= 2.0 + 1e-5)
+    assert len(actor.parameters()) == 6
+
+
+def test_q_critics_and_value_critic_shapes(net_engine, rng):
+    with use_engine(net_engine):
+        obs = Tensor(rng.normal(size=(4, 6)).astype(np.float32))
+        act = Tensor(rng.normal(size=(4, 2)).astype(np.float32))
+        q = QCritic(6, 2, hidden=(8, 8), rng=rng)
+        assert q(obs, act).shape == (4, 1)
+        twin = TwinQCritic(6, 2, hidden=(8, 8), rng=rng)
+        q1, q2 = twin(obs, act)
+        assert q1.shape == q2.shape == (4, 1)
+        min_q = twin.min_q(obs, act).numpy()
+        assert np.all(min_q <= q1.numpy() + 1e-6) and np.all(min_q <= q2.numpy() + 1e-6)
+        v = ValueCritic(6, hidden=(8, 8), rng=rng)
+        assert v(obs).shape == (4, 1)
+
+
+def test_gaussian_actor_log_prob_and_sampling(net_engine, rng):
+    with use_engine(net_engine):
+        actor = GaussianActor(4, 2, hidden=(8, 8), rng=rng)
+        obs = Tensor(rng.normal(size=(5, 4)).astype(np.float32))
+        mean, log_std = actor.distribution(obs)
+        assert mean.shape == (5, 2) and log_std.shape == (2,)
+        assert np.all(log_std.numpy() >= actor.LOG_STD_MIN)
+        actions = Tensor(rng.normal(size=(5, 2)).astype(np.float32))
+        log_prob = actor.log_prob(obs, actions)
+        assert log_prob.shape == (5,)
+        sample = actor.sample_numpy(mean.numpy()[0], rng)
+        assert sample.shape == (2,)
+        # log_std is trainable.
+        assert any(p is actor.log_std for p in actor.parameters())
+
+
+def test_categorical_policy_log_probs_normalised(net_engine, rng):
+    with use_engine(net_engine):
+        policy = CategoricalPolicy(4, 3, hidden=(8,), rng=rng)
+        obs = Tensor(rng.normal(size=(6, 4)).astype(np.float32))
+        log_probs = policy.log_probs(obs).numpy()
+    assert log_probs.shape == (6, 3)
+    assert np.allclose(np.exp(log_probs).sum(axis=-1), 1.0, atol=1e-5)

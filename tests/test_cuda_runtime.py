@@ -1,0 +1,160 @@
+"""Tests for the simulated CUDA runtime, CUPTI, and kernel specs."""
+
+import pytest
+
+from repro.cuda.cupti import Cupti
+from repro.cuda.kernels import (
+    elementwise_kernel,
+    gemm_kernel,
+    optimizer_kernel,
+    reduction_kernel,
+    render_kernel,
+    tensor_bytes,
+)
+from repro.hw.costmodel import CostModel, CostModelConfig
+from repro.hw.gpu import GPUDevice
+from repro.hw.clock import VirtualClock
+from repro.cuda.runtime import CudaRuntime
+from repro.system import System
+
+
+# ------------------------------------------------------------------ kernels
+def test_gemm_kernel_flops():
+    spec = gemm_kernel(64, 32, 16)
+    assert spec.flops == pytest.approx(2 * 64 * 32 * 16)
+    assert spec.bytes_accessed == pytest.approx(4 * (64 * 16 + 16 * 32 + 64 * 32))
+
+
+def test_elementwise_and_reduction_kernels():
+    ew = elementwise_kernel((8, 4), ops_per_element=2.0)
+    assert ew.flops == pytest.approx(64)
+    red = reduction_kernel((10, 10))
+    assert red.flops == pytest.approx(100)
+    opt = optimizer_kernel(1000)
+    assert opt.flops == pytest.approx(8000)
+    render = render_kernel(64, 64)
+    assert render.flops > ew.flops
+
+
+def test_tensor_bytes_and_scaled():
+    assert tensor_bytes((3, 4)) == 48
+    assert gemm_kernel(2, 2, 2).scaled(2.0).flops == pytest.approx(2 * 16)
+
+
+# ------------------------------------------------------------------ runtime
+@pytest.fixture
+def runtime():
+    cost = CostModel(CostModelConfig(jitter=0.0))
+    clock = VirtualClock()
+    device = GPUDevice(cost_model=cost)
+    return CudaRuntime(clock, cost, device)
+
+
+def test_api_call_advances_clock(runtime):
+    before = runtime.clock.now_us
+    runtime.launch_kernel(gemm_kernel(8, 8, 8))
+    assert runtime.clock.now_us > before
+    assert runtime.api_call_counts["cudaLaunchKernel"] == 1
+    assert runtime.kernel_launch_count == 1
+    assert runtime.total_api_calls == 1
+
+
+def test_kernel_executes_asynchronously(runtime):
+    result = runtime.launch_kernel(gemm_kernel(256, 256, 256))
+    # The CPU-side API call returns before the kernel finishes on the device.
+    assert runtime.clock.now_us < result.activity.end_us
+
+
+def test_device_synchronize_blocks_cpu(runtime):
+    result = runtime.launch_kernel(gemm_kernel(512, 512, 512))
+    runtime.device_synchronize()
+    assert runtime.clock.now_us >= result.activity.end_us
+
+
+def test_stream_synchronize_only_waits_for_copy_stream(runtime):
+    kernel = runtime.launch_kernel(gemm_kernel(512, 512, 512))
+    runtime.memcpy_async("DtoH", 1024)
+    runtime.stream_synchronize()
+    # Copy stream drained, but the big kernel on the compute stream may still run.
+    assert runtime.clock.now_us < kernel.activity.end_us
+
+
+def test_default_stream_routes_kernels(runtime):
+    runtime.default_stream = 3
+    result = runtime.launch_kernel(gemm_kernel(4, 4, 4))
+    assert result.activity.stream == 3
+
+
+def test_memset_and_malloc_and_free(runtime):
+    runtime.memset_async(1024)
+    runtime.malloc(4096)
+    runtime.free()
+    assert runtime.api_call_counts["cudaMemsetAsync"] == 1
+    assert runtime.api_call_counts["cudaMalloc"] == 1
+    assert runtime.api_call_counts["cudaFree"] == 1
+
+
+def test_cupti_enabled_inflates_api_time_and_records():
+    cost = CostModel(CostModelConfig(jitter=0.0))
+    base = CudaRuntime(VirtualClock(), cost, GPUDevice(cost_model=cost))
+    base.launch_kernel(gemm_kernel(8, 8, 8))
+    plain_duration = base.clock.now_us
+
+    cost2 = CostModel(CostModelConfig(jitter=0.0))
+    cupti_runtime = CudaRuntime(VirtualClock(), cost2, GPUDevice(cost_model=cost2))
+    cupti_runtime.cupti.enable()
+    cupti_runtime.launch_kernel(gemm_kernel(8, 8, 8))
+    assert cupti_runtime.clock.now_us > plain_duration
+    assert len(cupti_runtime.cupti.api_records) == 1
+    assert len(cupti_runtime.cupti.kernel_records) == 1
+
+
+def test_cupti_disabled_records_nothing(runtime):
+    runtime.launch_kernel(gemm_kernel(8, 8, 8))
+    runtime.memcpy_async("HtoD", 100)
+    assert runtime.cupti.api_records == []
+    assert runtime.cupti.kernel_records == []
+    assert runtime.cupti.memcpy_records == []
+
+
+def test_hooks_add_overhead_and_get_notified(runtime):
+    calls = []
+
+    class Hook:
+        def api_overhead_us(self, api_name):
+            return 10.0
+
+        def on_api(self, record):
+            calls.append(record.api_name)
+
+    hook = Hook()
+    runtime.add_hook(hook)
+    start = runtime.clock.now_us
+    runtime.launch_kernel(gemm_kernel(4, 4, 4))
+    duration_with_hook = runtime.clock.now_us - start
+    assert calls == ["cudaLaunchKernel"]
+    assert duration_with_hook >= 10.0
+    runtime.remove_hook(hook)
+    runtime.launch_kernel(gemm_kernel(4, 4, 4))
+    assert len(calls) == 1
+
+
+def test_cupti_subscriber_callbacks():
+    cupti = Cupti()
+    cupti.enable()
+    seen = []
+    cupti.subscribe_api(lambda record: seen.append(record.api_name))
+    cupti.record_api("cudaLaunchKernel", 0.0, 5.0, "worker_0")
+    assert seen == ["cudaLaunchKernel"]
+    cupti.clear()
+    assert cupti.api_records == []
+
+
+def test_system_wires_shared_device():
+    shared = GPUDevice()
+    a = System.create(seed=1, device=shared, worker="w0")
+    b = System.create(seed=2, device=shared, worker="w1")
+    a.cuda.launch_kernel(gemm_kernel(4, 4, 4))
+    b.cuda.launch_kernel(gemm_kernel(4, 4, 4))
+    workers = {activity.worker for activity in shared.activity}
+    assert workers == {"w0", "w1"}

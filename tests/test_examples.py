@@ -1,0 +1,55 @@
+"""Smoke tests for the example scripts (run with reduced workload sizes)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _import_example(name: str):
+    """Load an example module by path without executing its __main__ block."""
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        module = runpy.run_path(str(EXAMPLES_DIR / name), run_name="example")
+    finally:
+        sys.path.pop(0)
+    return module
+
+
+def test_example_files_exist():
+    expected = {"quickstart.py", "framework_comparison.py", "algorithm_and_simulator_survey.py",
+                "minigo_scaleup.py", "overhead_correction.py"}
+    assert expected <= {path.name for path in EXAMPLES_DIR.glob("*.py")}
+
+
+def test_framework_comparison_example_small(capsys):
+    module = _import_example("framework_comparison.py")
+    module["main"](48)
+    output = capsys.readouterr().out
+    assert "fastest configuration" in output
+    assert "Figure 4" in output
+
+
+def test_minigo_scaleup_example_small(capsys):
+    module = _import_example("minigo_scaleup.py")
+    module["main"](2)
+    output = capsys.readouterr().out
+    assert "nvidia-smi" in output
+    assert "busiest self-play worker" in output
+
+
+def test_survey_example_small(capsys):
+    module = _import_example("algorithm_and_simulator_survey.py")
+    # Patch the survey to a subset of simulators to keep the test quick.
+    from repro.experiments import fig7
+    original = list(fig7.SURVEY_SIMULATORS)
+    fig7.SURVEY_SIMULATORS[:] = ["Pong", "Walker2D"]
+    try:
+        module["main"](48)
+    finally:
+        fig7.SURVEY_SIMULATORS[:] = original
+    output = capsys.readouterr().out
+    assert "Part 1" in output and "Part 2" in output

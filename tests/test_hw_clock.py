@@ -1,0 +1,60 @@
+"""Tests for the virtual clock."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.clock import VirtualClock
+
+
+def test_starts_at_zero_by_default():
+    assert VirtualClock().now_us == 0.0
+
+
+def test_advance_moves_time_forward():
+    clock = VirtualClock()
+    clock.advance(125.0)
+    clock.advance(0.5)
+    assert clock.now_us == pytest.approx(125.5)
+    assert clock.now_sec == pytest.approx(125.5e-6)
+
+
+def test_negative_advance_rejected():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        VirtualClock(start_us=-5.0)
+
+
+def test_advance_to_moves_forward_only():
+    clock = VirtualClock()
+    clock.advance_to(100.0)
+    assert clock.now_us == 100.0
+    clock.advance_to(50.0)  # going backwards is a no-op
+    assert clock.now_us == 100.0
+
+
+def test_observers_see_every_advance():
+    clock = VirtualClock()
+    seen = []
+    clock.add_observer(lambda start, end: seen.append((start, end)))
+    clock.advance(10.0)
+    clock.advance(5.0)
+    assert seen == [(0.0, 10.0), (10.0, 15.0)]
+    clock.remove_observer(clock._observers[0])
+    clock.advance(1.0)
+    assert len(seen) == 2
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=50))
+def test_clock_is_monotonic(durations):
+    clock = VirtualClock()
+    previous = clock.now_us
+    for duration in durations:
+        clock.advance(duration)
+        assert clock.now_us >= previous
+        previous = clock.now_us
+    assert clock.now_us == pytest.approx(sum(durations), rel=1e-9, abs=1e-6)

@@ -1,0 +1,105 @@
+"""Tests for the simulated GPU device and the nvidia-smi utilization sampler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.costmodel import CostModel, CostModelConfig
+from repro.hw.gpu import GPUDevice
+from repro.hw.nvidia_smi import sample_utilization
+
+
+@pytest.fixture
+def device() -> GPUDevice:
+    return GPUDevice(cost_model=CostModel(CostModelConfig(jitter=0.0)))
+
+
+def test_kernel_starts_after_launch_completes(device):
+    activity = device.launch_kernel("k", flops=0, bytes_accessed=0, launch_complete_us=100.0)
+    assert activity.start_us == pytest.approx(100.0)
+    assert activity.end_us > activity.start_us
+
+
+def test_same_stream_kernels_serialize(device):
+    first = device.launch_kernel("k1", flops=1e6, bytes_accessed=0, launch_complete_us=0.0)
+    second = device.launch_kernel("k2", flops=1e6, bytes_accessed=0, launch_complete_us=0.0)
+    assert second.start_us == pytest.approx(first.end_us)
+
+
+def test_different_streams_run_concurrently(device):
+    first = device.launch_kernel("k1", flops=1e6, bytes_accessed=0, launch_complete_us=0.0, stream=0)
+    second = device.launch_kernel("k2", flops=1e6, bytes_accessed=0, launch_complete_us=0.0, stream=1)
+    assert second.start_us == pytest.approx(first.start_us)
+
+
+def test_memcpy_uses_copy_stream(device):
+    kernel = device.launch_kernel("k", flops=1e7, bytes_accessed=0, launch_complete_us=0.0)
+    copy = device.enqueue_memcpy("HtoD", num_bytes=1e6, launch_complete_us=0.0)
+    assert copy.kind == "memcpy"
+    assert copy.start_us < kernel.end_us  # not serialized behind the kernel
+
+
+def test_invalid_memcpy_direction_rejected(device):
+    with pytest.raises(ValueError):
+        device.enqueue_memcpy("sideways", num_bytes=10, launch_complete_us=0.0)
+
+
+def test_synchronize_waits_for_device(device):
+    activity = device.launch_kernel("k", flops=1e8, bytes_accessed=0, launch_complete_us=0.0)
+    assert device.synchronize(now_us=0.0) == pytest.approx(activity.end_us)
+    assert device.synchronize(now_us=activity.end_us + 50.0) == pytest.approx(activity.end_us + 50.0)
+    assert device.device_free_time() == pytest.approx(activity.end_us)
+
+
+def test_busy_time_merges_overlapping_intervals(device):
+    device.launch_kernel("a", flops=1e6, bytes_accessed=0, launch_complete_us=0.0, stream=0)
+    device.launch_kernel("b", flops=1e6, bytes_accessed=0, launch_complete_us=0.0, stream=1)
+    single = device.kernels()[0].duration_us
+    assert device.busy_time_us() == pytest.approx(single, rel=1e-6)
+
+
+def test_reset_clears_state(device):
+    device.launch_kernel("a", flops=1, bytes_accessed=1, launch_complete_us=0.0)
+    device.reset()
+    assert device.activity == []
+    assert device.device_free_time() == 0.0
+
+
+@given(st.lists(st.tuples(st.floats(0, 1e5), st.floats(1, 1e7)), min_size=1, max_size=30))
+def test_busy_time_never_exceeds_span(launches):
+    device = GPUDevice(cost_model=CostModel(CostModelConfig(jitter=0.0)))
+    for launch_time, flops in launches:
+        device.launch_kernel("k", flops=flops, bytes_accessed=0.0, launch_complete_us=launch_time)
+    span = max(a.end_us for a in device.activity) - min(a.start_us for a in device.activity)
+    busy = device.busy_time_us()
+    assert busy <= span + 1e-6
+    assert busy > 0
+
+
+# --------------------------------------------------------------- nvidia-smi
+def test_utilization_saturates_with_tiny_scattered_kernels(device):
+    # One 10us kernel every 100ms over 2 seconds of wall-clock.
+    for i in range(20):
+        device.launch_kernel("tiny", flops=0, bytes_accessed=0, launch_complete_us=i * 100_000.0)
+    report = sample_utilization(device, window_start_us=0.0, window_end_us=2_000_000.0,
+                                sample_period_us=250_000.0)
+    assert report.reported_utilization_pct == pytest.approx(100.0)
+    assert report.true_busy_pct < 1.0
+
+
+def test_utilization_zero_without_kernels(device):
+    report = sample_utilization(device, window_start_us=0.0, window_end_us=1_000_000.0)
+    assert report.reported_utilization_pct == 0.0
+    assert report.true_busy_pct == 0.0
+
+
+def test_utilization_rejects_bad_period(device):
+    with pytest.raises(ValueError):
+        sample_utilization(device, sample_period_us=0.0)
+
+
+def test_utilization_counts_each_period_once(device):
+    device.launch_kernel("k", flops=1e9, bytes_accessed=0, launch_complete_us=0.0)
+    report = sample_utilization(device, window_start_us=0.0, window_end_us=500_000.0,
+                                sample_period_us=100_000.0)
+    assert len(report.samples) == 5
+    assert sum(s.utilized for s in report.samples) >= 1

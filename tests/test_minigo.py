@@ -1,0 +1,157 @@
+"""Tests for the Minigo scale-up workload: MCTS, self-play, training round."""
+
+import numpy as np
+import pytest
+
+from repro.backend import GraphEngine, use_engine
+from repro.hw.nvidia_smi import sample_utilization
+from repro.minigo import (
+    MCTS,
+    MinigoConfig,
+    MinigoTraining,
+    PolicyValueNet,
+    SelfPlayPool,
+    SelfPlayWorker,
+)
+from repro.minigo.selfplay import OP_EXPAND_LEAF, OP_TREE_SEARCH
+from repro.profiler import Profiler, ProfilerConfig, multi_process_summary
+from repro.sim.go import GoPosition
+from repro.system import System
+
+
+def uniform_evaluator(num_moves):
+    def evaluate(features):
+        batch = features.shape[0]
+        priors = np.full((batch, num_moves), 1.0 / num_moves, dtype=np.float32)
+        values = np.zeros(batch, dtype=np.float32)
+        return priors, values
+    return evaluate
+
+
+# ----------------------------------------------------------------------- MCTS
+def test_mcts_visit_counts_sum_to_num_simulations():
+    position = GoPosition.initial(size=5)
+    mcts = MCTS(uniform_evaluator(26), num_simulations=20, rng=np.random.default_rng(0))
+    root = mcts.search(position)
+    assert root.visit_count == 20  # one backup per simulation
+    assert sum(child.visit_count for child in root.children.values()) == 20
+    policy = mcts.policy_from_visits(root)
+    assert policy.shape == (26,)
+    assert policy.sum() == pytest.approx(1.0)
+    move = mcts.choose_move(root, temperature=1e-6)
+    assert move is None or (0 <= move[0] < 5 and 0 <= move[1] < 5)
+
+
+def test_mcts_prefers_winning_move():
+    """With a value function that likes captures, MCTS should visit legal moves unevenly."""
+    position = GoPosition.initial(size=5)
+
+    def biased_evaluator(features):
+        batch = features.shape[0]
+        priors = np.zeros((batch, 26), dtype=np.float32)
+        priors[:, 12] = 1.0  # strong prior on the centre point
+        values = np.zeros(batch, dtype=np.float32)
+        return priors, values
+
+    mcts = MCTS(biased_evaluator, num_simulations=30, exploration_fraction=0.0,
+                rng=np.random.default_rng(0))
+    root = mcts.search(position, add_noise=False)
+    centre_visits = root.children[12].visit_count
+    assert centre_visits == max(child.visit_count for child in root.children.values())
+
+
+def test_mcts_rejects_bad_configuration():
+    with pytest.raises(ValueError):
+        MCTS(uniform_evaluator(26), num_simulations=0)
+
+
+def test_mcts_backup_alternates_sign():
+    position = GoPosition.initial(size=5)
+    mcts = MCTS(uniform_evaluator(26), num_simulations=5, rng=np.random.default_rng(1))
+    root = mcts.search(position, add_noise=False)
+    # Values propagated from children are negated relative to the child's own perspective.
+    for child in root.children.values():
+        if child.visit_count > 0:
+            assert np.isfinite(child.mean_value)
+
+
+# ------------------------------------------------------------------- selfplay
+def test_selfplay_worker_generates_examples_and_operations():
+    system = System.create(seed=0)
+    engine = GraphEngine(system)
+    profiler = Profiler(system, ProfilerConfig.full())
+    profiler.attach(engine=engine)
+    network = PolicyValueNet(board_size=5, hidden=(32, 32), rng=np.random.default_rng(0))
+    worker = SelfPlayWorker(system, engine, network, profiler=profiler, board_size=5,
+                            num_simulations=4, max_moves=10, seed=0)
+    result = worker.play_games(1)
+    trace = profiler.finalize()
+    assert result.games == 1
+    assert 0 < result.moves <= 10
+    assert len(result.examples) == result.moves
+    for example in result.examples:
+        assert example.features.shape == (75,)
+        assert example.policy_target.shape == (26,)
+        assert example.value_target in (-1.0, 1.0)
+    op_names = {op.name for op in trace.operations}
+    assert {OP_TREE_SEARCH, OP_EXPAND_LEAF} <= op_names
+
+
+def test_policy_value_net_shapes(system):
+    engine = GraphEngine(system)
+    with use_engine(engine):
+        net = PolicyValueNet(board_size=5, hidden=(16, 16), rng=np.random.default_rng(0))
+        from repro.backend.tensor import Tensor
+        logits, value = net(Tensor(np.zeros((3, 75), dtype=np.float32)))
+    assert logits.shape == (3, 26)
+    assert value.shape == (3, 1)
+    assert net.num_parameters() > 0
+
+
+# ----------------------------------------------------------------------- pool
+def test_selfplay_pool_shares_one_device():
+    pool = SelfPlayPool(num_workers=3, board_size=5, num_simulations=3, games_per_worker=1,
+                        max_moves=6, hidden=(16, 16), seed=0)
+    runs = pool.run()
+    assert len(runs) == 3
+    workers_on_device = {activity.worker for activity in pool.device.activity}
+    assert workers_on_device == {run.worker for run in runs}
+    streams = {activity.stream for activity in pool.device.kernels()}
+    assert len(streams) == 3  # one stream (CUDA context) per worker
+    assert pool.collection_span_us() > 0
+    assert len(pool.all_examples()) > 0
+
+
+def test_minigo_round_produces_figure8_quantities():
+    config = MinigoConfig(num_workers=3, board_size=5, num_simulations=3, games_per_worker=1,
+                          max_moves=6, sgd_steps=4, evaluation_games=1, hidden=(16, 16), seed=0)
+    training = MinigoTraining(config)
+    round_result = training.run_round()
+
+    traces = round_result.traces()
+    assert len(traces) == 5  # 3 self-play workers + trainer + evaluation
+    summaries = multi_process_summary(traces)
+    selfplay = [s for s in summaries if s.worker.startswith("selfplay")]
+    assert len(selfplay) == 3
+    for summary in selfplay:
+        assert summary.gpu_time_us < 0.5 * summary.total_time_us
+        assert summary.total_time_us > 0
+
+    util = round_result.utilization(sample_period_us=round_result.worker_runs[0].total_time_us / 10)
+    assert 0.0 <= util.reported_utilization_pct <= 100.0
+    assert util.true_busy_pct <= util.reported_utilization_pct + 1e-6
+    assert round_result.losses, "SGD phase should record losses"
+    assert np.isfinite(round_result.losses).all()
+    assert round_result.evaluation_games == 1
+
+
+def test_minigo_candidate_acceptance_updates_weights():
+    config = MinigoConfig(num_workers=1, board_size=5, num_simulations=2, games_per_worker=1,
+                          max_moves=4, sgd_steps=2, evaluation_games=1, hidden=(8, 8), seed=0,
+                          acceptance_threshold=0.0)
+    training = MinigoTraining(config)
+    before = [w.copy() for w in training.current_weights]
+    result = training.run_round()
+    assert result.candidate_accepted  # threshold 0 accepts any candidate
+    changed = any(not np.allclose(a, b) for a, b in zip(before, training.current_weights))
+    assert changed

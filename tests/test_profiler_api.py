@@ -1,0 +1,147 @@
+"""Tests for the profiler session: annotations, interception, python-gap tracking."""
+
+import numpy as np
+import pytest
+
+from repro.backend import GraphEngine, MLP, use_engine
+from repro.backend.tensor import Tensor
+from repro.profiler import (
+    CATEGORY_BACKEND,
+    CATEGORY_CUDA_API,
+    CATEGORY_GPU,
+    CATEGORY_PYTHON,
+    CATEGORY_SIMULATOR,
+    Profiler,
+    ProfilerConfig,
+    analyze,
+    merge_traces,
+)
+from repro.profiler.events import OVERHEAD_ANNOTATION, OVERHEAD_CUDA_INTERCEPTION, OVERHEAD_CUPTI, OVERHEAD_PYPROF
+from repro.sim import make
+from repro.system import System
+
+
+def _profiled_session(config=None):
+    system = System.create(seed=0)
+    engine = GraphEngine(system)
+    env = make("Walker2D", system, seed=0)
+    profiler = Profiler(system, config or ProfilerConfig.full())
+    profiler.attach(engine=engine, envs=[env])
+    with use_engine(engine):
+        net = MLP(env.observation_dim, [32, 32], env.action_dim, out_activation="tanh",
+                  rng=np.random.default_rng(0))
+        forward = engine.function(lambda obs: net(Tensor(obs)).numpy(), name="policy", num_feeds=1)
+        obs = env.reset()
+        profiler.set_phase("data_collection")
+        for _ in range(4):
+            with profiler.operation("inference"):
+                action = forward(obs[None, :])[0]
+            with profiler.operation("simulation"):
+                obs, _, done, _ = env.step(action)
+                if done:
+                    obs = env.reset()
+    return system, profiler
+
+
+def test_full_profile_collects_all_categories():
+    _, profiler = _profiled_session()
+    trace = profiler.finalize()
+    categories = {event.category for event in trace.events}
+    assert {CATEGORY_PYTHON, CATEGORY_BACKEND, CATEGORY_SIMULATOR, CATEGORY_CUDA_API, CATEGORY_GPU} <= categories
+    assert {op.name for op in trace.operations} == {"inference", "simulation"}
+    assert all(op.phase == "data_collection" for op in trace.operations)
+    kinds = {marker.kind for marker in trace.markers}
+    assert {OVERHEAD_ANNOTATION, OVERHEAD_PYPROF, OVERHEAD_CUDA_INTERCEPTION, OVERHEAD_CUPTI} <= kinds
+
+
+def test_operations_nest_and_scope_correctly():
+    _, profiler = _profiled_session()
+    trace = profiler.finalize()
+    analysis = analyze(trace, iterations=4)
+    breakdown = analysis.category_breakdown_us(corrected=False)
+    assert CATEGORY_SIMULATOR in breakdown["simulation"]
+    assert CATEGORY_SIMULATOR not in breakdown["inference"]
+    assert CATEGORY_BACKEND in breakdown["inference"]
+    assert breakdown["inference"][CATEGORY_BACKEND] > 0
+
+
+def test_finalize_is_idempotent_and_records_total_time():
+    system, profiler = _profiled_session()
+    trace1 = profiler.finalize()
+    trace2 = profiler.finalize()
+    assert trace1 is trace2
+    assert trace1.metadata["total_time_us"] == pytest.approx(system.clock.now_us)
+
+
+def test_uninstrumented_profiler_records_nothing():
+    _, profiler = _profiled_session(ProfilerConfig.uninstrumented())
+    trace = profiler.finalize()
+    assert trace.events == []
+    assert trace.operations == []
+    assert trace.markers == []
+
+
+def test_partial_config_only_pyprof():
+    _, profiler = _profiled_session(ProfilerConfig.only(pyprof=True))
+    trace = profiler.finalize()
+    categories = {event.category for event in trace.events}
+    assert CATEGORY_BACKEND in categories
+    assert CATEGORY_CUDA_API not in categories
+    assert CATEGORY_GPU not in categories
+    assert {marker.kind for marker in trace.markers} == {OVERHEAD_PYPROF}
+    # No annotations -> no operations and no Python gap events.
+    assert trace.operations == []
+    assert CATEGORY_PYTHON not in categories
+
+
+def test_partial_config_cuda_without_cupti():
+    _, profiler = _profiled_session(ProfilerConfig.only(cuda_interception=True))
+    trace = profiler.finalize()
+    categories = {event.category for event in trace.events}
+    assert CATEGORY_CUDA_API in categories
+    assert CATEGORY_GPU not in categories
+    assert {marker.kind for marker in trace.markers} == {OVERHEAD_CUDA_INTERCEPTION}
+
+
+def test_profiling_inflates_runtime():
+    uninstrumented_system, _ = _profiled_session(ProfilerConfig.uninstrumented())
+    instrumented_system, _ = _profiled_session(ProfilerConfig.full())
+    assert instrumented_system.clock.now_us > uninstrumented_system.clock.now_us
+
+
+def test_detach_restores_components():
+    system, profiler = _profiled_session()
+    profiler.finalize()
+    assert system.cuda._hooks == []
+    assert not system.cuda.cupti.enabled
+
+
+def test_python_gap_events_only_inside_operations():
+    _, profiler = _profiled_session()
+    trace = profiler.finalize()
+    python_events = trace.events_by_category(CATEGORY_PYTHON)
+    assert python_events
+    operations = trace.operations
+    for event in python_events:
+        assert any(op.start_us <= event.start_us and event.end_us <= op.end_us + 1e-6 for op in operations)
+
+
+def test_merge_traces_combines_workers():
+    _, profiler_a = _profiled_session()
+    trace_a = profiler_a.finalize()
+    _, profiler_b = _profiled_session()
+    trace_b = profiler_b.finalize()
+    merged = merge_traces([trace_a, trace_b])
+    assert merged.total_events() == trace_a.total_events() + trace_b.total_events()
+
+
+def test_event_trace_queries():
+    _, profiler = _profiled_session()
+    trace = profiler.finalize()
+    assert trace.span_us() > 0
+    assert trace.workers() == ["worker_0"]
+    counts = trace.marker_counts()
+    assert counts[OVERHEAD_ANNOTATION] == 2 * len(trace.operations)
+    filtered = trace.filter_worker("worker_0")
+    assert filtered.total_events() == trace.total_events()
+    assert trace.filter_worker("other").total_events() == 0

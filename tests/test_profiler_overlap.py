@@ -1,0 +1,181 @@
+"""Tests for the cross-stack event overlap computation (Section 3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.profiler.events import (
+    CATEGORY_BACKEND,
+    CATEGORY_CUDA_API,
+    CATEGORY_GPU,
+    CATEGORY_OPERATION,
+    CATEGORY_PYTHON,
+    CATEGORY_SIMULATOR,
+    Event,
+    EventTrace,
+)
+from repro.profiler.overlap import (
+    RESOURCE_CPU,
+    RESOURCE_CPU_GPU,
+    RESOURCE_GPU,
+    UNTRACKED,
+    compute_overlap,
+)
+
+
+def _event(category, start, end, name=None, worker="worker_0"):
+    return Event(category=category, name=name or category.lower(), start_us=start, end_us=end, worker=worker)
+
+
+def paper_figure3_trace() -> EventTrace:
+    """The worked example of Figure 3: nested operations with CPU and GPU events.
+
+    mcts_tree_search spans [0, 4000); expand_leaf is nested in [1250, 3800).
+    CPU is Python during tree search, Backend during expand_leaf; a GPU kernel
+    overlaps part of expand_leaf.
+    """
+    trace = EventTrace()
+    trace.add_event(_event(CATEGORY_OPERATION, 0.0, 4000.0, "mcts_tree_search"))
+    trace.add_event(_event(CATEGORY_OPERATION, 1250.0, 3800.0, "expand_leaf"))
+    trace.add_event(_event(CATEGORY_PYTHON, 0.0, 1250.0))
+    trace.add_event(_event(CATEGORY_BACKEND, 1250.0, 3800.0))
+    trace.add_event(_event(CATEGORY_GPU, 2100.0, 3800.0, "sgemm"))
+    trace.add_event(_event(CATEGORY_PYTHON, 3800.0, 4000.0))
+    return trace
+
+
+def test_figure3_example_scoping():
+    overlap = compute_overlap(paper_figure3_trace())
+    breakdown = overlap.full_breakdown()
+    # Pure-Python time belongs to the outer operation.
+    assert breakdown[("mcts_tree_search", CATEGORY_PYTHON, RESOURCE_CPU)] == pytest.approx(1250.0 + 200.0)
+    # Backend-only and Backend+GPU time belongs to the nested operation.
+    assert breakdown[("expand_leaf", CATEGORY_BACKEND, RESOURCE_CPU)] == pytest.approx(850.0)
+    assert breakdown[("expand_leaf", CATEGORY_BACKEND, RESOURCE_CPU_GPU)] == pytest.approx(1700.0)
+    # Total tracked time equals the outer operation's span.
+    assert overlap.total_us() == pytest.approx(4000.0)
+
+
+def test_gpu_time_and_category_times():
+    overlap = compute_overlap(paper_figure3_trace())
+    assert overlap.gpu_time_us() == pytest.approx(1700.0)
+    assert overlap.category_time_us(CATEGORY_PYTHON) == pytest.approx(1450.0)
+    assert overlap.category_time_us(CATEGORY_BACKEND) == pytest.approx(2550.0)
+    assert overlap.resource_time_us(RESOURCE_CPU_GPU) == pytest.approx(1700.0)
+    assert overlap.operations() == ["expand_leaf", "mcts_tree_search"]
+
+
+def test_cuda_priority_over_backend():
+    trace = EventTrace()
+    trace.add_event(_event(CATEGORY_OPERATION, 0, 100, "backpropagation"))
+    trace.add_event(_event(CATEGORY_BACKEND, 0, 100))
+    trace.add_event(_event(CATEGORY_CUDA_API, 20, 50))
+    breakdown = compute_overlap(trace).category_breakdown()
+    assert breakdown["backpropagation"][CATEGORY_CUDA_API] == pytest.approx(30.0)
+    assert breakdown["backpropagation"][CATEGORY_BACKEND] == pytest.approx(70.0)
+
+
+def test_gpu_only_region_labelled_gpu():
+    trace = EventTrace()
+    trace.add_event(_event(CATEGORY_OPERATION, 0, 100, "inference"))
+    trace.add_event(_event(CATEGORY_BACKEND, 0, 40))
+    trace.add_event(_event(CATEGORY_GPU, 60, 90))
+    breakdown = compute_overlap(trace).category_breakdown()
+    assert breakdown["inference"][CATEGORY_GPU] == pytest.approx(30.0)
+    resources = compute_overlap(trace).resource_breakdown()
+    assert resources["inference"][RESOURCE_GPU] == pytest.approx(30.0)
+    assert resources["inference"][RESOURCE_CPU] == pytest.approx(40.0)
+
+
+def test_events_outside_operations_are_untracked():
+    trace = EventTrace()
+    trace.add_event(_event(CATEGORY_SIMULATOR, 0, 50))
+    trace.add_event(_event(CATEGORY_OPERATION, 100, 200, "simulation"))
+    trace.add_event(_event(CATEGORY_SIMULATOR, 100, 200))
+    overlap = compute_overlap(trace)
+    assert overlap.total_us(include_untracked=False) == pytest.approx(100.0)
+    assert overlap.total_us(include_untracked=True) == pytest.approx(150.0)
+    assert (UNTRACKED, frozenset({CATEGORY_SIMULATOR})) in overlap.regions
+
+
+def test_multi_worker_traces_are_independent():
+    trace = EventTrace()
+    for worker in ("w0", "w1"):
+        trace.add_event(_event(CATEGORY_OPERATION, 0, 100, "inference", worker))
+        trace.add_event(_event(CATEGORY_BACKEND, 0, 100, None, worker))
+    overlap = compute_overlap(trace)
+    # Two workers each contribute 100us of backend time.
+    assert overlap.total_us() == pytest.approx(200.0)
+
+
+def test_empty_trace_gives_empty_result():
+    overlap = compute_overlap(EventTrace())
+    assert overlap.regions == {}
+    assert overlap.total_us() == 0.0
+    assert overlap.gpu_time_us() == 0.0
+
+
+@st.composite
+def cpu_gpu_trace(draw):
+    """Random trace: one operation covering everything, random CPU/GPU events inside."""
+    op_end = draw(st.floats(min_value=100, max_value=10_000))
+    trace = EventTrace()
+    trace.add_event(_event(CATEGORY_OPERATION, 0.0, op_end, "op"))
+    n_events = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(n_events):
+        start = draw(st.floats(min_value=0, max_value=op_end - 1))
+        duration = draw(st.floats(min_value=0.1, max_value=op_end - start))
+        category = draw(st.sampled_from([CATEGORY_PYTHON, CATEGORY_BACKEND, CATEGORY_SIMULATOR,
+                                         CATEGORY_CUDA_API, CATEGORY_GPU]))
+        trace.add_event(_event(category, start, start + duration))
+    return trace
+
+
+@settings(max_examples=60, deadline=None)
+@given(cpu_gpu_trace())
+def test_overlap_invariants(trace):
+    """Property: regions are a partition of the covered span of the operation."""
+    overlap = compute_overlap(trace)
+    total = overlap.total_us()
+    op_span = trace.operations[0].duration_us
+    # Regions never exceed the covering operation's span and are non-negative.
+    assert total <= op_span + 1e-6
+    assert all(duration >= 0 for duration in overlap.regions.values())
+    # The category breakdown and the resource breakdown both re-partition the
+    # same regions, so their totals agree.
+    cat_total = sum(sum(c.values()) for c in overlap.category_breakdown(include_untracked=True).values())
+    res_total = sum(sum(r.values()) for r in overlap.resource_breakdown(include_untracked=True).values())
+    assert cat_total == pytest.approx(res_total, rel=1e-9, abs=1e-6)
+    assert cat_total == pytest.approx(total, rel=1e-9, abs=1e-6)
+    # GPU time is the sum of GPU-involving resource classes.
+    assert overlap.gpu_time_us() == pytest.approx(
+        overlap.resource_time_us(RESOURCE_GPU) + overlap.resource_time_us(RESOURCE_CPU_GPU),
+        rel=1e-9, abs=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.floats(0, 1000), st.floats(1, 500)), min_size=1, max_size=8))
+def test_union_of_single_category_equals_interval_union(intervals):
+    """With a single CPU category, total tracked time equals the union of the intervals."""
+    trace = EventTrace()
+    trace.add_event(_event(CATEGORY_OPERATION, 0.0, 2000.0, "op"))
+    merged = []
+    for start, duration in intervals:
+        end = min(start + duration, 2000.0)
+        trace.add_event(_event(CATEGORY_PYTHON, start, end))
+        merged.append((start, end))
+    merged.sort()
+    union = 0.0
+    current_start, current_end = None, None
+    for start, end in merged:
+        if current_start is None:
+            current_start, current_end = start, end
+        elif start <= current_end:
+            current_end = max(current_end, end)
+        else:
+            union += current_end - current_start
+            current_start, current_end = start, end
+    if current_start is not None:
+        union += current_end - current_start
+    overlap = compute_overlap(trace)
+    assert overlap.total_us() == pytest.approx(union, rel=1e-9, abs=1e-6)

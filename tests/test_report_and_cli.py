@@ -1,0 +1,117 @@
+"""Tests for report formatting, the CLI entry points, and trace events serialisation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.cli import main as experiment_main
+from repro.experiments.common import WorkloadSpec, run_workload
+from repro.profiler import analyze, report
+from repro.profiler.cli import main as prof_main
+from repro.profiler.events import Event, EventTrace, OverheadMarker
+
+
+# -------------------------------------------------------------------- report
+def test_format_table_alignment():
+    text = report.format_table(["name", "value"], [["a", 1.0], ["long-name", 123456.789]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "123,456.79" in text
+    assert len(lines) == 4
+
+
+@pytest.fixture(scope="module")
+def small_analysis():
+    run = run_workload(WorkloadSpec(algo="SAC", simulator="Hopper", total_timesteps=96),
+                       use_ground_truth_calibration=True)
+    return {"SAC/Hopper": run.analysis}
+
+
+def test_breakdown_and_total_tables(small_analysis):
+    text = report.breakdown_table(small_analysis)
+    assert "backpropagation" in text and "Simulator" in text
+    percent = report.breakdown_table(small_analysis, as_percent=True)
+    assert "% of total" in percent
+    totals = report.total_time_table(small_analysis)
+    assert "total training time" in totals
+
+
+def test_transitions_and_worker_tables(small_analysis):
+    text = report.transitions_table(small_analysis, 96)
+    assert "per iteration" in text
+    from repro.profiler import multi_process_summary
+    analysis = list(small_analysis.values())[0]
+    summaries = multi_process_summary({"worker_0": analysis.trace})
+    worker_text = report.worker_table(summaries, utilization_pct=100.0, true_busy_pct=1.2)
+    assert "nvidia-smi" in worker_text and "1.2" in worker_text
+
+
+def test_correction_table_format():
+    rows = {"PPO2": {"instrumented_sec": 1.2, "corrected_sec": 1.0,
+                     "uninstrumented_sec": 1.01, "bias_percent": -1.0}}
+    text = report.correction_table(rows)
+    assert "uninstrumented" in text and "PPO2" in text
+
+
+# ---------------------------------------------------------------------- events
+def test_event_serialisation_roundtrip():
+    event = Event("Backend", "session_run", 1.5, 2.5, worker="w3", phase="p")
+    assert Event.from_dict(event.to_dict()) == event
+    marker = OverheadMarker("cupti", 3.0, api_name="cudaLaunchKernel", worker="w3")
+    assert OverheadMarker.from_dict(marker.to_dict()) == marker
+    trace = EventTrace()
+    trace.add_event(event)
+    trace.add_marker(marker)
+    trace.add_event(Event("Operation", "inference", 0.0, 5.0))
+    restored = EventTrace.from_dict(json.loads(json.dumps(trace.to_dict())))
+    assert restored.events[0] == event
+    assert restored.operations[0].name == "inference"
+    assert restored.markers[0] == marker
+
+
+def test_event_validation():
+    trace = EventTrace()
+    with pytest.raises(ValueError):
+        trace.add_event(Event("Python", "x", 10.0, 5.0))
+    event = Event("Python", "x", 0.0, 5.0)
+    other = Event("GPU", "y", 4.0, 6.0)
+    assert event.overlaps(other)
+    assert not event.overlaps(Event("GPU", "z", 5.0, 6.0))
+
+
+# ------------------------------------------------------------------------ CLI
+def test_rls_prof_cli_runs(capsys):
+    exit_code = prof_main(["--algo", "SAC", "--simulator", "Hopper", "--steps", "96"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "total training time" in output
+    assert "backpropagation" in output
+
+
+def test_rls_prof_cli_uninstrumented_and_trace_dir(tmp_path, capsys):
+    exit_code = prof_main(["--algo", "PPO2", "--simulator", "Hopper", "--steps", "32",
+                           "--uninstrumented"])
+    assert exit_code == 0
+    exit_code = prof_main(["--algo", "PPO2", "--simulator", "Hopper", "--steps", "32",
+                           "--trace-dir", str(tmp_path / "traces")])
+    assert exit_code == 0
+    assert (tmp_path / "traces" / "rlscope_index.json").exists()
+    assert "trace written" in capsys.readouterr().out
+
+
+def test_rls_prof_cli_unknown_framework():
+    with pytest.raises(SystemExit):
+        prof_main(["--framework", "NotAFramework", "--steps", "8"])
+
+
+def test_rls_experiment_cli_table1(capsys):
+    assert experiment_main(["table1"]) == 0
+    output = capsys.readouterr().out
+    assert "stable-baselines" in output
+
+
+def test_rls_experiment_cli_fig5(capsys):
+    assert experiment_main(["fig5", "--timesteps", "40"]) == 0
+    output = capsys.readouterr().out
+    assert "Figure 5" in output and "Simulation-bound" in output

@@ -1,0 +1,231 @@
+"""Tests for buffers, noise, frameworks, and the RL algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backend import AutographEngine, EagerEngine, GraphEngine, MPIAdam, PyTorchEagerEngine, Adam
+from repro.profiler import Profiler, ProfilerConfig, analyze
+from repro.rl import (
+    ALGORITHMS,
+    FrameworkAdapter,
+    GaussianNoise,
+    OrnsteinUhlenbeckNoise,
+    REAGENT,
+    ReplayBuffer,
+    RolloutBuffer,
+    STABLE_BASELINES,
+    TABLE1,
+    TF_AGENTS_AUTOGRAPH,
+    TF_AGENTS_EAGER,
+    default_config,
+    default_framework,
+    make_algorithm,
+    make_engine,
+)
+from repro.sim import make
+from repro.system import System
+
+
+# -------------------------------------------------------------------- buffers
+def test_replay_buffer_fifo_and_sampling(system):
+    buffer = ReplayBuffer(capacity=8, obs_dim=3, action_dim=2, system=system, seed=0)
+    for i in range(12):
+        buffer.add(np.full(3, i, dtype=np.float32), np.zeros(2), float(i), np.full(3, i + 1, dtype=np.float32), False)
+    assert len(buffer) == 8
+    assert buffer.is_full
+    batch = buffer.sample(16)
+    assert len(batch) == 16
+    # Oldest entries were overwritten: rewards only from the last 8 additions.
+    assert batch.rewards.min() >= 4.0
+    with pytest.raises(ValueError):
+        buffer.sample(0)
+    with pytest.raises(ValueError):
+        ReplayBuffer(0, 3, 2)
+
+
+def test_replay_buffer_empty_sample_raises():
+    buffer = ReplayBuffer(4, 2, 1)
+    with pytest.raises(ValueError):
+        buffer.sample(1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.floats(-10, 10), st.booleans()), min_size=1, max_size=60),
+       st.integers(min_value=1, max_value=32))
+def test_replay_buffer_size_invariant(entries, capacity):
+    buffer = ReplayBuffer(capacity, obs_dim=2, action_dim=1, seed=1)
+    for reward, done in entries:
+        buffer.add(np.zeros(2), np.zeros(1), reward, np.zeros(2), done)
+        assert len(buffer) == min(buffer.capacity, len(buffer))
+    assert len(buffer) == min(capacity, len(entries))
+    batch = buffer.sample(8)
+    stored_rewards = {round(r, 4) for r, _ in entries}
+    assert all(round(float(r), 4) in stored_rewards for r in batch.rewards)
+
+
+def test_rollout_buffer_gae_matches_manual_computation():
+    buffer = RolloutBuffer(n_steps=4, obs_dim=1, action_dim=1, gamma=0.9, gae_lambda=0.8)
+    rewards = [1.0, 0.0, 2.0, 1.0]
+    values = [0.5, 0.4, 0.3, 0.2]
+    for reward, value in zip(rewards, values):
+        buffer.add(np.zeros(1), np.zeros(1), reward, value, 0.0, False)
+    rollout = buffer.finish(last_value=0.1)
+    # Manual GAE.
+    adv = np.zeros(4)
+    last = 0.0
+    vals = values + [0.1]
+    for t in reversed(range(4)):
+        delta = rewards[t] + 0.9 * vals[t + 1] - vals[t]
+        last = delta + 0.9 * 0.8 * last
+        adv[t] = last
+    assert np.allclose(rollout.advantages, adv, atol=1e-5)
+    assert np.allclose(rollout.returns, adv + np.array(values), atol=1e-5)
+
+
+def test_rollout_buffer_terminal_cuts_bootstrap():
+    buffer = RolloutBuffer(n_steps=2, obs_dim=1, action_dim=1, gamma=0.99, gae_lambda=1.0)
+    buffer.add(np.zeros(1), np.zeros(1), 1.0, 0.0, 0.0, True)
+    buffer.add(np.zeros(1), np.zeros(1), 1.0, 0.0, 0.0, False)
+    rollout = buffer.finish(last_value=100.0)
+    # First step is terminal: no bootstrapping through the episode boundary.
+    assert rollout.advantages[0] == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        buffer.add(np.zeros(1), np.zeros(1), 0.0, 0.0, 0.0, False)
+    buffer.reset()
+    with pytest.raises(ValueError):
+        buffer.finish(0.0)
+
+
+# ---------------------------------------------------------------------- noise
+def test_noise_processes(rng):
+    gaussian = GaussianNoise(3, sigma=0.5, seed=0)
+    samples = np.stack([gaussian.sample() for _ in range(500)])
+    assert abs(samples.std() - 0.5) < 0.1
+    ou = OrnsteinUhlenbeckNoise(2, sigma=0.3, seed=0)
+    first = ou.sample()
+    second = ou.sample()
+    assert first.shape == (2,)
+    ou.reset()
+    assert np.allclose(ou.state, 0.0)
+    with pytest.raises(ValueError):
+        GaussianNoise(2, sigma=-1.0)
+    with pytest.raises(ValueError):
+        OrnsteinUhlenbeckNoise(2, dt=0.0)
+
+
+# ------------------------------------------------------------------ frameworks
+def test_table1_engine_types():
+    system = System.create()
+    assert isinstance(make_engine(system, STABLE_BASELINES), GraphEngine)
+    assert isinstance(make_engine(system, TF_AGENTS_AUTOGRAPH), AutographEngine)
+    assert isinstance(make_engine(system, TF_AGENTS_EAGER), EagerEngine)
+    assert isinstance(make_engine(system, REAGENT), PyTorchEagerEngine)
+    assert len(TABLE1) == 4
+    labels = {spec.label for spec in TABLE1}
+    assert labels == {"Tensorflow Graph", "Tensorflow Autograph", "Tensorflow Eager", "Pytorch Eager"}
+
+
+def test_framework_optimizer_selection():
+    system = System.create()
+    adapter = FrameworkAdapter(system, STABLE_BASELINES)
+    from repro.backend.tensor import Parameter
+    params = [Parameter(np.zeros(4, dtype=np.float32))]
+    assert isinstance(adapter.make_optimizer(params, 1e-3, algo="DDPG"), MPIAdam)
+    assert isinstance(adapter.make_optimizer(params, 1e-3, algo="TD3"), Adam)
+    assert adapter.separate_target_update_calls("DDPG")
+    assert not adapter.separate_target_update_calls("SAC")
+    eager_adapter = FrameworkAdapter(system, TF_AGENTS_EAGER)
+    assert isinstance(eager_adapter.make_optimizer(params, 1e-3, algo="DDPG"), Adam)
+
+
+def test_default_config_per_algorithm():
+    td3 = default_config("TD3")
+    ddpg = default_config("DDPG")
+    assert td3.train_freq == 1000 and ddpg.train_freq == 100
+    ppo = default_config("PPO2", n_steps=32)
+    assert ppo.n_steps == 32
+    with pytest.raises(KeyError):
+        make_algorithm("NOPE", None, None)
+
+
+# ------------------------------------------------------------------ algorithms
+def _train_briefly(algo_name, env_name="Walker2D", framework_spec=STABLE_BASELINES, steps=96, **overrides):
+    system = System.create(seed=0)
+    env = make(env_name, system, seed=0)
+    framework = FrameworkAdapter(system, framework_spec)
+    config = default_config(algo_name, warmup_steps=16, buffer_size=1000, **overrides)
+    agent = make_algorithm(algo_name, env, framework, config=config, seed=0)
+    result = agent.train(steps)
+    return agent, result, system
+
+
+CONTINUOUS_ALGOS = ["DDPG", "TD3", "SAC", "A2C", "PPO2"]
+
+
+@pytest.mark.parametrize("algo", CONTINUOUS_ALGOS)
+def test_algorithms_train_and_produce_finite_losses(algo):
+    agent, result, system = _train_briefly(algo)
+    assert result.gradient_updates > 0
+    assert result.timesteps == 96
+    for name, values in result.losses.items():
+        assert all(np.isfinite(values)), f"{algo} {name} has non-finite losses"
+    action = agent.predict(agent.env.reset())
+    action = np.asarray(action, dtype=np.float32).reshape(-1)
+    assert action.shape == (agent.env.action_dim,)
+    assert np.all(np.abs(action) <= 1.0 + 1e-5)
+    assert system.clock.now_us > 0
+
+
+def test_dqn_trains_on_discrete_env():
+    agent, result, _ = _train_briefly("DQN", env_name="Pong")
+    assert result.gradient_updates > 0
+    assert isinstance(agent.predict(agent.env.reset()), int)
+
+
+def test_dqn_rejects_continuous_env():
+    system = System.create(seed=0)
+    env = make("Walker2D", system)
+    with pytest.raises(ValueError):
+        make_algorithm("DQN", env, default_framework(system))
+
+
+def test_on_policy_algorithms_support_discrete_envs():
+    agent, result, _ = _train_briefly("PPO2", env_name="Pong", n_steps=32)
+    assert result.gradient_updates > 0
+    assert isinstance(agent.predict(agent.env.reset()), int)
+
+
+@pytest.mark.parametrize("spec", TABLE1, ids=lambda s: s.label)
+def test_td3_trains_under_every_framework(spec):
+    _, result, _ = _train_briefly("TD3", framework_spec=spec, steps=64)
+    assert result.gradient_updates > 0
+
+
+def test_invalid_timesteps_rejected():
+    agent, _, _ = _train_briefly("DDPG", steps=32)
+    with pytest.raises(ValueError):
+        agent.train(0)
+
+
+def test_dqn_learning_improves_q_loss():
+    """On a simple task, DQN's TD loss should not blow up and Q-values stay bounded."""
+    agent, result, _ = _train_briefly("DQN", env_name="Pong", steps=256)
+    losses = result.losses["q_loss"]
+    assert np.mean(losses[-10:]) < 10 * (np.mean(losses[:10]) + 1.0)
+
+
+def test_profiled_training_scopes_all_three_operations():
+    system = System.create(seed=0)
+    env = make("Walker2D", system, seed=0)
+    framework = FrameworkAdapter(system, STABLE_BASELINES)
+    profiler = Profiler(system, ProfilerConfig.full())
+    profiler.attach(engine=framework.engine, envs=[env])
+    agent = make_algorithm("SAC", env, framework,
+                           config=default_config("SAC", warmup_steps=16, buffer_size=500),
+                           profiler=profiler, seed=0)
+    agent.train(64)
+    analysis = analyze(profiler.finalize(), iterations=64)
+    breakdown = analysis.category_breakdown_us()
+    assert set(breakdown) >= {"inference", "simulation", "backpropagation"}
+    assert analysis.gpu_fraction() < 0.5

@@ -1,0 +1,147 @@
+"""Tests for the System container and framework-adapter execution behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.backend import AutographEngine, GraphEngine, MLP, use_engine
+from repro.backend.tensor import Tensor
+from repro.hw.costmodel import CostModelConfig
+from repro.hw.gpu import GPUDevice
+from repro.profiler import CATEGORY_BACKEND, CATEGORY_SIMULATOR, Profiler, ProfilerConfig, analyze
+from repro.rl import (
+    FrameworkAdapter,
+    REAGENT,
+    STABLE_BASELINES,
+    TF_AGENTS_AUTOGRAPH,
+    TF_AGENTS_EAGER,
+    default_config,
+    make_algorithm,
+)
+from repro.sim import make
+from repro.system import System
+
+
+# -------------------------------------------------------------------- System
+def test_system_create_wires_components():
+    system = System.create(seed=3, worker="w7")
+    assert system.worker == "w7"
+    assert system.cuda.worker == "w7"
+    assert system.cuda.device is system.device
+    assert system.now_us == 0.0
+    system.cpu_work(10.0)
+    system.crossing()
+    assert system.now_us > 0
+    assert system.now_sec == pytest.approx(system.now_us / 1e6)
+
+
+def test_system_cost_config_override():
+    config = CostModelConfig(jitter=0.0, python_op_us=5.0)
+    system = System.create(config=config)
+    system.cpu_work(2.0)
+    assert system.now_us == pytest.approx(10.0)
+
+
+def test_systems_share_device_but_not_clock():
+    device = GPUDevice()
+    a = System.create(seed=0, device=device, worker="a")
+    b = System.create(seed=1, device=device, worker="b")
+    a.cpu_work(100.0)
+    assert a.now_us > 0 and b.now_us == 0.0
+    assert a.device is b.device
+
+
+# ---------------------------------------------------------- framework adapter
+def test_adapter_compile_matches_execution_model():
+    graph_adapter = FrameworkAdapter(System.create(), STABLE_BASELINES)
+    eager_adapter = FrameworkAdapter(System.create(), TF_AGENTS_EAGER)
+    autograph_adapter = FrameworkAdapter(System.create(), TF_AGENTS_AUTOGRAPH)
+
+    def fn():
+        return 42
+
+    graph_fn = graph_adapter.compile(fn, kind="update", name="step")
+    assert graph_fn() == 42
+    assert graph_adapter.engine.native_call_count == 1
+
+    eager_fn = eager_adapter.compile(fn, kind="update", name="step")
+    assert eager_fn is fn
+
+    autograph_fn = autograph_adapter.compile(fn, kind="inference", name="policy")
+    assert autograph_fn() == 42
+    assert autograph_fn.dispatch_inflation > 1.0
+    train_fn = autograph_adapter.compile(fn, kind="update", name="train")
+    assert train_fn.dispatch_inflation == 1.0
+
+
+def test_adapter_env_call_escapes_autograph_only_when_native():
+    adapter = FrameworkAdapter(System.create(), TF_AGENTS_AUTOGRAPH)
+    engine = adapter.engine
+    calls = []
+
+    def env_step():
+        calls.append(engine.in_native)
+        return 1
+
+    # Outside compiled code: a plain call, still "not native".
+    adapter.env_call(env_step)
+    # Inside compiled code: py_function escape makes the env see non-native state.
+    compiled = adapter.compile_collect(lambda: adapter.env_call(env_step))
+    compiled()
+    assert calls == [False, False]
+
+    graph_adapter = FrameworkAdapter(System.create(), STABLE_BASELINES)
+    assert graph_adapter.env_call(lambda: 7) == 7
+
+
+def test_autograph_collect_attributes_sim_time_to_simulator_category():
+    """End to end: with the Autograph driver, simulator time is still Simulator, not Backend."""
+    system = System.create(seed=0)
+    env = make("Hopper", system, seed=0)
+    adapter = FrameworkAdapter(system, TF_AGENTS_AUTOGRAPH)
+    profiler = Profiler(system, ProfilerConfig.full())
+    profiler.attach(engine=adapter.engine, envs=[env])
+    agent = make_algorithm("SAC", env, adapter,
+                           config=default_config("SAC", warmup_steps=8, buffer_size=500, train_freq=16,
+                                                 gradient_steps=4),
+                           profiler=profiler, seed=0)
+    agent.train(48)
+    analysis = analyze(profiler.finalize(), iterations=48)
+    breakdown = analysis.category_breakdown_us()
+    assert breakdown["simulation"].get(CATEGORY_SIMULATOR, 0.0) > 0
+    # Inference runs in-graph: its time is Backend, and it triggers no
+    # per-step Python->Backend transitions.
+    transitions = analysis.transitions_per_iteration(48)
+    assert transitions.get("inference", {}).get(CATEGORY_BACKEND, 0.0) < 0.2
+    assert breakdown["inference"].get(CATEGORY_BACKEND, 0.0) > 0
+
+
+def test_reagent_adapter_uses_pytorch_engine_for_full_training():
+    system = System.create(seed=0)
+    env = make("Walker2D", system, seed=0)
+    adapter = FrameworkAdapter(system, REAGENT)
+    agent = make_algorithm("DDPG", env, adapter,
+                           config=default_config("DDPG", warmup_steps=8, buffer_size=500,
+                                                 train_freq=16, gradient_steps=8, batch_size=16),
+                           seed=0)
+    result = agent.train(32)
+    assert result.gradient_updates > 0
+    assert adapter.engine.flavor == "pytorch"
+    # ReAgent never uses the MPI-friendly Adam.
+    from repro.backend.optimizers import MPIAdam
+    assert not isinstance(agent.actor_optimizer, MPIAdam)
+
+
+def test_graph_engine_mlp_numerics_identical_across_engines():
+    """The execution model changes timing, never numerics."""
+    outputs = []
+    for adapter_spec in (STABLE_BASELINES, TF_AGENTS_EAGER, REAGENT):
+        system = System.create(seed=0)
+        adapter = FrameworkAdapter(system, adapter_spec)
+        with use_engine(adapter.engine):
+            net = MLP(6, [16, 16], 3, rng=np.random.default_rng(42))
+            x = np.linspace(-1, 1, 12, dtype=np.float32).reshape(2, 6)
+            fn = adapter.compile(lambda obs: net(Tensor(obs)).numpy(), kind="inference",
+                                 name="forward", num_feeds=1)
+            outputs.append(fn(x))
+    assert np.allclose(outputs[0], outputs[1], atol=1e-6)
+    assert np.allclose(outputs[0], outputs[2], atol=1e-6)
