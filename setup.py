@@ -2,9 +2,21 @@
 
 Kept so that ``pip install -e .`` works on environments whose setuptools/pip
 combination cannot build PEP 660 editable wheels (e.g. offline images without
-the ``wheel`` package).  All project metadata lives in ``pyproject.toml``.
+the ``wheel`` package).  The test/benchmark suites do not require an install:
+they run with ``PYTHONPATH=src``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            "rls-prof=repro.profiler.cli:main",
+            "rls-experiment=repro.experiments.cli:main",
+            "repro-trace=repro.tracedb.cli:main",
+        ],
+    },
+)

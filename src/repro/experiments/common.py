@@ -17,7 +17,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
 from ..hw.costmodel import CostModelConfig
-from ..profiler.analysis import WorkloadAnalysis, analyze
+from ..profiler.analysis import WorkloadAnalysis, analyze, analyze_db
 from ..profiler.api import Profiler, ProfilerConfig
 from ..profiler.calibration import CalibrationResult, CalibrationRun, calibrate
 from ..profiler.events import EventTrace
@@ -73,6 +73,8 @@ def run_workload(
     calibration: Optional[CalibrationResult] = None,
     cost_config: Optional[CostModelConfig] = None,
     use_ground_truth_calibration: bool = False,
+    trace_dir: Optional[str] = None,
+    streaming: bool = False,
 ) -> WorkloadRun:
     """Train one workload under the profiler and analyse its trace.
 
@@ -80,12 +82,17 @@ def run_workload(
     computed earlier for this workload" (the paper computes calibration once
     per workload and reuses it); :mod:`repro.experiments.fig11` performs the
     real calibration procedure.
+
+    With ``streaming=True`` (requires ``trace_dir``) the profiler flushes
+    events incrementally into a :mod:`repro.tracedb` store and the analysis
+    is computed from that store (shard-parallel overlap); flushes add zero
+    virtual time, so every reported quantity is unchanged.
     """
     profiler_config = profiler_config if profiler_config is not None else ProfilerConfig.full()
     system = System.create(seed=spec.seed, config=cost_config)
     env = make_env(spec.simulator, system, seed=spec.seed)
     framework = FrameworkAdapter(system, spec.framework)
-    profiler = Profiler(system, profiler_config)
+    profiler = Profiler(system, profiler_config, trace_dir=trace_dir, streaming=streaming)
     profiler.attach(engine=framework.engine, envs=[env])
 
     algo_config = default_config(spec.algo, **spec.config_overrides)
@@ -96,7 +103,12 @@ def run_workload(
 
     if calibration is None and use_ground_truth_calibration:
         calibration = CalibrationResult.from_ground_truth(system.cost_model.config)
-    analysis = analyze(trace, calibration=calibration, iterations=spec.total_timesteps)
+    if streaming:
+        analysis = analyze_db(profiler.open_tracedb(), calibration=calibration,
+                              iterations=spec.total_timesteps)
+        trace = analysis.trace
+    else:
+        analysis = analyze(trace, calibration=calibration, iterations=spec.total_timesteps)
     return WorkloadRun(
         spec=spec,
         train_result=train_result,

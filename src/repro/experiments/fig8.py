@@ -8,12 +8,17 @@ data-collection window — the contrast behind finding F.11.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 from ..hw.nvidia_smi import UtilizationReport
 from ..minigo import MinigoConfig, MinigoRoundResult, MinigoTraining
-from ..profiler import WorkerSummary, multi_process_summary, report as report_mod
+from ..profiler import (
+    WorkerSummary,
+    multi_process_summary,
+    multi_process_summary_db,
+    report as report_mod,
+)
 
 #: Reproduction-scale Minigo round: 16 workers (as in the paper), small board.
 DEFAULT_MINIGO_CONFIG = MinigoConfig(
@@ -73,12 +78,24 @@ def run_fig8(
     config: Optional[MinigoConfig] = None,
     *,
     sample_period_us: float = 250_000.0,
+    trace_dir: Optional[str] = None,
 ) -> Fig8Result:
-    """Run one Minigo round and compute the Figure 8 quantities."""
+    """Run one Minigo round and compute the Figure 8 quantities.
+
+    With ``trace_dir`` the round streams every phase's trace into one
+    TraceDB store (bounded memory during profiling) and the per-worker
+    summaries are computed shard-parallel from that store — byte-identical
+    to the in-memory path.
+    """
     config = config if config is not None else DEFAULT_MINIGO_CONFIG
+    if trace_dir is not None:
+        config = replace(config, trace_dir=trace_dir)
     training = MinigoTraining(config)
     round_result = training.run_round()
-    summaries = multi_process_summary(round_result.traces())
+    if round_result.trace_dir is not None:
+        summaries = multi_process_summary_db(round_result.trace_dir)
+    else:
+        summaries = multi_process_summary(round_result.traces())
     # Choose a sample period no larger than ~1/20th of the collection window so
     # the utilization metric has enough samples at reproduction scale, while
     # never exceeding the paper's 0.25 s period.

@@ -51,6 +51,8 @@ class MinigoRoundResult:
     candidate_accepted: bool
     losses: List[float] = field(default_factory=list)
     device: Optional[GPUDevice] = None
+    #: Set when the round streamed every phase's trace into a TraceDB store.
+    trace_dir: Optional[str] = None
 
     def traces(self) -> Dict[str, EventTrace]:
         traces = {run.worker: run.trace for run in self.worker_runs if run.trace is not None}
@@ -86,6 +88,11 @@ class MinigoConfig:
     acceptance_threshold: float = 0.55
     profile: bool = True
     seed: int = 0
+    #: When set, every phase streams its trace into one TraceDB store
+    #: (per-worker shards) instead of keeping whole traces in memory.  Each
+    #: round gets its own ``round_NNN`` store under this directory — worker
+    #: clocks restart at zero every round, so rounds must not share shards.
+    trace_dir: Optional[str] = None
 
 
 class MinigoTraining:
@@ -98,10 +105,21 @@ class MinigoTraining:
         rng = np.random.default_rng(self.config.seed + 7)
         self.current_weights = PolicyValueNet(self.config.board_size, self.config.hidden,
                                               rng=rng).state_dict()
+        self._round_counter = 0
 
     # ------------------------------------------------------------------ round
     def run_round(self) -> MinigoRoundResult:
         cfg = self.config
+        # One shared streaming store for every phase's shards (when enabled),
+        # in a fresh per-round directory so earlier rounds stay readable.
+        store = None
+        round_dir: Optional[str] = None
+        if cfg.trace_dir is not None and cfg.profile:
+            import os
+            from ..tracedb.writer import StreamingTraceWriter
+            round_dir = os.path.join(cfg.trace_dir, f"round_{self._round_counter:03d}")
+            self._round_counter += 1
+            store = StreamingTraceWriter(round_dir)
         # Phase 1: parallel self-play data collection.
         pool = SelfPlayPool(
             cfg.num_workers,
@@ -113,16 +131,19 @@ class MinigoTraining:
             profile=cfg.profile,
             cost_config=self.cost_config,
             seed=cfg.seed,
+            store=store,
         )
         runs = pool.run(self.current_weights)
         examples = pool.all_examples()
 
         # Phase 2: SGD updates on a trainer process (shares the same GPU).
         candidate_weights, losses, trainer_trace, trainer_time = self._train_candidate(
-            examples, pool.device)
+            examples, pool.device, store)
 
         # Phase 3: evaluation games between current and candidate models.
-        wins, eval_trace, eval_time = self._evaluate_candidate(candidate_weights, pool.device)
+        wins, eval_trace, eval_time = self._evaluate_candidate(candidate_weights, pool.device, store)
+        if store is not None:
+            store.close()
         accepted = wins / max(cfg.evaluation_games, 1) >= cfg.acceptance_threshold
         if accepted:
             self.current_weights = candidate_weights
@@ -138,10 +159,11 @@ class MinigoTraining:
             candidate_accepted=accepted,
             losses=losses,
             device=pool.device,
+            trace_dir=round_dir,
         )
 
     # ----------------------------------------------------------------- phase 2
-    def _train_candidate(self, examples: List[SelfPlayExample], device: GPUDevice):
+    def _train_candidate(self, examples: List[SelfPlayExample], device: GPUDevice, store=None):
         cfg = self.config
         system = System.create(seed=cfg.seed + 5, config=self.cost_config,
                                device=device, worker="trainer")
@@ -149,7 +171,7 @@ class MinigoTraining:
         engine = GraphEngine(system, flavor="tensorflow")
         profiler: Optional[Profiler] = None
         if cfg.profile:
-            profiler = Profiler(system, ProfilerConfig.full(), worker="trainer")
+            profiler = Profiler(system, ProfilerConfig.full(), worker="trainer", store=store)
             profiler.attach(engine=engine)
             profiler.set_phase("sgd_updates")
 
@@ -174,6 +196,8 @@ class MinigoTraining:
             candidate_weights = network.state_dict()
 
         trace = profiler.finalize() if profiler is not None else None
+        if store is not None:
+            trace = None
         return candidate_weights, losses, trace, system.clock.now_us
 
     @staticmethod
@@ -190,7 +214,7 @@ class MinigoTraining:
         return loss.item()
 
     # ----------------------------------------------------------------- phase 3
-    def _evaluate_candidate(self, candidate_weights: List[np.ndarray], device: GPUDevice):
+    def _evaluate_candidate(self, candidate_weights: List[np.ndarray], device: GPUDevice, store=None):
         cfg = self.config
         system = System.create(seed=cfg.seed + 6, config=self.cost_config,
                                device=device, worker="evaluate_candidate_model")
@@ -198,7 +222,8 @@ class MinigoTraining:
         engine = GraphEngine(system, flavor="tensorflow")
         profiler: Optional[Profiler] = None
         if cfg.profile:
-            profiler = Profiler(system, ProfilerConfig.full(), worker="evaluate_candidate_model")
+            profiler = Profiler(system, ProfilerConfig.full(), worker="evaluate_candidate_model",
+                                store=store)
             profiler.attach(engine=engine)
             profiler.set_phase("evaluation")
 
@@ -228,6 +253,8 @@ class MinigoTraining:
                     wins += 1
 
         trace = profiler.finalize() if profiler is not None else None
+        if store is not None:
+            trace = None
         return wins, trace, system.clock.now_us
 
     def _play_match(self, black_worker: SelfPlayWorker, white_worker: SelfPlayWorker,

@@ -12,9 +12,13 @@ what an ``nvidia-smi`` sampler would observe during parallel data collection.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids an import cycle
+    from ..tracedb.store import TraceDB
+    from ..tracedb.writer import StreamingTraceWriter
 
 from ..backend.graph import GraphEngine
 from ..backend.layers import hard_update
@@ -28,13 +32,18 @@ from .selfplay import PolicyValueNet, SelfPlayResult, SelfPlayWorker
 
 @dataclass
 class WorkerRun:
-    """Output of one worker in the pool."""
+    """Output of one worker in the pool.
+
+    ``trace`` is ``None`` when profiling is off or when the pool streams
+    traces into a shared store (query them via :meth:`SelfPlayPool.tracedb`);
+    ``system`` is ``None`` for runs reconstructed without a live system.
+    """
 
     worker: str
     result: SelfPlayResult
     trace: Optional[EventTrace]
     total_time_us: float
-    system: System = field(repr=False, default=None)
+    system: Optional[System] = field(repr=False, default=None)
 
 
 class SelfPlayPool:
@@ -57,6 +66,9 @@ class SelfPlayPool:
         profile: bool = True,
         cost_config: Optional[CostModelConfig] = None,
         seed: int = 0,
+        trace_dir: Optional[str] = None,
+        store: Optional["StreamingTraceWriter"] = None,
+        chunk_events: int = 50_000,
     ) -> None:
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
@@ -72,13 +84,46 @@ class SelfPlayPool:
         #: the shared accelerator all workers contend for
         self.device = GPUDevice()
         self.runs: List[WorkerRun] = []
+        # Streaming trace store: every worker writes its own shard into one
+        # store (either a shared writer passed in, or one owned by the pool).
+        self._store = store
+        self._owns_store = False
+        self._streamed = False
+        if self._store is None and trace_dir is not None:
+            from ..tracedb.writer import StreamingTraceWriter
+            self._store = StreamingTraceWriter(trace_dir, chunk_events=chunk_events)
+            self._owns_store = True
+
+    @property
+    def streaming(self) -> bool:
+        return self._store is not None
+
+    @property
+    def store(self) -> Optional["StreamingTraceWriter"]:
+        return self._store
+
+    def tracedb(self) -> "TraceDB":
+        """Open the streamed trace store for querying/map-reduce analysis."""
+        if self._store is None:
+            raise ValueError("pool was not created with trace_dir/store; no trace store to open")
+        from ..tracedb.store import TraceDB
+        return TraceDB(str(self._store.directory))
 
     # ------------------------------------------------------------------ run
     def run(self, weights: Optional[List[np.ndarray]] = None) -> List[WorkerRun]:
         """Run every worker's self-play session; returns per-worker results."""
+        if self.streaming and self._streamed:
+            # A rerun restarts every worker clock at zero; appending it to the
+            # same shards would double-count time in store-derived summaries.
+            raise RuntimeError("this pool already streamed a run into its trace store; "
+                               "create a new pool (or trace_dir) for another run")
         self.runs = []
         for index in range(self.num_workers):
             self.runs.append(self._run_worker(index, weights))
+        if self.streaming:
+            self._streamed = True
+            if self._owns_store:
+                self._store.close()
         return self.runs
 
     def _run_worker(self, index: int, weights: Optional[List[np.ndarray]]) -> WorkerRun:
@@ -98,7 +143,8 @@ class SelfPlayPool:
 
         profiler: Optional[Profiler] = None
         if self.profile:
-            profiler = Profiler(system, ProfilerConfig.full(), worker=worker_name)
+            profiler = Profiler(system, ProfilerConfig.full(), worker=worker_name,
+                                store=self._store)
             profiler.attach(engine=engine)
 
         worker = SelfPlayWorker(
@@ -111,6 +157,9 @@ class SelfPlayPool:
         )
         result = worker.play_games(self.games_per_worker)
         trace = profiler.finalize() if profiler is not None else None
+        if self.streaming:
+            # The trace lives in the store's shard; keep runs lightweight.
+            trace = None
         return WorkerRun(worker=worker_name, result=result, trace=trace,
                          total_time_us=system.clock.now_us, system=system)
 

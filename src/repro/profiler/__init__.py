@@ -11,7 +11,9 @@ Public surface:
 * :func:`analyze` / :class:`WorkloadAnalysis` — offline analysis producing
   the breakdowns, transition counts and multi-process summaries reported in
   the paper's figures.
-* :class:`TraceDumper` / :class:`TraceReader` — chunked trace storage.
+* :class:`TraceDumper` / :class:`TraceReader` — chunked trace storage
+  (thin wrappers over the :mod:`repro.tracedb` streaming store, which also
+  provides the shard-parallel analysis engine used by :func:`analyze_db`).
 """
 
 from .analysis import (
@@ -19,7 +21,10 @@ from .analysis import (
     WorkerSummary,
     WorkloadAnalysis,
     analyze,
+    analyze_db,
     multi_process_summary,
+    multi_process_summary_db,
+    summarize_worker_trace,
 )
 from .api import Profiler, ProfilerConfig
 from .calibration import (
@@ -63,7 +68,10 @@ __all__ = [
     "WorkerSummary",
     "WorkloadAnalysis",
     "analyze",
+    "analyze_db",
     "multi_process_summary",
+    "multi_process_summary_db",
+    "summarize_worker_trace",
     "Profiler",
     "ProfilerConfig",
     "CalibrationResult",

@@ -185,14 +185,51 @@ class WorkerSummary:
         return self.gpu_time_us / 1e6
 
 
+def summarize_worker_trace(worker: str, trace: EventTrace) -> WorkerSummary:
+    """One worker's Figure 8 summary: total span, CPU-bound time, GPU time."""
+    overlap = compute_overlap(trace)
+    total = float(trace.metadata.get("total_time_us", trace.span_us()))
+    gpu = overlap.gpu_time_us()
+    gpu_only = overlap.resource_time_us(RESOURCE_GPU)
+    cpu = max(total - gpu_only, 0.0)
+    return WorkerSummary(worker=worker, total_time_us=total, cpu_time_us=cpu, gpu_time_us=gpu)
+
+
 def multi_process_summary(traces: Mapping[str, EventTrace]) -> List[WorkerSummary]:
     """Summarise each worker's trace: total span, CPU-bound time, GPU time."""
-    summaries: List[WorkerSummary] = []
-    for worker, trace in traces.items():
-        overlap = compute_overlap(trace)
-        total = float(trace.metadata.get("total_time_us", trace.span_us()))
-        gpu = overlap.gpu_time_us()
-        gpu_only = overlap.resource_time_us(RESOURCE_GPU)
-        cpu = max(total - gpu_only, 0.0)
-        summaries.append(WorkerSummary(worker=worker, total_time_us=total, cpu_time_us=cpu, gpu_time_us=gpu))
+    summaries = [summarize_worker_trace(worker, trace) for worker, trace in traces.items()]
     return sorted(summaries, key=lambda s: s.worker)
+
+
+def multi_process_summary_db(source, *, max_workers: Optional[int] = None,
+                             mode: str = "thread") -> List[WorkerSummary]:
+    """Per-worker summaries computed shard-parallel from a TraceDB store.
+
+    ``source`` is a :class:`repro.tracedb.TraceDB` or a store directory.
+    """
+    from ..tracedb.mapreduce import parallel_worker_summaries
+    summaries = parallel_worker_summaries(source, max_workers=max_workers, mode=mode)
+    return sorted(summaries, key=lambda s: s.worker)
+
+
+def analyze_db(
+    source,
+    *,
+    calibration: Optional[CalibrationResult] = None,
+    iterations: Optional[int] = None,
+) -> WorkloadAnalysis:
+    """Build a :class:`WorkloadAnalysis` from a TraceDB store handle.
+
+    :class:`WorkloadAnalysis` needs the full record lists for its marker and
+    transition queries, so the store is materialised once and the overlap is
+    computed from that trace — decoding every chunk a second time through
+    the map phase would only add work.  The result is byte-identical to
+    :func:`repro.tracedb.parallel_overlap`, which remains the right tool for
+    summaries that never need the materialised trace (e.g.
+    :func:`multi_process_summary_db`).
+    """
+    from ..tracedb.store import TraceDB
+    db = source if isinstance(source, TraceDB) else TraceDB(str(source))
+    trace = db.to_event_trace()
+    return WorkloadAnalysis(trace=trace, overlap=compute_overlap(trace),
+                            calibration=calibration, iterations=iterations)

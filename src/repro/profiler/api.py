@@ -22,9 +22,13 @@ can subtract it (Section 3.4).
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Iterator, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids an import cycle
+    from ..tracedb.writer import StreamingTraceWriter
 
 from ..backend.engine import BackendEngine
 from ..system import System
@@ -82,12 +86,36 @@ class Profiler:
         *,
         worker: Optional[str] = None,
         trace_dir: Optional[str] = None,
+        streaming: bool = False,
+        chunk_events: int = 50_000,
+        store: Optional["StreamingTraceWriter"] = None,
     ) -> None:
+        """With ``streaming=True`` (or an explicit shared ``store``) the
+        profiler flushes events incrementally into a :mod:`repro.tracedb`
+        store instead of holding the whole trace in memory: at most one
+        chunk of records stays buffered, and flushes cost zero virtual time.
+        The finalized analysis is then read back through
+        :meth:`open_tracedb` / :class:`repro.tracedb.TraceDB`.
+        """
         self.system = system
         self.config = config if config is not None else ProfilerConfig.full()
         self.worker = worker if worker is not None else system.worker
         self.trace_dir = trace_dir
-        self.trace = EventTrace(metadata={"worker": self.worker})
+        self.streaming = bool(streaming or store is not None)
+        self._store = store
+        self._owns_store = False
+        if self.streaming:
+            if self._store is None:
+                if trace_dir is None:
+                    raise ValueError("streaming=True requires trace_dir (or an explicit store)")
+                from ..tracedb.writer import StreamingTraceWriter
+                self._store = StreamingTraceWriter(trace_dir, chunk_events=chunk_events)
+                self._owns_store = True
+            from ..tracedb.writer import SpillingEventTrace
+            self.trace: EventTrace = SpillingEventTrace(
+                self._store.shard(self.worker), metadata={"worker": self.worker})
+        else:
+            self.trace = EventTrace(metadata={"worker": self.worker})
         self.phase = "default"
         self._operation_stack: List[Event] = []
         self._operation_starts: List[float] = []
@@ -98,6 +126,7 @@ class Profiler:
         self._attached_envs: List[object] = []
         self._cuda_hook: Optional[CudaInterceptionHook] = None
         self._finalized = False
+        self._warned_unbalanced_exit = False
 
     # ---------------------------------------------------------------- attach
     def attach(self, *, engine: Optional[BackendEngine] = None,
@@ -207,7 +236,18 @@ class Profiler:
         self._c_depth += 1
 
     def on_c_exit(self) -> None:
-        self._c_depth = max(0, self._c_depth - 1)
+        if self._c_depth == 0:
+            # Unbalanced enter/exit indicates a broken interception hook;
+            # surface it (once) instead of silently swallowing the underflow.
+            if not self._warned_unbalanced_exit:
+                warnings.warn(
+                    f"unbalanced C enter/exit in worker {self.worker!r}: "
+                    "on_c_exit called with no matching on_c_enter",
+                    RuntimeWarning, stacklevel=2)
+                self._warned_unbalanced_exit = True
+            self._python_resume_us = self.system.clock.now_us
+            return
+        self._c_depth -= 1
         if self._c_depth == 0:
             self._python_resume_us = self.system.clock.now_us
 
@@ -244,8 +284,25 @@ class Profiler:
         self.trace.metadata.setdefault("total_time_us", self.system.clock.now_us)
         self.detach()
         self._finalized = True
-        if self.trace_dir is not None:
+        if self.streaming:
+            assert self._store is not None
+            self._store.close_shard(self.worker, metadata=dict(self.trace.metadata))
+            if self._owns_store:
+                self._store.close()
+        elif self.trace_dir is not None:
             from .trace_store import TraceDumper
             dumper = TraceDumper(self.trace_dir, worker=self.worker)
             dumper.dump(self.trace)
         return self.trace
+
+    @property
+    def store(self) -> Optional["StreamingTraceWriter"]:
+        """The streaming store writer (None unless streaming mode is on)."""
+        return self._store
+
+    def open_tracedb(self):
+        """Open the finalized trace store for querying (streaming mode only)."""
+        if self._store is None:
+            raise ValueError("no trace store: profiler was not created with streaming=True")
+        from ..tracedb.store import TraceDB
+        return TraceDB(str(self._store.directory))

@@ -32,6 +32,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--steps", type=int, default=200, help="number of simulator steps to train for")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--trace-dir", default=None, help="directory to store RL-Scope trace files")
+    parser.add_argument("--streaming", action="store_true",
+                        help="flush the trace incrementally into a TraceDB store during profiling "
+                             "(requires --trace-dir; query it afterwards with repro-trace)")
     parser.add_argument("--no-correction", action="store_true",
                         help="report uncorrected times (skip overhead correction)")
     parser.add_argument("--uninstrumented", action="store_true",
@@ -54,9 +57,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         total_timesteps=args.steps,
         seed=args.seed,
     )
+    if args.streaming and not args.trace_dir:
+        raise SystemExit("--streaming requires --trace-dir")
     profiler_config = ProfilerConfig.uninstrumented() if args.uninstrumented else ProfilerConfig.full()
     run = run_workload(spec, profiler_config=profiler_config,
-                       use_ground_truth_calibration=not args.no_correction)
+                       use_ground_truth_calibration=not args.no_correction,
+                       trace_dir=args.trace_dir if args.streaming else None,
+                       streaming=args.streaming)
 
     print(f"workload: {spec.label}  ({args.steps} steps, seed {args.seed})")
     print(f"total training time: {run.total_time_sec:.3f} virtual seconds")
@@ -72,8 +79,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(report_mod.transitions_table(analyses, args.steps))
 
     if args.trace_dir:
-        TraceDumper(args.trace_dir).dump(run.trace)
-        print(f"\ntrace written to {args.trace_dir}")
+        if args.streaming:
+            print(f"\ntrace streamed to {args.trace_dir} (inspect with: repro-trace summarize {args.trace_dir})")
+        else:
+            TraceDumper(args.trace_dir).dump(run.trace)
+            print(f"\ntrace written to {args.trace_dir}")
     return 0
 
 

@@ -45,6 +45,23 @@ class OverlapResult:
 
     regions: Dict[OverlapKey, float] = field(default_factory=dict)
 
+    # ------------------------------------------------------------------ merge
+    @classmethod
+    def merge(cls, results: Iterable["OverlapResult"]) -> "OverlapResult":
+        """Reduce several partial results (e.g. per-shard) into one.
+
+        Region durations are summed key-wise in the given order, which makes
+        the reduction deterministic: merging per-worker results in sorted
+        worker order reproduces :func:`compute_overlap` on the merged trace
+        bit for bit (the single-pass algorithm performs this exact merge
+        internally).  Merging is associative up to floating-point rounding.
+        """
+        merged: Dict[OverlapKey, float] = {}
+        for result in results:
+            for key, duration in result.regions.items():
+                merged[key] = merged.get(key, 0.0) + duration
+        return cls(regions=merged)
+
     # ---------------------------------------------------------------- totals
     def total_us(self, *, include_untracked: bool = True) -> float:
         return sum(
@@ -159,11 +176,15 @@ def compute_overlap(
     else:
         worker_list = list(workers)
 
-    result = OverlapResult(regions=defaultdict(float))
+    # One partial result per worker, reduced with OverlapResult.merge: the
+    # exact decomposition the shard-parallel path (repro.tracedb.mapreduce)
+    # uses, so single-pass and map-reduce results are byte-identical.
+    per_worker: List[OverlapResult] = []
     for worker in worker_list:
-        _accumulate_worker(trace, worker, result.regions)
-    result.regions = dict(result.regions)
-    return result
+        regions: Dict[OverlapKey, float] = defaultdict(float)
+        _accumulate_worker(trace, worker, regions)
+        per_worker.append(OverlapResult(regions=dict(regions)))
+    return OverlapResult.merge(per_worker)
 
 
 def _accumulate_worker(trace: EventTrace, worker: str, regions: Dict[OverlapKey, float]) -> None:

@@ -1,22 +1,26 @@
-"""Trace storage: chunked, off-critical-path trace files (Appendix A.1).
+"""Legacy trace storage API, now a thin wrapper over :mod:`repro.tracedb`.
 
 The original tool aggregates trace records in a C++ library and flushes them
-to Protobuf files of ~20 MB off the critical path.  The reproduction keeps
-the same structure — events are buffered and flushed in chunks, the flush
-costs no virtual time because it happens off the critical path — but uses a
-compact JSON container per chunk plus an index file.
+to Protobuf files of ~20 MB off the critical path.  Historically this module
+implemented a dump-at-end JSON container per chunk; trace storage now lives
+in the :mod:`repro.tracedb` subsystem (streaming writes, gzip-compressed
+JSONL shards, an indexed store with a query engine).  :class:`TraceDumper`
+and :class:`TraceReader` keep their old surface for existing callers and
+tests: dumps are written in the new store format, and reads transparently
+handle both the new format and directories written by older versions of
+this module (``rlscope_index.json`` plus plain-JSON chunks).
 """
 
 from __future__ import annotations
 
-import json
-import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional
 
-from .events import Event, EventTrace, OverheadMarker
+from .events import EventTrace
 
+# Retained for backwards compatibility: the *legacy* index file name.  New
+# stores are indexed by ``repro.tracedb.format.INDEX_FILE``.
 INDEX_FILE = "rlscope_index.json"
 CHUNK_PREFIX = "trace_chunk"
 
@@ -32,7 +36,12 @@ class TraceChunk:
 
 
 class TraceDumper:
-    """Buffers trace records and flushes them to chunk files."""
+    """Buffers trace records and flushes them to chunk files.
+
+    Kept as the dump-at-end convenience API; for incremental flushing during
+    profiling use ``Profiler(..., streaming=True)`` or
+    :class:`repro.tracedb.StreamingTraceWriter` directly.
+    """
 
     def __init__(self, directory: str, *, worker: str = "worker_0", chunk_events: int = 50_000) -> None:
         if chunk_events <= 0:
@@ -42,94 +51,60 @@ class TraceDumper:
         self.chunk_events = chunk_events
         self.directory.mkdir(parents=True, exist_ok=True)
         self.chunks: List[TraceChunk] = []
-        self._chunk_counter = 0
+        self._writer = None  # one StreamingTraceWriter for the dumper's lifetime
 
     # ------------------------------------------------------------------ dump
     def dump(self, trace: EventTrace) -> List[TraceChunk]:
         """Write the whole trace as one or more chunks plus an index file."""
-        events = list(trace.events)
-        operations = list(trace.operations)
-        markers = list(trace.markers)
-        written: List[TraceChunk] = []
-        # Chunk on the (usually dominant) flat event list; operations and
-        # markers ride along with the first chunk.
-        for offset in range(0, max(len(events), 1), self.chunk_events):
-            chunk_events = events[offset:offset + self.chunk_events]
-            chunk_ops = operations if offset == 0 else []
-            chunk_markers = markers if offset == 0 else []
-            written.append(self._write_chunk(chunk_events, chunk_ops, chunk_markers))
+        from ..tracedb.writer import StreamingTraceWriter
+
+        if self._writer is None:
+            self._writer = StreamingTraceWriter(str(self.directory), chunk_events=self.chunk_events)
+        writer = self._writer
+        shard = writer.shard(self.worker)
+        already_written = len(shard.chunks)
+        for event in trace.events:
+            shard.add_event(event)
+        for operation in trace.operations:
+            shard.add_operation(operation)
+        for marker in trace.markers:
+            shard.add_marker(marker)
+        shard.flush()
+        new_metas = shard.chunks[already_written:]
+        writer.set_metadata(self.worker, dict(trace.metadata))
+        writer.write_index()
+        written = [
+            TraceChunk(path=self.directory / meta.file,
+                       num_events=meta.num_events or 0,
+                       num_operations=meta.num_operations or 0,
+                       num_markers=meta.num_markers or 0)
+            for meta in new_metas
+        ]
         self.chunks.extend(written)
-        self._write_index(trace.metadata)
         return written
-
-    def _write_chunk(self, events: List[Event], operations: List[Event],
-                     markers: List[OverheadMarker]) -> TraceChunk:
-        path = self.directory / f"{CHUNK_PREFIX}_{self.worker}_{self._chunk_counter:05d}.json"
-        self._chunk_counter += 1
-        payload = {
-            "worker": self.worker,
-            "events": [e.to_dict() for e in events],
-            "operations": [op.to_dict() for op in operations],
-            "markers": [m.to_dict() for m in markers],
-        }
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-        return TraceChunk(path=path, num_events=len(events),
-                          num_operations=len(operations), num_markers=len(markers))
-
-    def _write_index(self, metadata: Dict[str, object]) -> None:
-        index_path = self.directory / INDEX_FILE
-        existing: Dict[str, object] = {}
-        if index_path.exists():
-            with open(index_path, "r", encoding="utf-8") as handle:
-                existing = json.load(handle)
-        workers = dict(existing.get("workers", {}))  # type: ignore[arg-type]
-        workers[self.worker] = {
-            "chunks": [str(chunk.path.name) for chunk in self.chunks],
-            "metadata": metadata,
-        }
-        with open(index_path, "w", encoding="utf-8") as handle:
-            json.dump({"workers": workers}, handle, indent=2)
 
 
 class TraceReader:
-    """Reads traces previously written by :class:`TraceDumper`."""
+    """Reads traces written by :class:`TraceDumper` or :mod:`repro.tracedb`."""
 
     def __init__(self, directory: str) -> None:
+        from ..tracedb.store import TraceDB
+
         self.directory = Path(directory)
-        index_path = self.directory / INDEX_FILE
-        if not index_path.exists():
-            raise FileNotFoundError(f"no RL-Scope trace index found in {directory}")
-        with open(index_path, "r", encoding="utf-8") as handle:
-            self.index = json.load(handle)
+        self.db = TraceDB(directory)
 
     def workers(self) -> List[str]:
-        return sorted(self.index.get("workers", {}).keys())
+        return self.db.workers()
 
     def read_worker(self, worker: str) -> EventTrace:
-        entry = self.index["workers"].get(worker)
-        if entry is None:
-            raise KeyError(f"worker {worker!r} not present in trace index")
-        trace = EventTrace(metadata=dict(entry.get("metadata", {})))
-        for chunk_name in entry["chunks"]:
-            path = self.directory / chunk_name
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-            for data in payload["events"]:
-                trace.events.append(Event.from_dict(data))
-            for data in payload["operations"]:
-                trace.operations.append(Event.from_dict(data))
-            for data in payload["markers"]:
-                trace.markers.append(OverheadMarker.from_dict(data))
-        return trace
+        return self.db.read_worker(worker)
 
     def read_all(self) -> Dict[str, EventTrace]:
-        return {worker: self.read_worker(worker) for worker in self.workers()}
+        return self.db.read_all()
 
     def iter_chunks(self) -> Iterator[Path]:
-        for worker in self.workers():
-            for chunk_name in self.index["workers"][worker]["chunks"]:
-                yield self.directory / chunk_name
+        for meta in self.db.chunks():
+            yield self.directory / meta.file
 
 
 def load_trace(directory: str, worker: Optional[str] = None) -> EventTrace:

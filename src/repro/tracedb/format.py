@@ -1,0 +1,270 @@
+"""On-disk format of a TraceDB store.
+
+A store directory contains
+
+* ``tracedb_index.json`` — one JSON index describing every worker's shard:
+  the ordered list of chunk files with their :class:`ChunkMeta` (record
+  counts, covered time range, phases and categories present), plus the
+  worker's trace metadata.
+* ``shard_<worker>_<seq>.jsonl.gz`` — gzip-compressed JSONL chunk files.
+  Each line is one record: ``{"t": "e"|"o"|"m", ...}`` for stack events,
+  operation annotations and overhead markers respectively.
+
+Stores written by the legacy :mod:`repro.profiler.trace_store` module
+(``rlscope_index.json`` plus plain-JSON chunks) are also readable: their
+chunks carry no per-chunk statistics, so queries simply cannot skip them.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..profiler.events import Event, OverheadMarker
+
+INDEX_FILE = "tracedb_index.json"
+LEGACY_INDEX_FILE = "rlscope_index.json"
+STORE_FORMAT = "tracedb-v1"
+CHUNK_PREFIX = "shard"
+
+#: Default number of buffered records before a shard flushes a chunk.
+DEFAULT_CHUNK_EVENTS = 50_000
+
+# Record type tags (one JSONL line per record).
+RECORD_EVENT = "e"
+RECORD_OPERATION = "o"
+RECORD_MARKER = "m"
+
+
+@dataclass(frozen=True)
+class ChunkMeta:
+    """Index entry for one chunk file.
+
+    ``start_us`` / ``end_us`` / ``phases`` / ``categories`` are ``None`` for
+    legacy chunks whose statistics are unknown; such chunks can never be
+    skipped by a filtered scan.
+    """
+
+    file: str
+    worker: str
+    seq: int
+    num_events: Optional[int] = None
+    num_operations: Optional[int] = None
+    num_markers: Optional[int] = None
+    start_us: Optional[float] = None
+    end_us: Optional[float] = None
+    phases: Optional[Tuple[str, ...]] = None
+    categories: Optional[Tuple[str, ...]] = None
+    legacy: bool = False
+
+    @property
+    def num_records(self) -> Optional[int]:
+        if self.num_events is None or self.num_operations is None or self.num_markers is None:
+            return None
+        return self.num_events + self.num_operations + self.num_markers
+
+    # ------------------------------------------------------------- filtering
+    def may_contain(
+        self,
+        *,
+        phase: Optional[str] = None,
+        categories: Optional[Sequence[str]] = None,
+        start_us: Optional[float] = None,
+        end_us: Optional[float] = None,
+    ) -> bool:
+        """Whether the chunk can hold records matching the filters.
+
+        Unknown statistics (legacy chunks) conservatively return ``True``.
+        """
+        if phase is not None and self.phases is not None and phase not in self.phases:
+            return False
+        if categories is not None and self.categories is not None:
+            if not set(categories) & set(self.categories):
+                return False
+        if start_us is not None and self.end_us is not None and self.end_us <= start_us:
+            return False
+        if end_us is not None and self.start_us is not None and self.start_us >= end_us:
+            return False
+        return True
+
+    # --------------------------------------------------------- serialisation
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "file": self.file,
+            "worker": self.worker,
+            "seq": self.seq,
+            "num_events": self.num_events,
+            "num_operations": self.num_operations,
+            "num_markers": self.num_markers,
+            "start_us": self.start_us,
+            "end_us": self.end_us,
+            "phases": None if self.phases is None else list(self.phases),
+            "categories": None if self.categories is None else list(self.categories),
+            "legacy": self.legacy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ChunkMeta":
+        phases = data.get("phases")
+        categories = data.get("categories")
+        return cls(
+            file=str(data["file"]),
+            worker=str(data["worker"]),
+            seq=int(data["seq"]),                              # type: ignore[arg-type]
+            num_events=None if data.get("num_events") is None else int(data["num_events"]),          # type: ignore[arg-type]
+            num_operations=None if data.get("num_operations") is None else int(data["num_operations"]),  # type: ignore[arg-type]
+            num_markers=None if data.get("num_markers") is None else int(data["num_markers"]),        # type: ignore[arg-type]
+            start_us=None if data.get("start_us") is None else float(data["start_us"]),               # type: ignore[arg-type]
+            end_us=None if data.get("end_us") is None else float(data["end_us"]),                     # type: ignore[arg-type]
+            phases=None if phases is None else tuple(str(p) for p in phases),      # type: ignore[union-attr]
+            categories=None if categories is None else tuple(str(c) for c in categories),  # type: ignore[union-attr]
+            legacy=bool(data.get("legacy", False)),
+        )
+
+
+@dataclass
+class ChunkPayload:
+    """Decoded contents of one chunk file."""
+
+    events: List[Event] = field(default_factory=list)
+    operations: List[Event] = field(default_factory=list)
+    markers: List[OverheadMarker] = field(default_factory=list)
+
+
+# ------------------------------------------------------------------- chunks
+def chunk_filename(worker: str, seq: int, *, compress: bool = True) -> str:
+    suffix = ".jsonl.gz" if compress else ".jsonl"
+    return f"{CHUNK_PREFIX}_{worker}_{seq:05d}{suffix}"
+
+
+def write_chunk(path: Path, payload: ChunkPayload, *, compress: bool = True) -> None:
+    opener = gzip.open if compress else open
+    with opener(path, "wt", encoding="utf-8") as handle:  # type: ignore[operator]
+        for event in payload.events:
+            handle.write(json.dumps({"t": RECORD_EVENT, **event.to_dict()}) + "\n")
+        for op in payload.operations:
+            handle.write(json.dumps({"t": RECORD_OPERATION, **op.to_dict()}) + "\n")
+        for marker in payload.markers:
+            handle.write(json.dumps({"t": RECORD_MARKER, **marker.to_dict()}) + "\n")
+
+
+def read_chunk(path: Path) -> ChunkPayload:
+    """Decode one chunk file (new JSONL format or a legacy JSON container)."""
+    name = path.name
+    if name.endswith(".jsonl") or name.endswith(".jsonl.gz"):
+        payload = ChunkPayload()
+        opener = gzip.open if name.endswith(".gz") else open
+        with opener(path, "rt", encoding="utf-8") as handle:  # type: ignore[operator]
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                kind = record.pop("t")
+                if kind == RECORD_EVENT:
+                    payload.events.append(Event.from_dict(record))
+                elif kind == RECORD_OPERATION:
+                    payload.operations.append(Event.from_dict(record))
+                elif kind == RECORD_MARKER:
+                    payload.markers.append(OverheadMarker.from_dict(record))
+                else:  # pragma: no cover - future format versions
+                    raise ValueError(f"unknown record type {kind!r} in {path}")
+        return payload
+    # Legacy chunk: one JSON object holding flat record lists.
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return ChunkPayload(
+        events=[Event.from_dict(d) for d in data.get("events", [])],
+        operations=[Event.from_dict(d) for d in data.get("operations", [])],
+        markers=[OverheadMarker.from_dict(d) for d in data.get("markers", [])],
+    )
+
+
+def build_meta(file: str, worker: str, seq: int, payload: ChunkPayload) -> ChunkMeta:
+    """Compute the index statistics for one chunk's records."""
+    starts: List[float] = [e.start_us for e in payload.events]
+    ends: List[float] = [e.end_us for e in payload.events]
+    starts += [op.start_us for op in payload.operations]
+    ends += [op.end_us for op in payload.operations]
+    starts += [m.time_us for m in payload.markers]
+    ends += [m.time_us for m in payload.markers]
+    phases = {e.phase for e in payload.events} | {op.phase for op in payload.operations}
+    phases |= {m.phase for m in payload.markers}
+    categories = {e.category for e in payload.events}
+    return ChunkMeta(
+        file=file,
+        worker=worker,
+        seq=seq,
+        num_events=len(payload.events),
+        num_operations=len(payload.operations),
+        num_markers=len(payload.markers),
+        start_us=min(starts) if starts else None,
+        end_us=max(ends) if ends else None,
+        phases=tuple(sorted(phases)),
+        categories=tuple(sorted(categories)),
+    )
+
+
+# -------------------------------------------------------------------- index
+@dataclass
+class WorkerEntry:
+    """One worker's shard in the store index."""
+
+    chunks: List[ChunkMeta] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+def write_index(directory: Path, workers: Mapping[str, WorkerEntry]) -> None:
+    """Atomically (re)write the store index."""
+    index = {
+        "format": STORE_FORMAT,
+        "workers": {
+            worker: {
+                "chunks": [meta.to_dict() for meta in entry.chunks],
+                "metadata": dict(entry.metadata),
+            }
+            for worker, entry in workers.items()
+        },
+    }
+    path = directory / INDEX_FILE
+    tmp = directory / (INDEX_FILE + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(index, handle, indent=2)
+    os.replace(tmp, path)
+
+
+def read_index(directory: Path) -> Dict[str, WorkerEntry]:
+    """Read a store index, falling back to the legacy RL-Scope index format.
+
+    Raises :class:`FileNotFoundError` when the directory holds neither.
+    """
+    index_path = directory / INDEX_FILE
+    if index_path.exists():
+        with open(index_path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+        workers: Dict[str, WorkerEntry] = {}
+        for worker, entry in raw.get("workers", {}).items():
+            workers[worker] = WorkerEntry(
+                chunks=[ChunkMeta.from_dict(m) for m in entry.get("chunks", [])],
+                metadata=dict(entry.get("metadata", {})),
+            )
+        return workers
+
+    legacy_path = directory / LEGACY_INDEX_FILE
+    if legacy_path.exists():
+        with open(legacy_path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+        workers = {}
+        for worker, entry in raw.get("workers", {}).items():
+            metas = [
+                ChunkMeta(file=str(name), worker=worker, seq=seq, legacy=True)
+                for seq, name in enumerate(entry.get("chunks", []))
+            ]
+            workers[worker] = WorkerEntry(chunks=metas, metadata=dict(entry.get("metadata", {})))
+        return workers
+
+    raise FileNotFoundError(f"no TraceDB or RL-Scope trace index found in {directory}")

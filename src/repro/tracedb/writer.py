@@ -1,0 +1,262 @@
+"""Streaming trace writing: bounded buffers, per-worker shards, one store.
+
+The writer mirrors the paper's off-critical-path trace aggregation: the
+profiler appends records as they are produced; whenever a shard's buffer
+reaches ``chunk_events`` records it is flushed to a compressed chunk file
+and the buffer is emptied, so at most one chunk of records is ever held in
+memory per worker.  Flushing performs only host-side I/O — it never touches
+the virtual clock, so streaming adds zero virtual time to the profiled
+workload.
+
+Several profilers (e.g. the 16 Minigo self-play workers plus the trainer
+and evaluator) can share one :class:`StreamingTraceWriter`, each writing its
+own shard into the same store directory; the index is merged incrementally
+as shards close, and also survives separate writer instances pointed at the
+same directory (read-modify-write index merging).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from ..profiler.events import CATEGORY_OPERATION, Event, EventTrace, OverheadMarker
+from .format import (
+    DEFAULT_CHUNK_EVENTS,
+    ChunkMeta,
+    ChunkPayload,
+    WorkerEntry,
+    build_meta,
+    chunk_filename,
+    read_index,
+    write_chunk,
+    write_index,
+)
+
+
+class ShardWriter:
+    """One worker's shard: a bounded buffer flushed as compressed chunks."""
+
+    def __init__(
+        self,
+        directory: Path,
+        worker: str,
+        *,
+        chunk_events: int = DEFAULT_CHUNK_EVENTS,
+        compress: bool = True,
+        start_seq: int = 0,
+        on_chunk: Optional[Callable[[ChunkMeta], None]] = None,
+    ) -> None:
+        if chunk_events <= 0:
+            raise ValueError("chunk_events must be positive")
+        self.directory = Path(directory)
+        self.worker = worker
+        self.chunk_events = chunk_events
+        self.compress = compress
+        self.seq = start_seq
+        self.chunks: List[ChunkMeta] = []
+        self.closed = False
+        self._on_chunk = on_chunk
+        self._buffer = ChunkPayload()
+        # Totals across the whole shard (buffered + flushed).
+        self.total_events = 0
+        self.total_operations = 0
+        self.total_markers = 0
+        self.max_end_us = 0.0
+        #: High-water mark of buffered records, for memory accounting.
+        self.peak_buffered = 0
+
+    # ------------------------------------------------------------------- add
+    @property
+    def buffered_records(self) -> int:
+        buf = self._buffer
+        return len(buf.events) + len(buf.operations) + len(buf.markers)
+
+    def add_event(self, event: Event) -> None:
+        self._buffer.events.append(event)
+        self.total_events += 1
+        self.max_end_us = max(self.max_end_us, event.end_us)
+        self._after_add()
+
+    def add_operation(self, operation: Event) -> None:
+        self._buffer.operations.append(operation)
+        self.total_operations += 1
+        self.max_end_us = max(self.max_end_us, operation.end_us)
+        self._after_add()
+
+    def add_marker(self, marker: OverheadMarker) -> None:
+        self._buffer.markers.append(marker)
+        self.total_markers += 1
+        self._after_add()
+
+    def _after_add(self) -> None:
+        if self.closed:
+            raise RuntimeError(f"shard for worker {self.worker!r} is closed")
+        buffered = self.buffered_records
+        if buffered > self.peak_buffered:
+            self.peak_buffered = buffered
+        if buffered >= self.chunk_events:
+            self.flush()
+
+    # ----------------------------------------------------------------- flush
+    def flush(self) -> Optional[ChunkMeta]:
+        """Write the buffered records as one chunk; no-op on an empty buffer."""
+        if self.buffered_records == 0:
+            return None
+        name = chunk_filename(self.worker, self.seq, compress=self.compress)
+        write_chunk(self.directory / name, self._buffer, compress=self.compress)
+        meta = build_meta(name, self.worker, self.seq, self._buffer)
+        self.seq += 1
+        self.chunks.append(meta)
+        self._buffer = ChunkPayload()
+        if self._on_chunk is not None:
+            self._on_chunk(meta)
+        return meta
+
+    def close(self) -> List[ChunkMeta]:
+        """Flush the remaining buffer and seal the shard."""
+        if not self.closed:
+            self.flush()
+            self.closed = True
+        return self.chunks
+
+
+class StreamingTraceWriter:
+    """A TraceDB store being written: many worker shards, one merged index."""
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        chunk_events: int = DEFAULT_CHUNK_EVENTS,
+        compress: bool = True,
+    ) -> None:
+        if chunk_events <= 0:
+            raise ValueError("chunk_events must be positive")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.chunk_events = chunk_events
+        self.compress = compress
+        self.closed = False
+        self._open_shards: Dict[str, ShardWriter] = {}
+        self._metas: Dict[str, List[ChunkMeta]] = {}
+        self._metadata: Dict[str, Dict[str, object]] = {}
+        self._next_seq: Dict[str, int] = {}
+        self._shard_peaks: Dict[str, int] = {}
+
+    # ---------------------------------------------------------------- shards
+    def shard(self, worker: str) -> ShardWriter:
+        """The open shard for ``worker`` (created, or reopened after a close)."""
+        if self.closed:
+            raise RuntimeError("trace store writer is closed")
+        existing = self._open_shards.get(worker)
+        if existing is not None:
+            return existing
+        metas = self._metas.setdefault(worker, [])
+        shard = ShardWriter(
+            self.directory,
+            worker,
+            chunk_events=self.chunk_events,
+            compress=self.compress,
+            start_seq=self._next_seq.get(worker, 0),
+            on_chunk=metas.append,
+        )
+        self._open_shards[worker] = shard
+        return shard
+
+    def set_metadata(self, worker: str, metadata: Dict[str, object]) -> None:
+        self._metadata[worker] = dict(metadata)
+
+    def close_shard(self, worker: str, *, metadata: Optional[Dict[str, object]] = None) -> None:
+        """Seal one worker's shard and merge it into the on-disk index."""
+        shard = self._open_shards.pop(worker, None)
+        if shard is not None:
+            shard.close()
+            self._next_seq[worker] = shard.seq
+            self._note_peak(shard)
+        self._metas.setdefault(worker, [])
+        if metadata is not None:
+            self.set_metadata(worker, metadata)
+        self.write_index()
+
+    # ----------------------------------------------------------------- index
+    def write_index(self) -> None:
+        """Merge this writer's shards into the store index on disk."""
+        try:
+            workers = read_index(self.directory)
+        except FileNotFoundError:
+            workers = {}
+        for worker, metas in self._metas.items():
+            workers[worker] = WorkerEntry(chunks=list(metas),
+                                          metadata=dict(self._metadata.get(worker, {})))
+        write_index(self.directory, workers)
+
+    def close(self) -> None:
+        """Seal every open shard and write the final index."""
+        if self.closed:
+            return
+        for worker in list(self._open_shards):
+            shard = self._open_shards.pop(worker)
+            shard.close()
+            self._next_seq[worker] = shard.seq
+            self._note_peak(shard)
+            self._metas.setdefault(worker, [])
+        self.write_index()
+        self.closed = True
+
+    # ------------------------------------------------------------ accounting
+    def bytes_written(self) -> int:
+        """Total size of this writer's chunk files on disk."""
+        total = 0
+        for metas in self._metas.values():
+            for meta in metas:
+                path = self.directory / meta.file
+                if path.exists():
+                    total += path.stat().st_size
+        return total
+
+    def peak_buffered_records(self) -> int:
+        """Largest number of records any shard ever held in memory."""
+        peaks = [shard.peak_buffered for shard in self._open_shards.values()]
+        peaks.extend(self._shard_peaks.values())
+        return max(peaks, default=0)
+
+    def _note_peak(self, shard: ShardWriter) -> None:
+        if shard.peak_buffered > self._shard_peaks.get(shard.worker, 0):
+            self._shard_peaks[shard.worker] = shard.peak_buffered
+
+
+class SpillingEventTrace(EventTrace):
+    """An :class:`EventTrace` facade that spills records into a shard.
+
+    Used by the profiler in streaming mode: the in-memory lists stay empty —
+    every record goes straight into the shard's bounded buffer — while the
+    metadata dict behaves as usual and is persisted when the shard closes.
+    """
+
+    def __init__(self, shard: ShardWriter, *, metadata: Optional[Dict[str, object]] = None) -> None:
+        super().__init__(metadata=dict(metadata) if metadata else {})
+        self._shard = shard
+
+    def add_event(self, event: Event) -> None:
+        if event.end_us < event.start_us:
+            raise ValueError(f"event ends before it starts: {event}")
+        if event.category == CATEGORY_OPERATION:
+            self._shard.add_operation(event)
+        else:
+            self._shard.add_event(event)
+
+    def add_marker(self, marker: OverheadMarker) -> None:
+        self._shard.add_marker(marker)
+
+    # Counting queries reflect everything spilled so far; the record lists
+    # themselves are on disk — query them through :class:`~repro.tracedb.TraceDB`.
+    def total_events(self) -> int:
+        return self._shard.total_events + self._shard.total_operations
+
+    def span_us(self) -> float:
+        return self._shard.max_end_us
+
+    @property
+    def shard(self) -> ShardWriter:
+        return self._shard

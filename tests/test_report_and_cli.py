@@ -96,7 +96,7 @@ def test_rls_prof_cli_uninstrumented_and_trace_dir(tmp_path, capsys):
     exit_code = prof_main(["--algo", "PPO2", "--simulator", "Hopper", "--steps", "32",
                            "--trace-dir", str(tmp_path / "traces")])
     assert exit_code == 0
-    assert (tmp_path / "traces" / "rlscope_index.json").exists()
+    assert (tmp_path / "traces" / "tracedb_index.json").exists()
     assert "trace written" in capsys.readouterr().out
 
 

@@ -1,0 +1,112 @@
+"""Round-trip tests for the legacy trace_store wrappers over TraceDB."""
+
+import json
+
+import pytest
+
+from repro.profiler.events import Event, EventTrace, OverheadMarker
+from repro.profiler.trace_store import TraceDumper, TraceReader, load_trace
+from repro.tracedb import TraceDB
+
+
+def make_trace(worker: str, *, num_events: int = 10, phase: str = "default") -> EventTrace:
+    trace = EventTrace(metadata={"worker": worker, "total_time_us": float(num_events * 10)})
+    for i in range(num_events):
+        trace.add_event(Event(category="Backend", name=f"op_{i}",
+                              start_us=10.0 * i, end_us=10.0 * i + 5.0,
+                              worker=worker, phase=phase))
+    trace.add_event(Event(category="Operation", name="step", start_us=0.0,
+                          end_us=10.0 * num_events, worker=worker, phase=phase))
+    trace.add_marker(OverheadMarker(kind="annotation", time_us=1.0, worker=worker, phase=phase))
+    return trace
+
+
+# ----------------------------------------------------------------- roundtrip
+def test_multi_worker_index_merging(tmp_path):
+    """Separate dumpers for separate workers merge into one store index."""
+    trace_a = make_trace("worker_a", num_events=7)
+    trace_b = make_trace("worker_b", num_events=5)
+    TraceDumper(str(tmp_path), worker="worker_a").dump(trace_a)
+    TraceDumper(str(tmp_path), worker="worker_b").dump(trace_b)
+
+    reader = TraceReader(str(tmp_path))
+    assert reader.workers() == ["worker_a", "worker_b"]
+    loaded = reader.read_all()
+    assert loaded["worker_a"].total_events() == trace_a.total_events()
+    assert loaded["worker_b"].total_events() == trace_b.total_events()
+    assert loaded["worker_b"].metadata["worker"] == "worker_b"
+    # The second dump must not clobber the first worker's entry.
+    assert len(loaded["worker_a"].markers) == 1
+
+
+def test_empty_trace_roundtrip(tmp_path):
+    """Dumping an empty trace still registers the worker in the index."""
+    chunks = TraceDumper(str(tmp_path), worker="worker_0").dump(EventTrace(metadata={"worker": "worker_0"}))
+    assert chunks == []
+    reader = TraceReader(str(tmp_path))
+    assert reader.workers() == ["worker_0"]
+    loaded = reader.read_worker("worker_0")
+    assert loaded.total_events() == 0
+    assert loaded.markers == []
+    assert loaded.metadata["worker"] == "worker_0"
+
+
+def test_chunk_boundary_splits(tmp_path):
+    """chunk_events smaller than the record count produces multiple chunks."""
+    trace = make_trace("worker_0", num_events=25)
+    dumper = TraceDumper(str(tmp_path), worker="worker_0", chunk_events=8)
+    chunks = dumper.dump(trace)
+    assert len(chunks) > 1
+    # Record counts across chunks add up to the full trace.
+    assert sum(c.num_events for c in chunks) == len(trace.events)
+    assert sum(c.num_operations for c in chunks) == len(trace.operations)
+    assert sum(c.num_markers for c in chunks) == len(trace.markers)
+    loaded = load_trace(str(tmp_path))
+    assert loaded.total_events() == trace.total_events()
+    assert sorted(e.name for e in loaded.events) == sorted(e.name for e in trace.events)
+
+
+def test_repeat_dump_appends_chunks(tmp_path):
+    """A dumper reused for the same worker keeps earlier chunks readable."""
+    dumper = TraceDumper(str(tmp_path), worker="worker_0", chunk_events=100)
+    dumper.dump(make_trace("worker_0", num_events=4))
+    dumper.dump(make_trace("worker_0", num_events=6))
+    loaded = load_trace(str(tmp_path))
+    # 4 + 6 backend events + 2 operation events.
+    assert loaded.total_events() == 12
+
+
+# -------------------------------------------------------------------- legacy
+def test_legacy_store_still_loads(tmp_path):
+    """Directories written by the old JSON dump-at-end format still load."""
+    trace = make_trace("worker_0", num_events=6)
+    chunk_name = "trace_chunk_worker_0_00000.json"
+    payload = {
+        "worker": "worker_0",
+        "events": [e.to_dict() for e in trace.events],
+        "operations": [op.to_dict() for op in trace.operations],
+        "markers": [m.to_dict() for m in trace.markers],
+    }
+    (tmp_path / chunk_name).write_text(json.dumps(payload), encoding="utf-8")
+    (tmp_path / "rlscope_index.json").write_text(json.dumps({
+        "workers": {"worker_0": {"chunks": [chunk_name], "metadata": dict(trace.metadata)}},
+    }), encoding="utf-8")
+
+    loaded = load_trace(str(tmp_path))
+    assert loaded.total_events() == trace.total_events()
+    assert len(loaded.markers) == len(trace.markers)
+    assert loaded.metadata["worker"] == "worker_0"
+    # Legacy chunks have no index statistics, so queries scan them.
+    db = TraceDB(str(tmp_path))
+    assert all(meta.legacy for meta in db.chunks())
+    assert db.count_events(category="Backend") == 6
+
+
+def test_reader_missing_directory(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        TraceReader(str(tmp_path / "does_not_exist"))
+
+
+def test_dumper_validates_chunk_size(tmp_path):
+    with pytest.raises(ValueError):
+        TraceDumper(str(tmp_path), chunk_events=0)
