@@ -1,0 +1,66 @@
+"""Benchmark: batched cross-worker inference vs per-leaf leaf evaluation.
+
+Regenerates the batch-size sweep behind the InferenceService (the
+``expand_leaf`` bottleneck of the paper's Minigo workload):
+
+* at ``leaf_batch=1`` the batched service reproduces the legacy per-leaf
+  game records move-for-move under identical seeds (the figures the paper's
+  Minigo analysis rests on are unchanged);
+* at ``leaf_batch=16`` the service issues at least 4x fewer engine
+  evaluation calls per leaf row and finishes the collection phase in less
+  virtual wall-clock.
+"""
+
+from conftest import save_report
+from repro.experiments.batchsweep import run_batch_sweep
+from repro.minigo.workers import SelfPlayPool
+
+SWEEP_LEAF_BATCHES = (1, 4, 16, 64)
+POOL_KWARGS = dict(
+    board_size=5,
+    num_simulations=16,
+    games_per_worker=1,
+    max_moves=10,
+    hidden=(32, 32),
+    seed=0,
+)
+NUM_WORKERS = 4
+
+
+def _game_records(pool):
+    """Per-worker (features, policy, value) byte records of every move."""
+    return [
+        [(ex.features.tobytes(), ex.policy_target.tobytes(), ex.value_target)
+         for ex in run.result.examples]
+        for run in pool.runs
+    ]
+
+
+def test_bench_inference_batchsweep(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: run_batch_sweep(SWEEP_LEAF_BATCHES, num_workers=NUM_WORKERS, **POOL_KWARGS),
+        rounds=1, iterations=1)
+
+    # --- determinism: batched leaf_batch=1 == legacy per-leaf path.
+    legacy = SelfPlayPool(NUM_WORKERS, profile=False, **POOL_KWARGS)
+    legacy.run()
+    batched = SelfPlayPool(NUM_WORKERS, profile=False, batched_inference=True,
+                           leaf_batch=1, **POOL_KWARGS)
+    batched.run()
+    assert _game_records(legacy) == _game_records(batched), \
+        "leaf_batch=1 must reproduce the legacy per-leaf game records move-for-move"
+    # Per-leaf evaluation is exactly one engine call per evaluated row.
+    stats1 = batched.inference_service.stats
+    assert stats1.engine_calls == stats1.rows
+
+    # --- the acceptance bar: >=4x fewer engine evaluation calls at 16.
+    assert sweep.call_reduction(16) >= 4.0, \
+        f"expected >=4x fewer engine calls at leaf_batch=16, got {sweep.call_reduction(16):.2f}x"
+    # Larger batches also reduce virtual wall-clock of the collection phase.
+    assert sweep.point(16).span_us < sweep.point(1).span_us
+    assert sweep.point(16).moves_per_sec > sweep.point(1).moves_per_sec
+
+    report = sweep.report()
+    print()
+    print(report)
+    save_report("inference_batchsweep", report)

@@ -8,6 +8,12 @@ from .common import (
     calibration_runner,
     run_workload,
 )
+from .batchsweep import (
+    DEFAULT_LEAF_BATCHES,
+    BatchSweepPoint,
+    BatchSweepResult,
+    run_batch_sweep,
+)
 from .fig4 import FRAMEWORKS_BY_ALGO, Fig4Result, run_fig4
 from .fig5 import SURVEY_ALGORITHMS, Fig5Result, run_fig5
 from .fig7 import SURVEY_SIMULATORS, Fig7Result, run_fig7
@@ -33,6 +39,10 @@ __all__ = [
     "calibrate_workload",
     "calibration_runner",
     "run_workload",
+    "DEFAULT_LEAF_BATCHES",
+    "BatchSweepPoint",
+    "BatchSweepResult",
+    "run_batch_sweep",
     "FRAMEWORKS_BY_ALGO",
     "Fig4Result",
     "run_fig4",

@@ -7,6 +7,7 @@ Examples::
     rls-experiment fig5
     rls-experiment fig8
     rls-experiment fig11a --timesteps 100
+    rls-experiment batchsweep --leaf-batches 1,4,16,64
     rls-experiment findings          # run everything and check F.1-F.12
 """
 
@@ -16,20 +17,35 @@ import argparse
 from typing import Optional, Sequence
 
 
+def _leaf_batch_list(text: str) -> tuple:
+    """Parse a comma-separated list of positive leaf batch sizes."""
+    try:
+        batches = tuple(int(batch) for batch in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}")
+    if not batches or any(batch <= 0 for batch in batches):
+        raise argparse.ArgumentTypeError(f"leaf batch sizes must be positive, got {text!r}")
+    return batches
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="rls-experiment", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("experiment",
-                        choices=["table1", "fig4", "fig5", "fig7", "fig8", "fig11a", "fig11b", "findings"])
+                        choices=["table1", "fig4", "fig5", "fig7", "fig8", "fig11a", "fig11b",
+                                 "batchsweep", "findings"])
     parser.add_argument("--algo", default="TD3", help="algorithm for fig4 (TD3 or DDPG)")
     parser.add_argument("--timesteps", type=int, default=None, help="steps per workload (default: experiment-specific)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--leaf-batches", type=_leaf_batch_list, default=None,
+                        help="comma-separated leaf batch sizes for batchsweep (default: 1,4,16,64)")
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     from . import (
+        DEFAULT_LEAF_BATCHES, run_batch_sweep,
         run_fig4, run_fig5, run_fig7, run_fig8, run_fig11a, run_fig11b, run_table1, table1, findings,
     )
     from .common import DEFAULT_TIMESTEPS
@@ -52,6 +68,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(run_fig11a(timesteps=fig11_steps, seed=args.seed).report())
     elif args.experiment == "fig11b":
         print(run_fig11b(timesteps=fig11_steps, seed=args.seed).report())
+    elif args.experiment == "batchsweep":
+        batches = args.leaf_batches if args.leaf_batches is not None else DEFAULT_LEAF_BATCHES
+        print(run_batch_sweep(batches, seed=args.seed).report())
     elif args.experiment == "findings":
         fig4_td3 = run_fig4("TD3", timesteps=steps, seed=args.seed)
         fig4_ddpg = run_fig4("DDPG", timesteps=steps, seed=args.seed)

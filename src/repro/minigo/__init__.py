@@ -1,5 +1,6 @@
 """Minigo scale-up workload: MCTS self-play, parallel workers, training rounds."""
 
+from .inference import InferenceClient, InferenceService, InferenceStats, InferenceTicket
 from .mcts import MCTS, MCTSNode
 from .selfplay import (
     OP_EXPAND_LEAF,
@@ -13,6 +14,10 @@ from .training import MinigoConfig, MinigoRoundResult, MinigoTraining
 from .workers import SelfPlayPool, WorkerRun
 
 __all__ = [
+    "InferenceClient",
+    "InferenceService",
+    "InferenceStats",
+    "InferenceTicket",
     "MCTS",
     "MCTSNode",
     "OP_EXPAND_LEAF",

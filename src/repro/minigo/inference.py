@@ -1,0 +1,256 @@
+"""Batched cross-worker inference service for Minigo self-play.
+
+The paper's self-play workload spends its accelerator time in ``expand_leaf``
+— per-leaf, batch-size-1 network evaluations issued independently by every
+MCTS worker.  Each evaluation pays the full Python -> Backend transition,
+kernel-launch and feed-preparation cost for a single board position, so the
+GPU runs tiny kernels back to back while the CPU spends most of its time in
+dispatch: exactly the hardware-underutilizing pattern RL-Scope's breakdowns
+expose (finding F.11).
+
+:class:`InferenceService` fixes the shape of that work.  Self-play workers
+submit leaf-evaluation requests (a block of feature rows each) to a shared
+service holding **one** model replica; the service coalesces everything
+pending into batched network calls of up to ``max_batch`` rows, scatters the
+resulting policy/value rows back to the requesting workers, and charges each
+waiting worker's virtual clock for the batch it rode in.  Row order within a
+batch never changes row results (the network is applied row-wise), so a
+``leaf_batch=1`` client reproduces the legacy per-leaf game records exactly
+while larger batches cut engine calls roughly ``batch``-fold.
+
+Attribution: every request can carry a metadata dict which the service fills
+with the serving batch shape (``batch_rows``, ``batch_clients``,
+``batch_time_us``, ``engine_calls``).  Workers attach that dict to their
+``expand_leaf`` operation events, so the profiler can attribute shared
+batched time back to the requesting workers without changing any overlap
+quantity — operation-event metadata takes no part in
+``compute_overlap``/``parallel_overlap``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..backend import functional as F
+from ..backend.context import use_engine
+from ..backend.engine import BackendEngine, CompiledFunction
+from ..backend.tensor import Tensor
+from ..system import System
+
+#: Compiled-function name used for batched evaluations; matches the legacy
+#: per-worker evaluator so cost-model lookups and trace names stay stable.
+EVALUATE_FUNCTION_NAME = "expand_leaf"
+
+
+@dataclass
+class InferenceStats:
+    """Counters describing the batching behaviour of one service."""
+
+    requests: int = 0            #: submitted tickets
+    rows: int = 0                #: total feature rows evaluated
+    engine_calls: int = 0        #: batched network calls issued
+    max_batch_rows: int = 0      #: largest single batch
+    cross_worker_batches: int = 0  #: batches serving more than one worker
+    rows_by_worker: Dict[str, int] = field(default_factory=dict)
+    batch_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def mean_batch_rows(self) -> float:
+        return self.rows / self.engine_calls if self.engine_calls else 0.0
+
+    @property
+    def calls_saved(self) -> int:
+        """Engine calls avoided versus the per-leaf (one call per row) path."""
+        return self.rows - self.engine_calls
+
+
+class InferenceTicket:
+    """Handle for one submitted evaluation request."""
+
+    def __init__(self, client: "InferenceClient", features: np.ndarray,
+                 metadata: Optional[dict]) -> None:
+        self.client = client
+        self.features = features
+        self.metadata = metadata
+        self.priors: Optional[np.ndarray] = None
+        self.values: Optional[np.ndarray] = None
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.features.shape[0])
+
+    @property
+    def done(self) -> bool:
+        return self.priors is not None
+
+    def result(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The (priors, values) rows for this request; flushes if pending."""
+        if not self.done:
+            self.client.service.flush()
+        assert self.priors is not None and self.values is not None
+        return self.priors, self.values
+
+
+class InferenceClient:
+    """One worker's connection to the shared service.
+
+    The client remembers the worker's system (whose clock pays for batch
+    latency) and engine (on which batches hosted by this client execute).
+    """
+
+    def __init__(self, service: "InferenceService", system: System,
+                 engine: BackendEngine, worker: str) -> None:
+        self.service = service
+        self.system = system
+        self.engine = engine
+        self.worker = worker
+
+    def submit(self, features: np.ndarray, *, metadata: Optional[dict] = None) -> InferenceTicket:
+        return self.service.submit(self, features, metadata=metadata)
+
+    def evaluate(self, features: np.ndarray, *, metadata: Optional[dict] = None
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """Synchronous evaluation: submit, flush the queue, return our rows."""
+        ticket = self.submit(features, metadata=metadata)
+        self.service.flush()
+        return ticket.result()
+
+
+class InferenceService:
+    """Coalesces leaf-evaluation requests from many workers into batched calls.
+
+    One model replica (``network``) serves every connected worker.  Requests
+    queue up via :meth:`submit`; :meth:`flush` concatenates all pending rows,
+    evaluates them in chunks of at most ``max_batch`` rows on the engine of
+    each chunk's first requester, and scatters results back.  Every worker
+    with rows in a chunk waits for that chunk: its virtual clock advances by
+    the chunk's evaluation time.
+    """
+
+    def __init__(self, network, *, max_batch: int = 64, name: str = "inference_service") -> None:
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self.network = network
+        self.max_batch = max_batch
+        self.name = name
+        self.stats = InferenceStats()
+        self._pending: List[InferenceTicket] = []
+        self._compiled: Dict[int, CompiledFunction] = {}
+
+    # ---------------------------------------------------------------- clients
+    def connect(self, system: System, engine: BackendEngine,
+                *, worker: Optional[str] = None) -> InferenceClient:
+        """Register a worker; returns its client handle."""
+        return InferenceClient(self, system, engine, worker or system.worker)
+
+    def _compiled_for(self, engine: BackendEngine) -> CompiledFunction:
+        # Keyed by id(engine): safe because the cached CompiledFunction holds
+        # a strong reference to its engine, so a cached id can never be
+        # recycled by a new engine while the entry exists.
+        key = id(engine)
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            compiled = engine.function(self._forward, name=EVALUATE_FUNCTION_NAME, num_feeds=1)
+            self._compiled[key] = compiled
+        return compiled
+
+    def _forward(self, features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        logits, value = self.network(Tensor(features))
+        priors = F.softmax(logits)
+        return priors.numpy(), value.numpy().reshape(-1)
+
+    # ----------------------------------------------------------------- queue
+    def submit(self, client: InferenceClient, features: np.ndarray,
+               *, metadata: Optional[dict] = None) -> InferenceTicket:
+        """Queue a block of feature rows for batched evaluation."""
+        features = np.asarray(features)
+        if features.ndim != 2 or features.shape[0] == 0:
+            raise ValueError(f"expected a non-empty [rows, features] array, got shape {features.shape}")
+        ticket = InferenceTicket(client, features, metadata)
+        self._pending.append(ticket)
+        self.stats.requests += 1
+        return ticket
+
+    @property
+    def pending_rows(self) -> int:
+        return sum(ticket.num_rows for ticket in self._pending)
+
+    def flush(self) -> int:
+        """Evaluate everything pending; returns the number of engine calls."""
+        if not self._pending:
+            return 0
+        tickets, self._pending = self._pending, []
+
+        # Flatten tickets into (ticket, row-within-ticket) spans and cut the
+        # row stream into chunks of at most max_batch rows.
+        spans: List[Tuple[InferenceTicket, int, int]] = []  # (ticket, lo, hi)
+        for ticket in tickets:
+            spans.append((ticket, 0, ticket.num_rows))
+        calls = 0
+        while spans:
+            chunk: List[Tuple[InferenceTicket, int, int]] = []
+            rows = 0
+            while spans and rows < self.max_batch:
+                ticket, lo, hi = spans[0]
+                take = min(hi - lo, self.max_batch - rows)
+                chunk.append((ticket, lo, lo + take))
+                rows += take
+                if lo + take == hi:
+                    spans.pop(0)
+                else:
+                    spans[0] = (ticket, lo + take, hi)
+            self._evaluate_chunk(chunk, rows)
+            calls += 1
+        return calls
+
+    def _evaluate_chunk(self, chunk: List[Tuple[InferenceTicket, int, int]], rows: int) -> None:
+        """Run one batched engine call and scatter rows back to its tickets."""
+        host = chunk[0][0].client
+        features = np.concatenate([t.features[lo:hi] for t, lo, hi in chunk], axis=0)
+        start_us = host.system.clock.now_us
+        with use_engine(host.engine):
+            priors, values = self._compiled_for(host.engine)(features)
+        batch_time_us = host.system.clock.now_us - start_us
+
+        clients = {id(t.client): t.client for t, _, _ in chunk}
+        # Everyone who rode the batch waits for it; the host's clock already
+        # advanced while the engine executed.  Non-host riders advance here,
+        # outside any of their own operation annotations, so their wait shows
+        # as untracked time unless the caller wraps submit()+flush() in an
+        # annotation itself (the pool's sync path does; the cross-worker
+        # scheduler follow-on in ROADMAP.md will move this into the rider's
+        # expand_leaf event).
+        for client in clients.values():
+            if client is not host:
+                client.system.clock.advance(batch_time_us)
+
+        self.stats.engine_calls += 1
+        self.stats.rows += rows
+        self.stats.max_batch_rows = max(self.stats.max_batch_rows, rows)
+        self.stats.batch_sizes.append(rows)
+        if len(clients) > 1:
+            self.stats.cross_worker_batches += 1
+
+        offset = 0
+        for ticket, lo, hi in chunk:
+            take = hi - lo
+            worker = ticket.client.worker
+            self.stats.rows_by_worker[worker] = self.stats.rows_by_worker.get(worker, 0) + take
+            prior_rows = priors[offset:offset + take]
+            value_rows = values[offset:offset + take]
+            if ticket.priors is None:
+                ticket.priors, ticket.values = prior_rows, value_rows
+            else:  # ticket split across chunks
+                ticket.priors = np.concatenate([ticket.priors, prior_rows], axis=0)
+                ticket.values = np.concatenate([ticket.values, value_rows], axis=0)
+            if ticket.metadata is not None:
+                meta = ticket.metadata
+                meta["inference_service"] = self.name
+                meta["batch_rows"] = meta.get("batch_rows", 0) + rows
+                meta["batch_clients"] = max(meta.get("batch_clients", 0), len(clients))
+                meta["batch_time_us"] = meta.get("batch_time_us", 0.0) + batch_time_us
+                meta["engine_calls"] = meta.get("engine_calls", 0) + 1
+            offset += take

@@ -6,6 +6,14 @@ minibatches with neural-network inference (``expand_leaf``).  The search here
 follows the PUCT formulation of AlphaGoZero: child selection by
 ``Q + U`` where ``U`` is proportional to the network prior and the parent
 visit count.
+
+With ``leaf_batch > 1`` the search runs in *waves*: up to ``leaf_batch``
+leaves are selected per wave under a virtual loss (each in-flight leaf is
+temporarily scored as a loss along its path, steering later selections away
+from it), then evaluated in one batched network call and backed up together.
+A wave of one leaf applies and removes its virtual loss before any other
+selection happens, so ``leaf_batch=1`` reproduces the classic per-leaf search
+decision-for-decision.
 """
 
 from __future__ import annotations
@@ -34,6 +42,8 @@ class MCTSNode:
     total_value: float = 0.0
     children: Dict[int, "MCTSNode"] = field(default_factory=dict)
     is_expanded: bool = False
+    #: in-flight selections counted as losses until their evaluation lands
+    virtual_loss: int = 0
 
     @property
     def mean_value(self) -> float:
@@ -42,8 +52,15 @@ class MCTSNode:
     def ucb_score(self, c_puct: float) -> float:
         if self.parent is None:
             return self.mean_value
-        exploration = c_puct * self.prior * math.sqrt(self.parent.visit_count) / (1 + self.visit_count)
-        return self.mean_value + exploration
+        # total_value is from this node's own to-play perspective (backup
+        # flips sign per ply), so the parent choosing among children must
+        # negate it; in-flight virtual losses count as parent-perspective
+        # losses, steering concurrent wave selections apart.
+        visits = self.visit_count + self.virtual_loss
+        mean = (-self.total_value - self.virtual_loss) / visits if visits > 0 else 0.0
+        parent_visits = self.parent.visit_count + self.parent.virtual_loss
+        exploration = c_puct * self.prior * math.sqrt(parent_visits) / (1 + visits)
+        return mean + exploration
 
 
 class MCTS:
@@ -57,15 +74,19 @@ class MCTS:
         c_puct: float = 1.5,
         dirichlet_alpha: float = 0.3,
         exploration_fraction: float = 0.25,
+        leaf_batch: int = 1,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         if num_simulations <= 0:
             raise ValueError("num_simulations must be positive")
+        if leaf_batch <= 0:
+            raise ValueError("leaf_batch must be positive")
         self.evaluator = evaluator
         self.num_simulations = num_simulations
         self.c_puct = c_puct
         self.dirichlet_alpha = dirichlet_alpha
         self.exploration_fraction = exploration_fraction
+        self.leaf_batch = leaf_batch
         self.rng = rng if rng is not None else np.random.default_rng(0)
 
     # ----------------------------------------------------------------- search
@@ -73,28 +94,78 @@ class MCTS:
         """Run ``num_simulations`` simulations from ``position`` and return the root."""
         root = MCTSNode(position=position)
         self._expand(root, add_noise=add_noise)
-        for _ in range(self.num_simulations):
+        remaining = self.num_simulations
+        while remaining > 0:
+            remaining -= self._run_wave(root, min(self.leaf_batch, remaining))
+        return root
+
+    def _run_wave(self, root: MCTSNode, target: int) -> int:
+        """Select up to ``target`` leaves under virtual loss, evaluate them in
+        one batched network call, and back the values up.  Returns the number
+        of simulations completed (always at least one)."""
+        #: (leaf, terminal value or None) in selection order
+        wave: List[Tuple[MCTSNode, Optional[float]]] = []
+        pending: List[MCTSNode] = []
+        pending_ids: set = set()
+        for _ in range(target):
             node = root
             # Selection: descend to a leaf.
             while node.is_expanded and node.children:
                 node = max(node.children.values(), key=lambda child: child.ucb_score(self.c_puct))
-            # Expansion / evaluation.
             if node.position.is_over:
                 value = node.position.result()
                 # result() is from Black's perspective; convert to the player to move.
                 value = value if node.position.to_play == 1 else -value
-            else:
-                value = self._expand(node, add_noise=False)
+                wave.append((node, value))
+                self._add_virtual_loss(node)
+                continue
+            if id(node) in pending_ids:
+                # Virtual loss could not steer the search away from an
+                # already-selected leaf (tiny tree); flush what we have.
+                break
+            pending_ids.add(id(node))
+            pending.append(node)
+            wave.append((node, None))
+            self._add_virtual_loss(node)
+
+        evaluated: Dict[int, Tuple[np.ndarray, float]] = {}
+        if pending:
+            features = np.stack([node.position.features() for node in pending])
+            priors, values = self.evaluator(features)
+            for i, node in enumerate(pending):
+                evaluated[id(node)] = (np.asarray(priors[i], dtype=np.float64), float(values[i]))
+
+        for node, value in wave:
+            self._remove_virtual_loss(node)
+            if value is None:
+                node_priors, value = evaluated[id(node)]
+                self._expand_with_priors(node, node_priors, add_noise=False)
             self._backup(node, value)
-        return root
+        return len(wave)
+
+    @staticmethod
+    def _add_virtual_loss(node: MCTSNode) -> None:
+        current: Optional[MCTSNode] = node
+        while current is not None:
+            current.virtual_loss += 1
+            current = current.parent
+
+    @staticmethod
+    def _remove_virtual_loss(node: MCTSNode) -> None:
+        current: Optional[MCTSNode] = node
+        while current is not None:
+            current.virtual_loss -= 1
+            current = current.parent
 
     def _expand(self, node: MCTSNode, *, add_noise: bool) -> float:
         """Evaluate the node with the network and create its children."""
         features = node.position.features()[None, :]
         priors, values = self.evaluator(features)
-        priors = np.asarray(priors[0], dtype=np.float64)
-        value = float(values[0])
+        self._expand_with_priors(node, np.asarray(priors[0], dtype=np.float64), add_noise=add_noise)
+        return float(values[0])
 
+    def _expand_with_priors(self, node: MCTSNode, priors: np.ndarray, *, add_noise: bool) -> None:
+        """Create the node's children from an already-computed prior row."""
         legal = node.position.legal_moves()
         legal_indices = [node.position.move_to_index(move) for move in legal]
         masked = np.zeros_like(priors)
@@ -116,7 +187,6 @@ class MCTS:
                 prior=float(masked[index]),
             )
         node.is_expanded = True
-        return value
 
     @staticmethod
     def _backup(node: MCTSNode, value: float) -> None:
@@ -144,8 +214,15 @@ class MCTS:
             one_hot = np.zeros_like(policy)
             one_hot[best] = 1.0
             return one_hot
-        policy = policy ** (1.0 / temperature)
-        return policy / policy.sum()
+        sharpened = policy ** (1.0 / temperature)
+        total = sharpened.sum()
+        if total == 0 or not np.isfinite(total):
+            # Sharpening under/overflowed (very low temperature on a lopsided
+            # visit distribution); fall back to the argmax one-hot.
+            one_hot = np.zeros_like(policy)
+            one_hot[int(np.argmax(policy))] = 1.0
+            return one_hot
+        return sharpened / total
 
     def choose_move(self, root: MCTSNode, *, temperature: float = 1.0) -> Move:
         policy = self.policy_from_visits(root, temperature=temperature)

@@ -8,6 +8,7 @@ annotation structure of Figure 2 in the paper.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
@@ -21,6 +22,7 @@ from ..backend.tensor import Parameter, Tensor
 from ..profiler.api import Profiler
 from ..sim.go import GoPosition
 from ..system import System
+from .inference import InferenceClient, InferenceService
 from .mcts import MCTS
 
 OP_TREE_SEARCH = "mcts_tree_search"
@@ -82,7 +84,7 @@ class SelfPlayWorker:
         self,
         system: System,
         engine: BackendEngine,
-        network: PolicyValueNet,
+        network: Optional[PolicyValueNet],
         *,
         profiler: Optional[Profiler] = None,
         board_size: int = 9,
@@ -90,17 +92,37 @@ class SelfPlayWorker:
         max_moves: Optional[int] = None,
         temperature_moves: int = 8,
         seed: int = 0,
+        leaf_batch: int = 1,
+        inference: Optional[InferenceService] = None,
     ) -> None:
+        """With ``inference`` set, leaf evaluation goes through the shared
+        batched :class:`~repro.minigo.inference.InferenceService` (one model
+        replica for every worker) instead of a private compiled evaluator;
+        ``leaf_batch`` controls how many in-flight leaves each MCTS wave
+        collects per batched call (1 reproduces the legacy per-leaf search
+        decision-for-decision)."""
+        if leaf_batch <= 0:
+            raise ValueError("leaf_batch must be positive")
         self.system = system
         self.engine = engine
-        self.network = network
         self.profiler = profiler
         self.board_size = board_size
         self.num_simulations = num_simulations
         self.max_moves = max_moves if max_moves is not None else 2 * board_size * board_size
         self.temperature_moves = temperature_moves
+        self.leaf_batch = leaf_batch
         self.rng = np.random.default_rng(seed)
-        self._evaluate_compiled = engine.function(self._evaluate, name="expand_leaf", num_feeds=1)
+        self.inference = inference
+        self._client: Optional[InferenceClient] = None
+        self._evaluate_compiled = None
+        if inference is not None:
+            self.network = network if network is not None else inference.network
+            self._client = inference.connect(system, engine, worker=system.worker)
+        else:
+            if network is None:
+                raise ValueError("network is required when no inference service is given")
+            self.network = network
+            self._evaluate_compiled = engine.function(self._evaluate, name="expand_leaf", num_feeds=1)
 
     # -------------------------------------------------------------- evaluation
     def _evaluate(self, features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -110,6 +132,15 @@ class SelfPlayWorker:
 
     def _profiled_evaluator(self, features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Leaf evaluation scoped to the ``expand_leaf`` operation."""
+        if self._client is not None:
+            if self.profiler is None:
+                return self._client.evaluate(features)
+            # Batched path: the service fills the metadata dict with the
+            # serving batch shape so shared batch time stays attributable to
+            # this worker's expand_leaf annotation.
+            metadata = {"rows": int(features.shape[0]), "leaf_batch": self.leaf_batch}
+            with self.profiler.operation(OP_EXPAND_LEAF, metadata=metadata):
+                return self._client.evaluate(features, metadata=metadata)
         if self.profiler is not None:
             with self.profiler.operation(OP_EXPAND_LEAF):
                 return self._evaluate_compiled(features)
@@ -127,7 +158,8 @@ class SelfPlayWorker:
         return result
 
     def _play_one_game(self, result: SelfPlayResult) -> None:
-        mcts = MCTS(self._profiled_evaluator, num_simulations=self.num_simulations, rng=self.rng)
+        mcts = MCTS(self._profiled_evaluator, num_simulations=self.num_simulations,
+                    leaf_batch=self.leaf_batch, rng=self.rng)
         position = GoPosition.initial(self.board_size)
         game_examples: List[Tuple[np.ndarray, np.ndarray, int]] = []
         move_number = 0
@@ -135,15 +167,16 @@ class SelfPlayWorker:
             if self.profiler is not None:
                 op_cm = self.profiler.operation(OP_TREE_SEARCH)
             else:
-                from contextlib import nullcontext
                 op_cm = nullcontext()
             with op_cm:
                 # Python-side tree traversal work.
                 self.system.cpu_work(TREE_SEARCH_UNITS_PER_SIM * self.num_simulations)
                 root = mcts.search(position, add_noise=True)
                 temperature = 1.0 if move_number < self.temperature_moves else 1e-6
+                # policy_from_visits returns a normalised distribution (it
+                # guards the all-zero and underflow cases itself).
                 policy = mcts.policy_from_visits(root, temperature=temperature)
-                move_index = int(self.rng.choice(len(policy), p=policy / policy.sum()))
+                move_index = int(self.rng.choice(len(policy), p=policy))
                 move = position.index_to_move(move_index)
             game_examples.append((position.features(), policy.astype(np.float32), position.to_play))
             position = position.play(move)

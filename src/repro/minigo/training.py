@@ -88,6 +88,14 @@ class MinigoConfig:
     acceptance_threshold: float = 0.55
     profile: bool = True
     seed: int = 0
+    #: Route self-play leaf evaluation through one shared batched
+    #: InferenceService instead of per-worker engines calling per leaf.
+    batched_inference: bool = False
+    #: In-flight leaves each MCTS wave collects per batched evaluation
+    #: (1 reproduces the legacy per-leaf search decision-for-decision).
+    leaf_batch: int = 1
+    #: Largest row count the inference service packs into one engine call.
+    inference_max_batch: int = 64
     #: When set, every phase streams its trace into one TraceDB store
     #: (per-worker shards) instead of keeping whole traces in memory.  Each
     #: round gets its own ``round_NNN`` store under this directory — worker
@@ -132,6 +140,9 @@ class MinigoTraining:
             cost_config=self.cost_config,
             seed=cfg.seed,
             store=store,
+            batched_inference=cfg.batched_inference,
+            leaf_batch=cfg.leaf_batch,
+            inference_max_batch=cfg.inference_max_batch,
         )
         runs = pool.run(self.current_weights)
         examples = pool.all_examples()

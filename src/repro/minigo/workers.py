@@ -19,6 +19,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only; avoids an import cycle
     from ..tracedb.store import TraceDB
     from ..tracedb.writer import StreamingTraceWriter
+    from .inference import InferenceService
 
 from ..backend.graph import GraphEngine
 from ..backend.layers import hard_update
@@ -69,7 +70,16 @@ class SelfPlayPool:
         trace_dir: Optional[str] = None,
         store: Optional["StreamingTraceWriter"] = None,
         chunk_events: int = 50_000,
+        batched_inference: bool = False,
+        leaf_batch: int = 1,
+        inference_max_batch: int = 64,
     ) -> None:
+        """With ``batched_inference=True`` the pool creates one shared
+        :class:`~repro.minigo.inference.InferenceService` (a single model
+        replica) and every worker's MCTS collects up to ``leaf_batch``
+        in-flight leaves per wave for batched evaluation through it.  At
+        ``leaf_batch=1`` the batched path reproduces the legacy per-leaf game
+        records move-for-move under identical seeds."""
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
         self.num_workers = num_workers
@@ -81,6 +91,10 @@ class SelfPlayPool:
         self.profile = profile
         self.cost_config = cost_config
         self.seed = seed
+        self.batched_inference = batched_inference
+        self.leaf_batch = leaf_batch
+        self.inference_max_batch = inference_max_batch
+        self.inference_service: Optional["InferenceService"] = None
         #: the shared accelerator all workers contend for
         self.device = GPUDevice()
         self.runs: List[WorkerRun] = []
@@ -118,6 +132,17 @@ class SelfPlayPool:
             raise RuntimeError("this pool already streamed a run into its trace store; "
                                "create a new pool (or trace_dir) for another run")
         self.runs = []
+        self.inference_service = None
+        if self.batched_inference:
+            from .inference import InferenceService
+            # One model replica serves every worker; with the same init seed
+            # as the legacy per-worker networks its weights are identical.
+            shared_network = PolicyValueNet(self.board_size, self.hidden,
+                                            rng=np.random.default_rng(self.seed + 7))
+            if weights is not None:
+                shared_network.load_state_dict(weights)
+            self.inference_service = InferenceService(shared_network,
+                                                      max_batch=self.inference_max_batch)
         for index in range(self.num_workers):
             self.runs.append(self._run_worker(index, weights))
         if self.streaming:
@@ -136,10 +161,13 @@ class SelfPlayPool:
         )
         system.cuda.default_stream = index
         engine = GraphEngine(system, flavor="tensorflow")
-        network = PolicyValueNet(self.board_size, self.hidden,
-                                 rng=np.random.default_rng(self.seed + 7))
-        if weights is not None:
-            network.load_state_dict(weights)
+        if self.inference_service is not None:
+            network = self.inference_service.network
+        else:
+            network = PolicyValueNet(self.board_size, self.hidden,
+                                     rng=np.random.default_rng(self.seed + 7))
+            if weights is not None:
+                network.load_state_dict(weights)
 
         profiler: Optional[Profiler] = None
         if self.profile:
@@ -154,6 +182,8 @@ class SelfPlayPool:
             num_simulations=self.num_simulations,
             max_moves=self.max_moves,
             seed=self.seed + 1000 + index,
+            leaf_batch=self.leaf_batch,
+            inference=self.inference_service,
         )
         result = worker.play_games(self.games_per_worker)
         trace = profiler.finalize() if profiler is not None else None

@@ -12,13 +12,17 @@ This module turns raw traces into the quantities the paper reports:
 
 from __future__ import annotations
 
-import bisect
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .calibration import CalibrationResult
-from .correction import corrected_category_breakdown, corrected_total_us, overhead_by_operation_category
+from .correction import (
+    OperationLocator,
+    corrected_category_breakdown,
+    corrected_total_us,
+    overhead_by_operation_category,
+)
 from .events import (
     CATEGORY_BACKEND,
     CATEGORY_CUDA_API,
@@ -142,28 +146,13 @@ def analyze(
     return WorkloadAnalysis(trace=trace, overlap=overlap, calibration=calibration, iterations=iterations)
 
 
-def _build_locators(trace: EventTrace) -> Dict[str, "_Locator"]:
+def _build_locators(trace: EventTrace) -> Dict[str, OperationLocator]:
+    """One interval-indexed innermost-operation locator per worker, so
+    transition counting stays O((events + operations) log operations)."""
     return {
-        worker: _Locator([op for op in trace.operations if op.worker == worker])
+        worker: OperationLocator([op for op in trace.operations if op.worker == worker])
         for worker in trace.workers()
     }
-
-
-class _Locator:
-    """Innermost-operation lookup by timestamp (shared with correction)."""
-
-    def __init__(self, operations: List[Event]) -> None:
-        self._operations = sorted(operations, key=lambda op: op.start_us)
-        self._starts = [op.start_us for op in self._operations]
-
-    def locate(self, time_us: float) -> str:
-        index = bisect.bisect_right(self._starts, time_us)
-        best: Optional[Event] = None
-        for op in self._operations[:index]:
-            if op.end_us >= time_us:
-                if best is None or op.start_us >= best.start_us:
-                    best = op
-        return best.name if best is not None else UNTRACKED
 
 
 # --------------------------------------------------------------- multi-process

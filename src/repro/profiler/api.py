@@ -178,8 +178,14 @@ class Profiler:
         return self._operation_names[-1] if self._operation_names else None
 
     @contextmanager
-    def operation(self, name: str) -> Iterator[None]:
-        """Annotate a high-level algorithmic operation (Figure 2 of the paper)."""
+    def operation(self, name: str, *, metadata: Optional[dict] = None) -> Iterator[None]:
+        """Annotate a high-level algorithmic operation (Figure 2 of the paper).
+
+        ``metadata`` is attached to the recorded operation event.  The dict is
+        snapshotted when the block exits, so callees may fill it in during the
+        block — the batched inference service uses this to attribute shared
+        ``expand_leaf`` batch time back to the requesting worker.
+        """
         if not self.config.annotations:
             yield
             return
@@ -206,6 +212,7 @@ class Profiler:
                 category=CATEGORY_OPERATION, name=name,
                 start_us=op_start, end_us=end,
                 worker=self.worker, phase=self.phase,
+                metadata=dict(metadata) if metadata else None,
             ))
 
     def _inject_annotation_overhead(self) -> None:

@@ -12,6 +12,7 @@ time is removed "at the precise point when it occurs" (Section 3.4).
 from __future__ import annotations
 
 import bisect
+import heapq
 from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
 
@@ -20,21 +21,65 @@ from .events import OVERHEAD_CATEGORY, Event, EventTrace
 from .overlap import UNTRACKED, OverlapResult
 
 
-class _OperationLocator:
-    """Finds the innermost operation active at a given time for one worker."""
+class OperationLocator:
+    """Finds the innermost operation active at a given time for one worker.
+
+    The innermost operation at time ``t`` is the one with the latest start
+    among all operations with ``start_us <= t <= end_us`` (ties broken toward
+    the later entry in start-sorted order).  A linear scan per query makes
+    overhead correction O(markers x operations); instead we sweep the
+    interval boundaries once and precompute the answer for every elementary
+    segment, so each query is a single binary search.
+
+    Because an operation is active on the *closed* interval
+    ``[start_us, end_us]``, the answer exactly at a boundary point can differ
+    from the answer in the open segment that follows it; both are stored.
+    """
 
     def __init__(self, operations: List[Event]) -> None:
-        self._operations = sorted(operations, key=lambda op: op.start_us)
-        self._starts = [op.start_us for op in self._operations]
+        ops = sorted(operations, key=lambda op: op.start_us)
+        points: List[float] = sorted({p for op in ops for p in (op.start_us, op.end_us)})
+        self._points = points
+        self._at_point: List[str] = []
+        self._after_point: List[str] = []
+        if not points:
+            return
+
+        starts_at: Dict[float, List[int]] = defaultdict(list)
+        for index, op in enumerate(ops):
+            starts_at[op.start_us].append(index)
+
+        # Max-heap over (start, sorted-index) with lazy deletion: the top
+        # entry still active is the innermost operation.  Each op is pushed
+        # and popped at most once, so the whole sweep is O(n log n).
+        heap: List[Tuple[float, int]] = []
+
+        def innermost(active_threshold: float) -> str:
+            """Name of the top op whose end_us >= active_threshold."""
+            while heap and ops[-heap[0][1]].end_us < active_threshold:
+                heapq.heappop(heap)
+            return ops[-heap[0][1]].name if heap else UNTRACKED
+
+        for i, point in enumerate(points):
+            for index in starts_at.get(point, ()):
+                heapq.heappush(heap, (-ops[index].start_us, -index))
+            # Queries exactly at `point` see ops with end_us >= point ...
+            self._at_point.append(innermost(point))
+            # ... while queries strictly between this point and the next see
+            # only ops that survive past `point`.
+            if i + 1 < len(points):
+                self._after_point.append(innermost(points[i + 1]))
 
     def locate(self, time_us: float) -> str:
-        index = bisect.bisect_right(self._starts, time_us)
-        best: Optional[Event] = None
-        for op in self._operations[:index]:
-            if op.end_us >= time_us:
-                if best is None or op.start_us >= best.start_us:
-                    best = op
-        return best.name if best is not None else UNTRACKED
+        points = self._points
+        index = bisect.bisect_right(points, time_us) - 1
+        if index < 0:
+            return UNTRACKED
+        if points[index] == time_us:
+            return self._at_point[index]
+        if index >= len(self._after_point):
+            return UNTRACKED
+        return self._after_point[index]
 
 
 def overhead_by_operation_category(
@@ -43,7 +88,7 @@ def overhead_by_operation_category(
 ) -> Dict[Tuple[str, str], float]:
     """Estimated book-keeping time per (operation, category) bucket."""
     locators = {
-        worker: _OperationLocator([op for op in trace.operations if op.worker == worker])
+        worker: OperationLocator([op for op in trace.operations if op.worker == worker])
         for worker in trace.workers()
     }
     totals: Dict[Tuple[str, str], float] = defaultdict(float)

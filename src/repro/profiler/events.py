@@ -55,7 +55,15 @@ OVERHEAD_CATEGORY = {
 
 @dataclass(frozen=True)
 class Event:
-    """One timestamped interval at a particular stack level."""
+    """One timestamped interval at a particular stack level.
+
+    ``metadata`` carries optional structured attribution (e.g. batched
+    inference events record the serving batch size and requesting share so
+    shared ``expand_leaf`` time can be charged back to each worker).  It is
+    ``None`` for ordinary events, takes no part in overlap computation, and
+    is only serialised when present, so traces without metadata are
+    byte-identical to those written before the field existed.
+    """
 
     category: str
     name: str
@@ -63,6 +71,7 @@ class Event:
     end_us: float
     worker: str = "worker_0"
     phase: str = "default"
+    metadata: Optional[Mapping[str, object]] = None
 
     @property
     def duration_us(self) -> float:
@@ -72,7 +81,7 @@ class Event:
         return self.start_us < other.end_us and other.start_us < self.end_us
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "category": self.category,
             "name": self.name,
             "start_us": self.start_us,
@@ -80,9 +89,13 @@ class Event:
             "worker": self.worker,
             "phase": self.phase,
         }
+        if self.metadata is not None:
+            data["metadata"] = dict(self.metadata)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "Event":
+        metadata = data.get("metadata")
         return cls(
             category=str(data["category"]),
             name=str(data["name"]),
@@ -90,6 +103,7 @@ class Event:
             end_us=float(data["end_us"]),       # type: ignore[arg-type]
             worker=str(data.get("worker", "worker_0")),
             phase=str(data.get("phase", "default")),
+            metadata=None if metadata is None else dict(metadata),  # type: ignore[call-overload]
         )
 
 

@@ -223,8 +223,14 @@ def _accumulate_worker(trace: EventTrace, worker: str, regions: Dict[OverlapKey,
     for i, point in enumerate(points):
         # Process interval [previous point, point) before applying changes at `point`.
         for op in op_ends.get(point, ()):  # closing before opening keeps zero-length ops out
-            if op in active_ops:
-                active_ops.remove(op)
+            # Evict by identity, not equality: two annotations with the same
+            # name/start/end are equal as dataclasses, and list.remove would
+            # evict whichever instance comes first — corrupting the active
+            # set when duplicate identical operations are open at once.
+            for j in range(len(active_ops) - 1, -1, -1):
+                if active_ops[j] is op:
+                    del active_ops[j]
+                    break
         for event in ends.get(point, ()):
             active_counts[event.category] -= 1
 

@@ -133,3 +133,20 @@ def test_fig11_correction_within_tolerance_single_workload():
     assert validation.uncorrected_inflation_percent > 0
     assert abs(validation.bias_percent) <= 16.0
     assert validation.corrected_sec <= validation.instrumented_sec
+
+
+def test_batch_sweep_reports_call_reduction():
+    from repro.experiments.batchsweep import run_batch_sweep
+
+    sweep = run_batch_sweep((1, 4), num_workers=2, num_simulations=6,
+                            max_moves=6, hidden=(16, 16), seed=0)
+    assert [p.leaf_batch for p in sweep.points] == [1, 4]
+    base, batched = sweep.points
+    assert base.engine_calls == base.rows          # per-leaf baseline
+    assert batched.mean_batch_rows > 1.0
+    assert sweep.call_reduction(4) > 1.0
+    for point in sweep.points:
+        assert point.moves > 0 and point.span_us > 0
+        assert point.cpu_only_us + point.cpu_gpu_us > 0
+    report = sweep.report()
+    assert "leaf_batch" in report and "engine calls" in report

@@ -1,0 +1,194 @@
+"""Tests for the batched cross-worker inference service and wave MCTS."""
+
+import numpy as np
+import pytest
+
+from repro.backend import GraphEngine
+from repro.hw.gpu import GPUDevice
+from repro.minigo import (
+    MCTS,
+    InferenceService,
+    PolicyValueNet,
+    SelfPlayPool,
+)
+from repro.minigo.selfplay import OP_EXPAND_LEAF
+from repro.profiler.events import Event
+from repro.sim.go import GoPosition
+from repro.system import System
+
+
+BOARD = 5
+NUM_MOVES = BOARD * BOARD + 1
+
+
+def make_network(seed=7):
+    return PolicyValueNet(BOARD, (16, 16), rng=np.random.default_rng(seed))
+
+
+def make_client(service, device, *, worker, seed=0, stream=0):
+    system = System.create(seed=seed, device=device, worker=worker)
+    system.cuda.default_stream = stream
+    engine = GraphEngine(system, flavor="tensorflow")
+    return service.connect(system, engine, worker=worker)
+
+
+def uniform_evaluator(features):
+    batch = features.shape[0]
+    priors = np.full((batch, NUM_MOVES), 1.0 / NUM_MOVES, dtype=np.float32)
+    return priors, np.zeros(batch, dtype=np.float32)
+
+
+# ----------------------------------------------------------------- service
+def test_service_coalesces_cross_worker_requests():
+    device = GPUDevice()
+    service = InferenceService(make_network(), max_batch=64)
+    client_a = make_client(service, device, worker="a", stream=0)
+    client_b = make_client(service, device, worker="b", seed=1, stream=1)
+
+    features_a = np.random.default_rng(0).normal(size=(3, 75)).astype(np.float32)
+    features_b = np.random.default_rng(1).normal(size=(2, 75)).astype(np.float32)
+    ticket_a = client_a.submit(features_a)
+    ticket_b = client_b.submit(features_b)
+    assert service.pending_rows == 5
+    calls = service.flush()
+
+    assert calls == 1, "both workers' rows must ride one batched engine call"
+    stats = service.stats
+    assert stats.engine_calls == 1
+    assert stats.rows == 5
+    assert stats.cross_worker_batches == 1
+    assert stats.rows_by_worker == {"a": 3, "b": 2}
+    assert stats.calls_saved == 4
+
+    # Row results match evaluating each worker's block alone (up to BLAS
+    # rounding, which may differ by an ulp across matmul batch shapes;
+    # identical shapes — the leaf_batch=1 case — are bitwise identical).
+    priors_a, values_a = ticket_a.result()
+    priors_b, values_b = ticket_b.result()
+    solo = InferenceService(make_network(), max_batch=64)
+    solo_client = make_client(solo, GPUDevice(), worker="solo")
+    solo_priors, solo_values = solo_client.evaluate(features_a)
+    np.testing.assert_allclose(priors_a, solo_priors, atol=1e-6)
+    np.testing.assert_allclose(values_a, solo_values, atol=1e-6)
+    assert priors_b.shape == (2, NUM_MOVES) and values_b.shape == (2,)
+
+    # Both requesters paid for the batch on their own virtual clocks.
+    assert client_a.system.clock.now_us > 0
+    assert client_b.system.clock.now_us > 0
+
+
+def test_service_splits_oversized_requests_across_batches():
+    service = InferenceService(make_network(), max_batch=4)
+    client = make_client(service, GPUDevice(), worker="big")
+    features = np.random.default_rng(2).normal(size=(10, 75)).astype(np.float32)
+    metadata = {}
+    priors, values = client.evaluate(features, metadata=metadata)
+
+    assert priors.shape == (10, NUM_MOVES) and values.shape == (10,)
+    assert service.stats.engine_calls == 3          # 4 + 4 + 2 rows
+    assert service.stats.batch_sizes == [4, 4, 2]
+    assert metadata["engine_calls"] == 3
+    assert metadata["batch_rows"] == 10
+    assert metadata["inference_service"] == service.name
+    assert metadata["batch_time_us"] > 0
+
+
+def test_service_rejects_bad_input():
+    service = InferenceService(make_network())
+    client = make_client(service, GPUDevice(), worker="w")
+    with pytest.raises(ValueError):
+        client.submit(np.zeros((0, 75), dtype=np.float32))
+    with pytest.raises(ValueError):
+        InferenceService(make_network(), max_batch=0)
+
+
+# -------------------------------------------------------------- wave MCTS
+def test_wave_search_visit_counts_match_simulation_budget():
+    position = GoPosition.initial(size=BOARD)
+    for leaf_batch in (1, 4, 16):
+        mcts = MCTS(uniform_evaluator, num_simulations=20, leaf_batch=leaf_batch,
+                    rng=np.random.default_rng(0))
+        root = mcts.search(position)
+        assert root.visit_count == 20
+        assert sum(child.visit_count for child in root.children.values()) == 20
+        # All virtual losses must have been reverted.
+        def assert_no_virtual_loss(node):
+            assert node.virtual_loss == 0
+            for child in node.children.values():
+                assert_no_virtual_loss(child)
+        assert_no_virtual_loss(root)
+
+
+def test_wave_search_batches_evaluator_calls():
+    calls = []
+
+    def counting_evaluator(features):
+        calls.append(features.shape[0])
+        return uniform_evaluator(features)
+
+    mcts = MCTS(counting_evaluator, num_simulations=16, leaf_batch=16,
+                rng=np.random.default_rng(0))
+    mcts.search(GoPosition.initial(size=BOARD))
+    assert sum(calls) >= 16             # root + every evaluated leaf
+    assert max(calls) > 1               # at least one genuinely batched call
+    assert len(calls) < 17              # strictly fewer calls than per-leaf
+
+    mcts_rejects = pytest.raises(ValueError)
+    with mcts_rejects:
+        MCTS(uniform_evaluator, num_simulations=4, leaf_batch=0)
+
+
+# -------------------------------------------------- pool-level determinism
+POOL_KWARGS = dict(board_size=BOARD, num_simulations=6, games_per_worker=1,
+                   max_moves=8, hidden=(16, 16), seed=3)
+
+
+def _game_records(pool):
+    pool.run()
+    return [
+        [(ex.features.tobytes(), ex.policy_target.tobytes(), ex.value_target)
+         for ex in run.result.examples]
+        for run in pool.runs
+    ]
+
+
+def test_leaf_batch_one_reproduces_legacy_game_records():
+    legacy = _game_records(SelfPlayPool(3, profile=True, **POOL_KWARGS))
+    batched = SelfPlayPool(3, profile=True, batched_inference=True, leaf_batch=1,
+                           **POOL_KWARGS)
+    assert _game_records(batched) == legacy
+    # The batched path really ran through the service, one row per call.
+    stats = batched.inference_service.stats
+    assert stats.engine_calls == stats.rows > 0
+
+
+def test_larger_leaf_batch_reduces_engine_calls():
+    batched = SelfPlayPool(2, profile=False, batched_inference=True, leaf_batch=6,
+                           **POOL_KWARGS)
+    records = _game_records(batched)
+    stats = batched.inference_service.stats
+    assert stats.engine_calls < stats.rows
+    assert stats.max_batch_rows > 1
+    assert all(records), "every worker still produces games"
+
+
+def test_batched_pool_records_expand_leaf_attribution_metadata(tmp_path):
+    pool = SelfPlayPool(2, profile=True, batched_inference=True, leaf_batch=4,
+                        **POOL_KWARGS)
+    pool.run()
+    tagged = []
+    for run in pool.runs:
+        for op in run.trace.operations:
+            if op.name == OP_EXPAND_LEAF:
+                assert op.metadata is not None
+                assert op.metadata["inference_service"] == pool.inference_service.name
+                assert op.metadata["batch_rows"] >= op.metadata["rows"] >= 1
+                assert op.metadata["leaf_batch"] == 4
+                tagged.append(op)
+    assert tagged, "expand_leaf events must carry batch attribution metadata"
+    # Metadata survives the serialisation round-trip, and its absence keeps
+    # the on-disk record format unchanged.
+    event = tagged[0]
+    assert Event.from_dict(event.to_dict()) == event
+    bare = Event("Operation", "expand_leaf", 0.0, 1.0)
+    assert "metadata" not in bare.to_dict()

@@ -155,3 +155,27 @@ def test_minigo_candidate_acceptance_updates_weights():
     assert result.candidate_accepted  # threshold 0 accepts any candidate
     changed = any(not np.allclose(a, b) for a, b in zip(before, training.current_weights))
     assert changed
+
+
+def test_ucb_selection_is_minimax_correct():
+    """The parent must prefer children whose own-perspective value is low.
+
+    total_value is stored from each node's own to-play perspective (backup
+    flips sign per ply), so selection has to negate it: a child position
+    that is good for the *opponent* (its to_play) must score below one that
+    is bad for the opponent.  A sign inversion here makes self-play pile
+    visits onto losing moves.
+    """
+    from repro.minigo.mcts import MCTSNode
+
+    position = GoPosition.initial(size=5)
+    parent = MCTSNode(position=position, visit_count=4)
+    opponent_winning = MCTSNode(position=position, parent=parent, prior=0.5,
+                                visit_count=2, total_value=2.0)
+    opponent_losing = MCTSNode(position=position, parent=parent, prior=0.5,
+                               visit_count=2, total_value=-2.0)
+    assert opponent_losing.ucb_score(1.5) > opponent_winning.ucb_score(1.5)
+    # Virtual loss makes an in-flight child strictly less attractive.
+    before = opponent_losing.ucb_score(1.5)
+    opponent_losing.virtual_loss = 1
+    assert opponent_losing.ucb_score(1.5) < before

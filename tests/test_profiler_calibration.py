@@ -193,3 +193,54 @@ def test_trace_reader_missing_directory(tmp_path):
 def test_trace_dumper_validates_chunk_size(tmp_path):
     with pytest.raises(ValueError):
         TraceDumper(str(tmp_path), chunk_events=0)
+
+
+# ------------------------------------------------------- correction locator
+def _linear_locate(operations, time_us):
+    """The original O(operations) reference scan, kept as the test oracle."""
+    from repro.profiler.overlap import UNTRACKED
+    best = None
+    for op in sorted(operations, key=lambda op: op.start_us):
+        if op.start_us <= time_us and op.end_us >= time_us:
+            if best is None or op.start_us >= best.start_us:
+                best = op
+    return best.name if best is not None else UNTRACKED
+
+
+def test_operation_locator_matches_linear_scan_on_randomized_trace():
+    """The interval-indexed locator must answer exactly like the linear scan,
+    including at interval boundaries, on nested/overlapping/duplicate ops."""
+    import numpy as np
+
+    from repro.profiler.correction import OperationLocator
+    from repro.profiler.events import CATEGORY_OPERATION, Event
+
+    rng = np.random.default_rng(42)
+    operations = []
+    for i in range(200):
+        start = float(rng.integers(0, 500))
+        duration = float(rng.integers(0, 60))  # includes zero-length ops
+        operations.append(Event(CATEGORY_OPERATION, f"op_{i % 7}", start, start + duration))
+    # Exact duplicates and shared boundaries exercise the tie-breaking rules.
+    operations.extend(operations[:20])
+
+    locator = OperationLocator(operations)
+    queries = list(rng.uniform(-10.0, 600.0, size=300))
+    for op in operations[:50]:
+        queries.extend([op.start_us, op.end_us, op.start_us - 1e-9, op.end_us + 1e-9])
+    for time_us in queries:
+        assert locator.locate(time_us) == _linear_locate(operations, time_us), time_us
+
+
+def test_operation_locator_empty_and_single():
+    from repro.profiler.correction import OperationLocator
+    from repro.profiler.events import CATEGORY_OPERATION, Event
+    from repro.profiler.overlap import UNTRACKED
+
+    assert OperationLocator([]).locate(10.0) == UNTRACKED
+    locator = OperationLocator([Event(CATEGORY_OPERATION, "only", 5.0, 15.0)])
+    assert locator.locate(4.999) == UNTRACKED
+    assert locator.locate(5.0) == "only"
+    assert locator.locate(10.0) == "only"
+    assert locator.locate(15.0) == "only"
+    assert locator.locate(15.001) == UNTRACKED

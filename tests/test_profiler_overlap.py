@@ -179,3 +179,55 @@ def test_union_of_single_category_equals_interval_union(intervals):
         union += current_end - current_start
     overlap = compute_overlap(trace)
     assert overlap.total_us() == pytest.approx(union, rel=1e-9, abs=1e-6)
+
+
+# ------------------------------------------------- duplicate identical annotations
+def test_duplicate_identical_operations_keep_innermost_attribution(tmp_path):
+    """Two identical annotations active at once must not corrupt eviction.
+
+    ``_accumulate_worker`` used to evict finished operations by dataclass
+    equality, which can drop the wrong instance when duplicate identical
+    annotations (same name/start/end) are active.  Eviction is now by
+    identity; single-pass and map-reduce results must agree bit-for-bit.
+    """
+    from repro.tracedb import StreamingTraceWriter, TraceDB, parallel_overlap
+
+    trace = EventTrace()
+    workers = ("w0", "w1")
+    for worker in workers:
+        # Two *distinct instances* with identical fields, nested inside each
+        # other, plus a later-starting inner operation.
+        trace.operations.append(Event(CATEGORY_OPERATION, "step", 0.0, 100.0, worker=worker))
+        trace.operations.append(Event(CATEGORY_OPERATION, "step", 0.0, 100.0, worker=worker))
+        trace.operations.append(Event(CATEGORY_OPERATION, "inner", 40.0, 60.0, worker=worker))
+        trace.events.append(Event(CATEGORY_PYTHON, "python", 0.0, 100.0, worker=worker))
+
+    single = compute_overlap(trace)
+    python = frozenset({CATEGORY_PYTHON})
+    # [0,40) and [60,100) belong to "step", [40,60) to the innermost "inner".
+    assert single.regions[("step", python)] == pytest.approx(80.0 * len(workers))
+    assert single.regions[("inner", python)] == pytest.approx(20.0 * len(workers))
+
+    writer = StreamingTraceWriter(str(tmp_path))
+    for worker in workers:
+        shard = writer.shard(worker)
+        for op in trace.operations:
+            if op.worker == worker:
+                shard.add_operation(op)
+        for event in trace.events:
+            if event.worker == worker:
+                shard.add_event(event)
+        writer.close_shard(worker)
+    writer.close()
+    mapreduce = parallel_overlap(TraceDB(str(tmp_path)))
+    assert mapreduce.regions == single.regions  # bit-for-bit, not approx
+
+
+def test_operation_event_metadata_does_not_change_overlap():
+    """Attribution metadata rides on operation events without affecting regions."""
+    plain = EventTrace()
+    tagged = EventTrace()
+    for trace, metadata in ((plain, None), (tagged, {"batch_rows": 16, "rows": 4})):
+        trace.add_event(Event(CATEGORY_OPERATION, "expand_leaf", 0.0, 50.0, metadata=metadata))
+        trace.add_event(Event(CATEGORY_PYTHON, "python", 0.0, 50.0))
+    assert compute_overlap(plain).regions == compute_overlap(tagged).regions

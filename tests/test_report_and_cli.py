@@ -115,3 +115,10 @@ def test_rls_experiment_cli_fig5(capsys):
     assert experiment_main(["fig5", "--timesteps", "40"]) == 0
     output = capsys.readouterr().out
     assert "Figure 5" in output and "Simulation-bound" in output
+
+
+def test_experiment_cli_batchsweep(capsys):
+    assert experiment_main(["batchsweep", "--leaf-batches", "1,4"]) == 0
+    out = capsys.readouterr().out
+    assert "Batch-size sweep" in out
+    assert "fewer" in out
