@@ -7,7 +7,12 @@ GPU-kernel time per worker (Figure 8, finding F.11).
 
 Run with::
 
-    python examples/minigo_scaleup.py [num_workers]
+    python examples/minigo_scaleup.py [num_workers] [scheduler]
+
+where ``scheduler`` is ``sequential`` (default) or ``event`` — the latter
+interleaves the self-play workers at MCTS-wave granularity so one shared
+engine call batches leaf evaluations across workers, like a real inference
+server, and prints the resulting batching statistics.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ from repro.experiments.findings import check_f11_misleading_gpu_utilization
 from repro.minigo import MinigoConfig
 
 
-def main(num_workers: int = 16) -> None:
+def main(num_workers: int = 16, scheduler: str = "sequential") -> None:
     config = MinigoConfig(
         num_workers=num_workers,
         board_size=5,
@@ -30,7 +35,8 @@ def main(num_workers: int = 16) -> None:
         evaluation_games=2,
         hidden=(64, 64),
     )
-    result = run_fig8(config)
+    result = run_fig8(config, scheduler=scheduler if scheduler != "sequential" else None,
+                      leaf_batch=8 if scheduler == "event" else None)
     print(result.report())
     print()
     check = check_f11_misleading_gpu_utilization(result)
@@ -39,7 +45,14 @@ def main(num_workers: int = 16) -> None:
     print(f"\nbusiest self-play worker: {busiest.worker} — "
           f"{busiest.total_time_sec:.2f}s total, only {busiest.gpu_time_sec:.3f}s executing GPU kernels, "
           f"yet nvidia-smi reports {result.reported_utilization_pct():.0f}% GPU utilization.")
+    stats = result.round_result.selfplay_inference_stats
+    if stats is not None and stats.cross_worker_batches:
+        print(f"event-driven scheduler: {stats.engine_calls} batched engine calls served "
+              f"{stats.rows} leaf evaluations ({stats.mean_batch_rows:.1f} rows/call, "
+              f"{100.0 * stats.cross_worker_share:.0f}% of batches cross-worker, "
+              f"mean queueing delay {stats.mean_queue_delay_us:.0f}us).")
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 16)
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 16,
+         sys.argv[2] if len(sys.argv) > 2 else "sequential")

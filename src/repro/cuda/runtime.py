@@ -109,6 +109,12 @@ class CudaRuntime:
             launch_complete_us=record.end_us,
             stream=stream,
             worker=self.worker,
+            # Sample the duration from this worker's own cost model: a
+            # kernel's execution time must not depend on how other workers'
+            # launches interleave on the shared device (whose cost model has
+            # one shared jitter RNG), and the per-worker model is the one
+            # carrying the workload's CostModelConfig.
+            duration_us=self.cost_model.kernel_duration(kernel.flops, kernel.bytes_accessed),
         )
         self.cupti.record_kernel(activity, record.correlation_id)
         return ApiCallResult(record=record, activity=activity)
@@ -125,6 +131,7 @@ class CudaRuntime:
             launch_complete_us=record.end_us,
             stream=stream,
             worker=self.worker,
+            duration_us=self.cost_model.memcpy_duration(num_bytes),
         )
         self.cupti.record_memcpy(activity, record.correlation_id)
         return ApiCallResult(record=record, activity=activity)
@@ -141,6 +148,7 @@ class CudaRuntime:
             launch_complete_us=record.end_us,
             stream=stream,
             worker=self.worker,
+            duration_us=self.cost_model.kernel_duration(0.0, float(num_bytes)),
         )
         self.cupti.record_kernel(activity, record.correlation_id)
         return ApiCallResult(record=record, activity=activity)

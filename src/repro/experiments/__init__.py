@@ -14,6 +14,13 @@ from .batchsweep import (
     BatchSweepResult,
     run_batch_sweep,
 )
+from .schedsweep import (
+    DEFAULT_SCHED_LEAF_BATCHES,
+    DEFAULT_SCHED_WORKERS,
+    SchedSweepPoint,
+    SchedSweepResult,
+    run_sched_sweep,
+)
 from .fig4 import FRAMEWORKS_BY_ALGO, Fig4Result, run_fig4
 from .fig5 import SURVEY_ALGORITHMS, Fig5Result, run_fig5
 from .fig7 import SURVEY_SIMULATORS, Fig7Result, run_fig7
@@ -43,6 +50,11 @@ __all__ = [
     "BatchSweepPoint",
     "BatchSweepResult",
     "run_batch_sweep",
+    "DEFAULT_SCHED_LEAF_BATCHES",
+    "DEFAULT_SCHED_WORKERS",
+    "SchedSweepPoint",
+    "SchedSweepResult",
+    "run_sched_sweep",
     "FRAMEWORKS_BY_ALGO",
     "Fig4Result",
     "run_fig4",

@@ -8,6 +8,9 @@ Examples::
     rls-experiment fig8
     rls-experiment fig11a --timesteps 100
     rls-experiment batchsweep --leaf-batches 1,4,16,64
+    rls-experiment schedsweep --workers 8 --leaf-batches 1,4,8
+    rls-experiment schedsweep --flush-policy timeout --timeout-us 500
+    rls-experiment fig8 --scheduler event
     rls-experiment findings          # run everything and check F.1-F.12
 """
 
@@ -33,12 +36,22 @@ def build_parser() -> argparse.ArgumentParser:
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("experiment",
                         choices=["table1", "fig4", "fig5", "fig7", "fig8", "fig11a", "fig11b",
-                                 "batchsweep", "findings"])
+                                 "batchsweep", "schedsweep", "findings"])
     parser.add_argument("--algo", default="TD3", help="algorithm for fig4 (TD3 or DDPG)")
     parser.add_argument("--timesteps", type=int, default=None, help="steps per workload (default: experiment-specific)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--leaf-batches", type=_leaf_batch_list, default=None,
-                        help="comma-separated leaf batch sizes for batchsweep (default: 1,4,16,64)")
+                        help="comma-separated leaf batch sizes for batchsweep/schedsweep "
+                             "(defaults: 1,4,16,64 / 1,4,8)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="self-play workers for schedsweep (default: 8)")
+    parser.add_argument("--scheduler", choices=["sequential", "event"], default=None,
+                        help="self-play scheduler for fig8 (event implies batched inference)")
+    parser.add_argument("--flush-policy", choices=["max-batch", "timeout", "unbatched"],
+                        default="max-batch",
+                        help="how the event-driven scheduler departs inference batches")
+    parser.add_argument("--timeout-us", type=float, default=None,
+                        help="partial-batch deadline in virtual us (flush policy 'timeout')")
     return parser
 
 
@@ -46,6 +59,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     from . import (
         DEFAULT_LEAF_BATCHES, run_batch_sweep,
+        DEFAULT_SCHED_LEAF_BATCHES, DEFAULT_SCHED_WORKERS, run_sched_sweep,
         run_fig4, run_fig5, run_fig7, run_fig8, run_fig11a, run_fig11b, run_table1, table1, findings,
     )
     from .common import DEFAULT_TIMESTEPS
@@ -63,7 +77,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.experiment == "fig7":
         print(run_fig7(timesteps=steps, seed=args.seed).report())
     elif args.experiment == "fig8":
-        print(run_fig8().report())
+        print(run_fig8(scheduler=args.scheduler, flush_policy=args.flush_policy,
+                       flush_timeout_us=args.timeout_us).report())
     elif args.experiment == "fig11a":
         print(run_fig11a(timesteps=fig11_steps, seed=args.seed).report())
     elif args.experiment == "fig11b":
@@ -71,6 +86,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.experiment == "batchsweep":
         batches = args.leaf_batches if args.leaf_batches is not None else DEFAULT_LEAF_BATCHES
         print(run_batch_sweep(batches, seed=args.seed).report())
+    elif args.experiment == "schedsweep":
+        batches = args.leaf_batches if args.leaf_batches is not None else DEFAULT_SCHED_LEAF_BATCHES
+        workers = args.workers if args.workers is not None else DEFAULT_SCHED_WORKERS
+        print(run_sched_sweep(batches, num_workers=workers, seed=args.seed,
+                              flush_policy=args.flush_policy,
+                              flush_timeout_us=args.timeout_us).report())
     elif args.experiment == "findings":
         fig4_td3 = run_fig4("TD3", timesteps=steps, seed=args.seed)
         fig4_ddpg = run_fig4("DDPG", timesteps=steps, seed=args.seed)

@@ -1,27 +1,53 @@
 """Minigo scale-up workload: MCTS self-play, parallel workers, training rounds."""
 
-from .inference import InferenceClient, InferenceService, InferenceStats, InferenceTicket
-from .mcts import MCTS, MCTSNode
+from .inference import (
+    FLUSH_MAX_BATCH,
+    FLUSH_POLICIES,
+    FLUSH_TIMEOUT,
+    FLUSH_UNBATCHED,
+    BatchSizeStats,
+    InferenceClient,
+    InferenceService,
+    InferenceStats,
+    InferenceTicket,
+)
+from .mcts import MCTS, LeafEvalRequest, MCTSNode
 from .selfplay import (
     OP_EXPAND_LEAF,
     OP_TREE_SEARCH,
+    GameDriver,
     PolicyValueNet,
     SelfPlayExample,
     SelfPlayResult,
     SelfPlayWorker,
 )
 from .training import MinigoConfig, MinigoRoundResult, MinigoTraining
-from .workers import SelfPlayPool, WorkerRun
+from .workers import (
+    SCHEDULER_EVENT,
+    SCHEDULER_SEQUENTIAL,
+    SCHEDULERS,
+    PoolScheduler,
+    SchedulerStats,
+    SelfPlayPool,
+    WorkerRun,
+)
 
 __all__ = [
+    "BatchSizeStats",
+    "FLUSH_MAX_BATCH",
+    "FLUSH_POLICIES",
+    "FLUSH_TIMEOUT",
+    "FLUSH_UNBATCHED",
     "InferenceClient",
     "InferenceService",
     "InferenceStats",
     "InferenceTicket",
+    "LeafEvalRequest",
     "MCTS",
     "MCTSNode",
     "OP_EXPAND_LEAF",
     "OP_TREE_SEARCH",
+    "GameDriver",
     "PolicyValueNet",
     "SelfPlayExample",
     "SelfPlayResult",
@@ -29,6 +55,11 @@ __all__ = [
     "MinigoConfig",
     "MinigoRoundResult",
     "MinigoTraining",
+    "PoolScheduler",
+    "SCHEDULER_EVENT",
+    "SCHEDULER_SEQUENTIAL",
+    "SCHEDULERS",
+    "SchedulerStats",
     "SelfPlayPool",
     "WorkerRun",
 ]

@@ -13,24 +13,39 @@ submit leaf-evaluation requests (a block of feature rows each) to a shared
 service holding **one** model replica; the service coalesces everything
 pending into batched network calls of up to ``max_batch`` rows, scatters the
 resulting policy/value rows back to the requesting workers, and charges each
-waiting worker's virtual clock for the batch it rode in.  Row order within a
-batch never changes row results (the network is applied row-wise), so a
-``leaf_batch=1`` client reproduces the legacy per-leaf game records exactly
-while larger batches cut engine calls roughly ``batch``-fold.
+waiting worker's virtual clock for the batch it rode in.
+
+Two serving paths exist:
+
+* :meth:`InferenceService.flush` — the synchronous path used by workers that
+  evaluate in place: everything pending is served *now* on the host worker's
+  clock, and non-host riders are charged the batch time (inside their own
+  ``expand_leaf`` annotation when they carry a profiler).
+* :meth:`InferenceService.serve_queued` — the event-driven path used by the
+  :class:`~repro.minigo.workers.PoolScheduler`: requests are packed in
+  **arrival order** under an explicit flush policy (``max-batch`` departs a
+  batch when it is full, ``timeout`` additionally departs a partial batch
+  ``timeout_us`` after its first request arrived, ``unbatched`` serves each
+  ticket alone — the bit-for-bit determinism baseline), each batch starts at
+  ``max(departure time, service free time)``, and every participant is
+  charged its own queueing delay *plus* the batch time instead of batch time
+  only.
 
 Attribution: every request can carry a metadata dict which the service fills
 with the serving batch shape (``batch_rows``, ``batch_clients``,
-``batch_time_us``, ``engine_calls``).  Workers attach that dict to their
-``expand_leaf`` operation events, so the profiler can attribute shared
-batched time back to the requesting workers without changing any overlap
-quantity — operation-event metadata takes no part in
+``batch_time_us``, ``engine_calls``, and under the queueing model
+``queue_delay_us``).  Workers attach that dict to their ``expand_leaf``
+operation events, so the profiler can attribute shared batched time back to
+the requesting workers without changing any overlap quantity —
+operation-event metadata takes no part in
 ``compute_overlap``/``parallel_overlap``.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -40,9 +55,80 @@ from ..backend.engine import BackendEngine, CompiledFunction
 from ..backend.tensor import Tensor
 from ..system import System
 
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids an import cycle
+    from ..profiler.api import Profiler
+
 #: Compiled-function name used for batched evaluations; matches the legacy
 #: per-worker evaluator so cost-model lookups and trace names stay stable.
 EVALUATE_FUNCTION_NAME = "expand_leaf"
+
+#: Flush policies understood by :meth:`InferenceService.serve_queued`.
+FLUSH_UNBATCHED = "unbatched"    #: one ticket per engine call, no queueing
+FLUSH_MAX_BATCH = "max-batch"    #: depart when full (or when serving triggers)
+FLUSH_TIMEOUT = "timeout"        #: like max-batch, plus a partial-batch deadline
+FLUSH_POLICIES = (FLUSH_UNBATCHED, FLUSH_MAX_BATCH, FLUSH_TIMEOUT)
+
+
+class BatchSizeStats:
+    """Bounded summary of per-call batch sizes.
+
+    Long runs issue one engine call per batch, so an unbounded list of sizes
+    grows linearly with virtual time.  This keeps a fixed-size power-of-two
+    histogram plus a fixed-capacity uniform reservoir sample (Vitter's
+    algorithm R with a private, deterministic RNG), so memory stays constant
+    no matter how many calls the service makes.
+    """
+
+    #: histogram bucket upper bounds: [1], (1,2], (2,4], ... (512,1024], (1024,inf)
+    BUCKET_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+    def __init__(self, reservoir_size: int = 256, seed: int = 0) -> None:
+        if reservoir_size <= 0:
+            raise ValueError("reservoir_size must be positive")
+        self.reservoir_size = reservoir_size
+        self.counts = [0] * (len(self.BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total_rows = 0
+        self.max_rows = 0
+        self._reservoir: List[int] = []
+        self._rng = np.random.default_rng(seed)
+
+    def append(self, rows: int) -> None:
+        self.count += 1
+        self.total_rows += rows
+        self.max_rows = max(self.max_rows, rows)
+        self.counts[bisect_right(self.BUCKET_BOUNDS, rows - 1)] += 1
+        if len(self._reservoir) < self.reservoir_size:
+            self._reservoir.append(rows)
+        else:
+            slot = int(self._rng.integers(0, self.count))
+            if slot < self.reservoir_size:
+                self._reservoir[slot] = rows
+
+    @property
+    def mean(self) -> float:
+        return self.total_rows / self.count if self.count else 0.0
+
+    @property
+    def sample(self) -> List[int]:
+        """The reservoir: a uniform sample of all observed batch sizes."""
+        return list(self._reservoir)
+
+    def histogram(self) -> List[Tuple[int, Optional[int], int]]:
+        """Non-empty buckets as ``(lo_exclusive, hi_inclusive | None, count)``."""
+        buckets = []
+        lo = 0
+        for i, hi in enumerate(self.BUCKET_BOUNDS):
+            if self.counts[i]:
+                buckets.append((lo, hi, self.counts[i]))
+            lo = hi
+        if self.counts[-1]:
+            buckets.append((lo, None, self.counts[-1]))
+        return buckets
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BatchSizeStats(count={self.count}, mean={self.mean:.2f}, "
+                f"max={self.max_rows})")
 
 
 @dataclass
@@ -54,8 +140,13 @@ class InferenceStats:
     engine_calls: int = 0        #: batched network calls issued
     max_batch_rows: int = 0      #: largest single batch
     cross_worker_batches: int = 0  #: batches serving more than one worker
+    capacity: int = 0            #: the service's max_batch (occupancy denominator)
     rows_by_worker: Dict[str, int] = field(default_factory=dict)
-    batch_sizes: List[int] = field(default_factory=list)
+    batch_sizes: BatchSizeStats = field(default_factory=BatchSizeStats)
+    # Queueing model (serve_queued only): arrival -> batch-start delays.
+    queued_waits: int = 0        #: ticket/batch participations measured
+    queue_delay_us: float = 0.0  #: total arrival -> batch-start delay
+    max_queue_delay_us: float = 0.0
 
     @property
     def mean_batch_rows(self) -> float:
@@ -66,15 +157,31 @@ class InferenceStats:
         """Engine calls avoided versus the per-leaf (one call per row) path."""
         return self.rows - self.engine_calls
 
+    @property
+    def mean_occupancy(self) -> float:
+        """Mean batch fill as a fraction of the service's capacity."""
+        return self.mean_batch_rows / self.capacity if self.capacity else 0.0
+
+    @property
+    def mean_queue_delay_us(self) -> float:
+        return self.queue_delay_us / self.queued_waits if self.queued_waits else 0.0
+
+    @property
+    def cross_worker_share(self) -> float:
+        """Fraction of engine calls that served more than one worker."""
+        return self.cross_worker_batches / self.engine_calls if self.engine_calls else 0.0
+
 
 class InferenceTicket:
     """Handle for one submitted evaluation request."""
 
     def __init__(self, client: "InferenceClient", features: np.ndarray,
-                 metadata: Optional[dict]) -> None:
+                 metadata: Optional[dict], *, arrival_us: float = 0.0, seq: int = 0) -> None:
         self.client = client
         self.features = features
         self.metadata = metadata
+        self.arrival_us = arrival_us   #: submitting worker's clock at submit
+        self.seq = seq                 #: service-wide submission order
         self.priors: Optional[np.ndarray] = None
         self.values: Optional[np.ndarray] = None
 
@@ -98,15 +205,23 @@ class InferenceClient:
     """One worker's connection to the shared service.
 
     The client remembers the worker's system (whose clock pays for batch
-    latency) and engine (on which batches hosted by this client execute).
+    latency), engine (on which batches hosted by this client execute), and
+    optionally the network its rows must be evaluated with (candidate
+    evaluation serves two models from one queue; rows of different networks
+    never share a matmul) and the worker's profiler (so rider wait time can
+    be charged inside an ``expand_leaf`` annotation instead of showing up as
+    untracked time).
     """
 
     def __init__(self, service: "InferenceService", system: System,
-                 engine: BackendEngine, worker: str) -> None:
+                 engine: BackendEngine, worker: str, *,
+                 network=None, profiler: Optional["Profiler"] = None) -> None:
         self.service = service
         self.system = system
         self.engine = engine
         self.worker = worker
+        self.network = network if network is not None else service.network
+        self.profiler = profiler
 
     def submit(self, features: np.ndarray, *, metadata: Optional[dict] = None) -> InferenceTicket:
         return self.service.submit(self, features, metadata=metadata)
@@ -122,12 +237,12 @@ class InferenceClient:
 class InferenceService:
     """Coalesces leaf-evaluation requests from many workers into batched calls.
 
-    One model replica (``network``) serves every connected worker.  Requests
-    queue up via :meth:`submit`; :meth:`flush` concatenates all pending rows,
-    evaluates them in chunks of at most ``max_batch`` rows on the engine of
-    each chunk's first requester, and scatters results back.  Every worker
-    with rows in a chunk waits for that chunk: its virtual clock advances by
-    the chunk's evaluation time.
+    One model replica (``network``) serves every connected worker (a client
+    may override the network, e.g. the candidate model during evaluation;
+    batches never mix rows of different networks).  Requests queue up via
+    :meth:`submit`; :meth:`flush` serves everything synchronously on the host
+    worker's clock, while :meth:`serve_queued` applies the arrival-order
+    queueing model used by the event-driven pool scheduler.
     """
 
     def __init__(self, network, *, max_batch: int = 64, name: str = "inference_service") -> None:
@@ -136,29 +251,37 @@ class InferenceService:
         self.network = network
         self.max_batch = max_batch
         self.name = name
-        self.stats = InferenceStats()
+        self.stats = InferenceStats(capacity=max_batch)
         self._pending: List[InferenceTicket] = []
-        self._compiled: Dict[int, CompiledFunction] = {}
+        self._compiled: Dict[Tuple[int, int], Tuple[CompiledFunction, object]] = {}
+        self._seq = 0
+        #: virtual time at which the replica finishes its last queued batch
+        self._service_free_us = 0.0
 
     # ---------------------------------------------------------------- clients
     def connect(self, system: System, engine: BackendEngine,
-                *, worker: Optional[str] = None) -> InferenceClient:
+                *, worker: Optional[str] = None, network=None,
+                profiler: Optional["Profiler"] = None) -> InferenceClient:
         """Register a worker; returns its client handle."""
-        return InferenceClient(self, system, engine, worker or system.worker)
+        return InferenceClient(self, system, engine, worker or system.worker,
+                               network=network, profiler=profiler)
 
-    def _compiled_for(self, engine: BackendEngine) -> CompiledFunction:
-        # Keyed by id(engine): safe because the cached CompiledFunction holds
-        # a strong reference to its engine, so a cached id can never be
-        # recycled by a new engine while the entry exists.
-        key = id(engine)
-        compiled = self._compiled.get(key)
-        if compiled is None:
-            compiled = engine.function(self._forward, name=EVALUATE_FUNCTION_NAME, num_feeds=1)
-            self._compiled[key] = compiled
-        return compiled
+    def _compiled_for(self, engine: BackendEngine, network) -> CompiledFunction:
+        # Keyed by (id(engine), id(network)): safe because the cache entry
+        # holds strong references to both, so a cached id can never be
+        # recycled while the entry exists.
+        key = (id(engine), id(network))
+        entry = self._compiled.get(key)
+        if entry is None:
+            compiled = engine.function(
+                lambda features: self._forward(network, features),
+                name=EVALUATE_FUNCTION_NAME, num_feeds=1)
+            entry = (compiled, network)
+            self._compiled[key] = entry
+        return entry[0]
 
-    def _forward(self, features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        logits, value = self.network(Tensor(features))
+    def _forward(self, network, features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        logits, value = network(Tensor(features))
         priors = F.softmax(logits)
         return priors.numpy(), value.numpy().reshape(-1)
 
@@ -169,7 +292,9 @@ class InferenceService:
         features = np.asarray(features)
         if features.ndim != 2 or features.shape[0] == 0:
             raise ValueError(f"expected a non-empty [rows, features] array, got shape {features.shape}")
-        ticket = InferenceTicket(client, features, metadata)
+        ticket = InferenceTicket(client, features, metadata,
+                                 arrival_us=client.system.clock.now_us, seq=self._seq)
+        self._seq += 1
         self._pending.append(ticket)
         self.stats.requests += 1
         return ticket
@@ -178,60 +303,249 @@ class InferenceService:
     def pending_rows(self) -> int:
         return sum(ticket.num_rows for ticket in self._pending)
 
-    def flush(self) -> int:
-        """Evaluate everything pending; returns the number of engine calls."""
-        if not self._pending:
-            return 0
-        tickets, self._pending = self._pending, []
+    @property
+    def pending_tickets(self) -> int:
+        return len(self._pending)
 
-        # Flatten tickets into (ticket, row-within-ticket) spans and cut the
-        # row stream into chunks of at most max_batch rows.
-        spans: List[Tuple[InferenceTicket, int, int]] = []  # (ticket, lo, hi)
+    def earliest_pending_arrival_us(self) -> Optional[float]:
+        """Arrival time of the oldest queued request (None when idle)."""
+        if not self._pending:
+            return None
+        return min(ticket.arrival_us for ticket in self._pending)
+
+    def _take_pending(self, arrival_cutoff_us: Optional[float] = None
+                      ) -> List[List[InferenceTicket]]:
+        """Drain the queue into per-network ticket groups (submission order).
+
+        With ``arrival_cutoff_us`` only tickets that arrived at or before the
+        cutoff are taken; later ones stay queued (they can still gather more
+        riders before their own deadline)."""
+        if arrival_cutoff_us is None:
+            tickets, self._pending = self._pending, []
+        else:
+            tickets = [t for t in self._pending if t.arrival_us <= arrival_cutoff_us]
+            self._pending = [t for t in self._pending if t.arrival_us > arrival_cutoff_us]
+        groups: Dict[int, List[InferenceTicket]] = {}
         for ticket in tickets:
-            spans.append((ticket, 0, ticket.num_rows))
+            groups.setdefault(id(ticket.client.network), []).append(ticket)
+        return list(groups.values())
+
+    # ------------------------------------------------------ synchronous flush
+    def flush(self) -> int:
+        """Evaluate everything pending on the host's clock, immediately.
+
+        This is the synchronous serving path: chunks execute *now* on the
+        engine of each chunk's first requester, and non-host riders are
+        charged the batch time.  The event-driven scheduler uses
+        :meth:`serve_queued` instead, which models arrival-order queueing
+        delay.  Returns the number of engine calls issued.
+        """
         calls = 0
-        while spans:
-            chunk: List[Tuple[InferenceTicket, int, int]] = []
-            rows = 0
-            while spans and rows < self.max_batch:
-                ticket, lo, hi = spans[0]
-                take = min(hi - lo, self.max_batch - rows)
-                chunk.append((ticket, lo, lo + take))
-                rows += take
-                if lo + take == hi:
-                    spans.pop(0)
-                else:
-                    spans[0] = (ticket, lo + take, hi)
-            self._evaluate_chunk(chunk, rows)
-            calls += 1
+        for tickets in self._take_pending():
+            # Flatten tickets into (ticket, row-within-ticket) spans and cut
+            # the row stream into chunks of at most max_batch rows.
+            spans: List[Tuple[InferenceTicket, int, int]] = []  # (ticket, lo, hi)
+            for ticket in tickets:
+                spans.append((ticket, 0, ticket.num_rows))
+            while spans:
+                chunk: List[Tuple[InferenceTicket, int, int]] = []
+                rows = 0
+                while spans and rows < self.max_batch:
+                    ticket, lo, hi = spans[0]
+                    take = min(hi - lo, self.max_batch - rows)
+                    chunk.append((ticket, lo, lo + take))
+                    rows += take
+                    if lo + take == hi:
+                        spans.pop(0)
+                    else:
+                        spans[0] = (ticket, lo + take, hi)
+                self._evaluate_chunk(chunk, rows)
+                calls += 1
         return calls
 
     def _evaluate_chunk(self, chunk: List[Tuple[InferenceTicket, int, int]], rows: int) -> None:
-        """Run one batched engine call and scatter rows back to its tickets."""
+        """Run one batched engine call now and scatter rows back to its tickets."""
         host = chunk[0][0].client
-        features = np.concatenate([t.features[lo:hi] for t, lo, hi in chunk], axis=0)
-        start_us = host.system.clock.now_us
-        with use_engine(host.engine):
-            priors, values = self._compiled_for(host.engine)(features)
-        batch_time_us = host.system.clock.now_us - start_us
+        priors, values, batch_time_us = self._execute(host, chunk)
+        self._service_free_us = max(self._service_free_us, host.system.clock.now_us)
 
         clients = {id(t.client): t.client for t, _, _ in chunk}
         # Everyone who rode the batch waits for it; the host's clock already
         # advanced while the engine executed.  Non-host riders advance here,
-        # outside any of their own operation annotations, so their wait shows
-        # as untracked time unless the caller wraps submit()+flush() in an
-        # annotation itself (the pool's sync path does; the cross-worker
-        # scheduler follow-on in ROADMAP.md will move this into the rider's
-        # expand_leaf event).
+        # inside an expand_leaf annotation of their own when they carry a
+        # profiler (without one the wait would show as untracked time).
         for client in clients.values():
             if client is not host:
-                client.system.clock.advance(batch_time_us)
+                self._charge_rider(client, batch_time_us, rows, len(clients))
+        self._scatter(chunk, rows, priors, values, batch_time_us, len(clients))
 
+    def _charge_rider(self, client: InferenceClient, batch_time_us: float,
+                      rows: int, num_clients: int) -> None:
+        """Advance a non-host rider's clock by the batch time it waited for."""
+        profiler = client.profiler
+        if profiler is None or not profiler.config.annotations:
+            client.system.clock.advance(batch_time_us)
+            return
+        if profiler.current_operation is not None:
+            # Already suspended inside its own annotation (the event-driven
+            # driver holds expand_leaf open across the wait); the open
+            # operation covers the advance.
+            client.system.clock.advance(batch_time_us)
+            return
+        with profiler.operation(EVALUATE_FUNCTION_NAME, metadata={
+                "batch_rider": True, "inference_service": self.name,
+                "batch_rows": rows, "batch_clients": num_clients,
+                "batch_time_us": batch_time_us}):
+            client.system.clock.advance(batch_time_us)
+
+    # ------------------------------------------------------- queued serving
+    def serve_queued(self, *, policy: str = FLUSH_MAX_BATCH,
+                     timeout_us: Optional[float] = None,
+                     arrival_cutoff_us: Optional[float] = None) -> int:
+        """Serve everything pending under the arrival-order queueing model.
+
+        Requests are packed into batches in arrival order.  A batch *departs*
+        (becomes eligible to run) when it is full — ``max_batch`` rows — or,
+        under the ``timeout`` policy, at ``first arrival + timeout_us`` even
+        if partial.  It then *starts* at ``max(departure, service free
+        time)``: the single replica serializes batches, so a busy replica
+        delays later batches.  Every participant's clock is advanced to the
+        batch's completion time, charging it its own queueing delay plus the
+        batch time — a rider that arrived early pays more waiting than one
+        that arrived just before departure.
+
+        ``unbatched`` serves each ticket on its own, on its own clock, with
+        no queueing — the determinism baseline: per-worker timelines are
+        bit-for-bit those of the synchronous sequential pool.  Returns the
+        number of engine calls issued.
+        """
+        if policy not in FLUSH_POLICIES:
+            raise ValueError(f"unknown flush policy {policy!r}; expected one of {FLUSH_POLICIES}")
+        if policy == FLUSH_TIMEOUT:
+            if timeout_us is None or timeout_us < 0:
+                raise ValueError("the timeout policy requires a non-negative timeout_us")
+        else:
+            timeout_us = None
+        calls = 0
+        for tickets in self._take_pending(arrival_cutoff_us):
+            tickets.sort(key=lambda t: (t.arrival_us, t.seq))
+            if policy == FLUSH_UNBATCHED:
+                for ticket in tickets:
+                    lo = 0
+                    while lo < ticket.num_rows:
+                        hi = min(lo + self.max_batch, ticket.num_rows)
+                        self._evaluate_chunk([(ticket, lo, hi)], hi - lo)
+                        calls += 1
+                        lo = hi
+                continue
+            batches = self._plan_batches(tickets, timeout_us)
+            if arrival_cutoff_us is not None and batches:
+                # Cutoff-triggered serve (a deadline passed): a trailing
+                # partial batch whose own deadline lies beyond the cutoff is
+                # not due yet — hold its tickets back so they can still
+                # gather riders, unless a split ticket straddles the served
+                # batches (partial re-queueing would double-serve its rows).
+                chunk, rows, depart_us = batches[-1]
+                if rows < self.max_batch and depart_us > arrival_cutoff_us:
+                    served = {id(t) for c, _, _ in batches[:-1] for t, _, _ in c}
+                    if not any(id(t) in served for t, _, _ in chunk):
+                        self._pending.extend(t for t, _, _ in chunk)
+                        batches.pop()
+            for chunk, rows, depart_us in batches:
+                self._serve_chunk_queued(chunk, rows, depart_us)
+                calls += 1
+        return calls
+
+    def _plan_batches(self, tickets: List[InferenceTicket], timeout_us: Optional[float]
+                      ) -> List[Tuple[List[Tuple[InferenceTicket, int, int]], int, float]]:
+        """Greedy arrival-order packing into ``(chunk, rows, depart_us)`` batches.
+
+        A full batch departs when its last rider arrives; a partial batch
+        departs at ``first arrival + timeout_us`` when a timeout is set (the
+        server waits out the deadline hoping to fill), else when its last
+        rider arrives (the serve trigger means no more arrivals are coming).
+        """
+        batches: List[Tuple[List[Tuple[InferenceTicket, int, int]], int, float]] = []
+        chunk: List[Tuple[InferenceTicket, int, int]] = []
+        rows = 0
+        first_arrival = 0.0
+        last_arrival = 0.0
+
+        def close(depart_us: float) -> None:
+            nonlocal chunk, rows
+            batches.append((chunk, rows, depart_us))
+            chunk, rows = [], 0
+
+        for ticket in tickets:
+            if chunk and timeout_us is not None and ticket.arrival_us > first_arrival + timeout_us:
+                close(first_arrival + timeout_us)
+            lo = 0
+            while lo < ticket.num_rows:
+                if not chunk:
+                    first_arrival = ticket.arrival_us
+                take = min(ticket.num_rows - lo, self.max_batch - rows)
+                chunk.append((ticket, lo, lo + take))
+                rows += take
+                lo += take
+                last_arrival = ticket.arrival_us
+                if rows == self.max_batch:
+                    # A full batch departs when its last rider arrives (the
+                    # admission check above guarantees that is within the
+                    # first rider's deadline).
+                    close(last_arrival)
+        if chunk:
+            close(first_arrival + timeout_us if timeout_us is not None else last_arrival)
+        return batches
+
+    def _serve_chunk_queued(self, chunk: List[Tuple[InferenceTicket, int, int]],
+                            rows: int, depart_us: float) -> None:
+        """Run one planned batch under the queueing model and scatter results."""
+        host = chunk[0][0].client
+        start_us = max(depart_us, self._service_free_us)
+        # The host worker (first requester) waits for the batch to start...
+        host.system.clock.advance_to(start_us)
+        start_us = host.system.clock.now_us  # host may already be past depart
+        priors, values, batch_time_us = self._execute(host, chunk)
+        end_us = host.system.clock.now_us
+        self._service_free_us = end_us
+        # ...and every rider waits for it to finish: wait + batch time, each
+        # from its own arrival, inside its own (open) expand_leaf annotation.
+        clients = {id(t.client): t.client for t, _, _ in chunk}
+        for client in clients.values():
+            if client is not host:
+                client.system.clock.advance_to(end_us)
+        seen = set()
+        for ticket, _, _ in chunk:
+            if id(ticket) in seen:
+                continue
+            seen.add(id(ticket))
+            delay = max(start_us - ticket.arrival_us, 0.0)
+            self.stats.queued_waits += 1
+            self.stats.queue_delay_us += delay
+            self.stats.max_queue_delay_us = max(self.stats.max_queue_delay_us, delay)
+            if ticket.metadata is not None:
+                ticket.metadata["queue_delay_us"] = ticket.metadata.get("queue_delay_us", 0.0) + delay
+        self._scatter(chunk, rows, priors, values, batch_time_us, len(clients))
+
+    # -------------------------------------------------------- shared helpers
+    def _execute(self, host: InferenceClient, chunk: List[Tuple[InferenceTicket, int, int]]
+                 ) -> Tuple[np.ndarray, np.ndarray, float]:
+        """One batched engine call on the host's engine/clock/network."""
+        features = np.concatenate([t.features[lo:hi] for t, lo, hi in chunk], axis=0)
+        start_us = host.system.clock.now_us
+        with use_engine(host.engine):
+            priors, values = self._compiled_for(host.engine, host.network)(features)
+        return priors, values, host.system.clock.now_us - start_us
+
+    def _scatter(self, chunk: List[Tuple[InferenceTicket, int, int]], rows: int,
+                 priors: np.ndarray, values: np.ndarray, batch_time_us: float,
+                 num_clients: int) -> None:
+        """Record stats for one served batch and hand rows back to its tickets."""
         self.stats.engine_calls += 1
         self.stats.rows += rows
         self.stats.max_batch_rows = max(self.stats.max_batch_rows, rows)
         self.stats.batch_sizes.append(rows)
-        if len(clients) > 1:
+        if num_clients > 1:
             self.stats.cross_worker_batches += 1
 
         offset = 0
@@ -250,7 +564,7 @@ class InferenceService:
                 meta = ticket.metadata
                 meta["inference_service"] = self.name
                 meta["batch_rows"] = meta.get("batch_rows", 0) + rows
-                meta["batch_clients"] = max(meta.get("batch_clients", 0), len(clients))
+                meta["batch_clients"] = max(meta.get("batch_clients", 0), num_clients)
                 meta["batch_time_us"] = meta.get("batch_time_us", 0.0) + batch_time_us
                 meta["engine_calls"] = meta.get("engine_calls", 0) + 1
             offset += take

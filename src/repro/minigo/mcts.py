@@ -14,13 +14,20 @@ from it), then evaluated in one batched network call and backed up together.
 A wave of one leaf applies and removes its virtual loss before any other
 selection happens, so ``leaf_batch=1`` reproduces the classic per-leaf search
 decision-for-decision.
+
+The search is resumable: :meth:`MCTS.search_steps` is a generator that
+*yields* a :class:`LeafEvalRequest` at every inference boundary instead of
+calling the evaluator synchronously, so an external scheduler can suspend a
+worker mid-search, batch its pending leaves with other workers' requests, and
+resume it once results land.  :meth:`MCTS.search` is the synchronous driver
+of that generator and behaves exactly as before.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,6 +35,40 @@ from ..sim.go import GoPosition, Move
 
 #: Evaluates a batch of positions -> (policy priors [N, num_moves], values [N]).
 NetworkEvaluator = Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]
+
+
+class LeafEvalRequest:
+    """One pending leaf-evaluation ticket yielded by :meth:`MCTS.search_steps`.
+
+    The generator suspends after yielding a request; the driver evaluates
+    ``features`` however it likes (synchronously, or queued on a shared
+    inference service) and calls :meth:`fulfill` before resuming the search.
+    """
+
+    __slots__ = ("features", "priors", "values")
+
+    def __init__(self, features: np.ndarray) -> None:
+        self.features = features
+        self.priors: Optional[np.ndarray] = None
+        self.values: Optional[np.ndarray] = None
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.features.shape[0])
+
+    @property
+    def done(self) -> bool:
+        return self.priors is not None
+
+    def fulfill(self, priors: np.ndarray, values: np.ndarray) -> None:
+        self.priors = priors
+        self.values = values
+
+    def results(self) -> Tuple[np.ndarray, np.ndarray]:
+        if not self.done:
+            raise RuntimeError("leaf evaluation request resumed before being fulfilled")
+        assert self.priors is not None and self.values is not None
+        return self.priors, self.values
 
 
 @dataclass
@@ -92,18 +133,52 @@ class MCTS:
     # ----------------------------------------------------------------- search
     def search(self, position: GoPosition, *, add_noise: bool = True) -> MCTSNode:
         """Run ``num_simulations`` simulations from ``position`` and return the root."""
+        steps = self.search_steps(position, add_noise=add_noise)
+        while True:
+            try:
+                request = steps.send(None)
+            except StopIteration as stop:
+                return stop.value
+            priors, values = self.evaluator(request.features)
+            request.fulfill(priors, values)
+
+    def search_steps(self, position: GoPosition, *, add_noise: bool = True):
+        """Resumable wave search: a generator yielding :class:`LeafEvalRequest`.
+
+        Each yield is an inference boundary — the caller evaluates the
+        request's features (synchronously or through a shared batched
+        service), calls :meth:`LeafEvalRequest.fulfill`, and resumes the
+        generator.  All RNG draws happen in the same order as :meth:`search`,
+        so driving the generator with a synchronous evaluator reproduces the
+        classic search decision-for-decision.  Returns the root node via
+        ``StopIteration.value``.
+        """
         root = MCTSNode(position=position)
-        self._expand(root, add_noise=add_noise)
+        request = LeafEvalRequest(position.features()[None, :])
+        yield request
+        priors, _ = request.results()
+        self._expand_with_priors(root, np.asarray(priors[0], dtype=np.float64),
+                                 add_noise=add_noise)
         remaining = self.num_simulations
         while remaining > 0:
-            remaining -= self._run_wave(root, min(self.leaf_batch, remaining))
+            wave, pending = self._select_wave(root, min(self.leaf_batch, remaining))
+            evaluated: Dict[int, Tuple[np.ndarray, float]] = {}
+            if pending:
+                request = LeafEvalRequest(np.stack([node.position.features() for node in pending]))
+                yield request
+                priors, values = request.results()
+                for i, node in enumerate(pending):
+                    evaluated[id(node)] = (np.asarray(priors[i], dtype=np.float64), float(values[i]))
+            remaining -= self._finish_wave(wave, evaluated)
         return root
 
-    def _run_wave(self, root: MCTSNode, target: int) -> int:
-        """Select up to ``target`` leaves under virtual loss, evaluate them in
-        one batched network call, and back the values up.  Returns the number
-        of simulations completed (always at least one)."""
-        #: (leaf, terminal value or None) in selection order
+    def _select_wave(self, root: MCTSNode, target: int
+                     ) -> Tuple[List[Tuple[MCTSNode, Optional[float]]], List[MCTSNode]]:
+        """Select up to ``target`` leaves under virtual loss.
+
+        Returns ``(wave, pending)`` where ``wave`` is (leaf, terminal value or
+        None) in selection order and ``pending`` the subset needing network
+        evaluation."""
         wave: List[Tuple[MCTSNode, Optional[float]]] = []
         pending: List[MCTSNode] = []
         pending_ids: set = set()
@@ -127,14 +202,11 @@ class MCTS:
             pending.append(node)
             wave.append((node, None))
             self._add_virtual_loss(node)
+        return wave, pending
 
-        evaluated: Dict[int, Tuple[np.ndarray, float]] = {}
-        if pending:
-            features = np.stack([node.position.features() for node in pending])
-            priors, values = self.evaluator(features)
-            for i, node in enumerate(pending):
-                evaluated[id(node)] = (np.asarray(priors[i], dtype=np.float64), float(values[i]))
-
+    def _finish_wave(self, wave: List[Tuple[MCTSNode, Optional[float]]],
+                     evaluated: Dict[int, Tuple[np.ndarray, float]]) -> int:
+        """Revert virtual losses, expand evaluated leaves, back values up."""
         for node, value in wave:
             self._remove_virtual_loss(node)
             if value is None:
@@ -156,13 +228,6 @@ class MCTS:
         while current is not None:
             current.virtual_loss -= 1
             current = current.parent
-
-    def _expand(self, node: MCTSNode, *, add_noise: bool) -> float:
-        """Evaluate the node with the network and create its children."""
-        features = node.position.features()[None, :]
-        priors, values = self.evaluator(features)
-        self._expand_with_priors(node, np.asarray(priors[0], dtype=np.float64), add_noise=add_noise)
-        return float(values[0])
 
     def _expand_with_priors(self, node: MCTSNode, priors: np.ndarray, *, add_noise: bool) -> None:
         """Create the node's children from an already-computed prior row."""

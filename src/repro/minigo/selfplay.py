@@ -4,6 +4,15 @@ One self-play worker repeatedly runs MCTS from the current position
 (``mcts_tree_search``, Python time), evaluating leaf positions with the
 policy/value network (``expand_leaf``, ML-backend + GPU time), exactly the
 annotation structure of Figure 2 in the paper.
+
+Game play is a resumable state machine: :class:`GameDriver` advances one
+worker's games step by step (one step = one MCTS wave or one move commit)
+and *suspends* at inference boundaries instead of evaluating in place.  The
+synchronous :meth:`SelfPlayWorker.play_games` drives it to completion
+immediately — reproducing the legacy inline game loop bit-for-bit — while
+the event-driven :class:`~repro.minigo.workers.PoolScheduler` interleaves
+many workers' drivers on a shared virtual timeline so one batched engine
+call can serve leaves from all of them.
 """
 
 from __future__ import annotations
@@ -22,8 +31,8 @@ from ..backend.tensor import Parameter, Tensor
 from ..profiler.api import Profiler
 from ..sim.go import GoPosition
 from ..system import System
-from .inference import InferenceClient, InferenceService
-from .mcts import MCTS
+from .inference import InferenceClient, InferenceService, InferenceTicket
+from .mcts import MCTS, LeafEvalRequest
 
 OP_TREE_SEARCH = "mcts_tree_search"
 OP_EXPAND_LEAF = "expand_leaf"
@@ -94,15 +103,20 @@ class SelfPlayWorker:
         seed: int = 0,
         leaf_batch: int = 1,
         inference: Optional[InferenceService] = None,
+        inference_client: Optional[InferenceClient] = None,
     ) -> None:
         """With ``inference`` set, leaf evaluation goes through the shared
         batched :class:`~repro.minigo.inference.InferenceService` (one model
         replica for every worker) instead of a private compiled evaluator;
         ``leaf_batch`` controls how many in-flight leaves each MCTS wave
         collects per batched call (1 reproduces the legacy per-leaf search
-        decision-for-decision)."""
+        decision-for-decision).  ``inference_client`` supplies a pre-built
+        client handle (candidate evaluation connects each side with its own
+        network); by default the worker connects itself."""
         if leaf_batch <= 0:
             raise ValueError("leaf_batch must be positive")
+        if inference_client is not None and inference is None:
+            raise ValueError("inference_client requires the inference service it belongs to")
         self.system = system
         self.engine = engine
         self.profiler = profiler
@@ -116,8 +130,9 @@ class SelfPlayWorker:
         self._client: Optional[InferenceClient] = None
         self._evaluate_compiled = None
         if inference is not None:
-            self.network = network if network is not None else inference.network
-            self._client = inference.connect(system, engine, worker=system.worker)
+            self._client = inference_client if inference_client is not None else \
+                inference.connect(system, engine, worker=system.worker, profiler=profiler)
+            self.network = network if network is not None else self._client.network
         else:
             if network is None:
                 raise ValueError("network is required when no inference service is given")
@@ -148,45 +163,195 @@ class SelfPlayWorker:
 
     # ----------------------------------------------------------------- play
     def play_games(self, num_games: int) -> SelfPlayResult:
-        """Play ``num_games`` games of self-play, collecting training examples."""
-        result = SelfPlayResult(worker=self.system.worker, games=num_games, moves=0)
-        if self.profiler is not None:
-            self.profiler.set_phase("selfplay")
+        """Play ``num_games`` games of self-play, collecting training examples.
+
+        Synchronous driver of the stepwise :class:`GameDriver`: whenever the
+        driver suspends at an inference boundary, the shared service is
+        flushed immediately, so this reproduces the legacy inline game loop
+        (annotations, RNG draws and clock charges in identical order).
+        """
+        driver = GameDriver(self, num_games)
         with use_engine(self.engine):
-            for _ in range(num_games):
-                self._play_one_game(result)
-        return result
+            while not driver.finished:
+                driver.step()
+                if driver.blocked:
+                    assert self.inference is not None
+                    self.inference.flush()
+        return driver.result
 
-    def _play_one_game(self, result: SelfPlayResult) -> None:
-        mcts = MCTS(self._profiled_evaluator, num_simulations=self.num_simulations,
-                    leaf_batch=self.leaf_batch, rng=self.rng)
-        position = GoPosition.initial(self.board_size)
-        game_examples: List[Tuple[np.ndarray, np.ndarray, int]] = []
-        move_number = 0
-        while not position.is_over and move_number < self.max_moves:
-            if self.profiler is not None:
-                op_cm = self.profiler.operation(OP_TREE_SEARCH)
+
+class GameDriver:
+    """Stepwise self-play: one worker's games as a resumable state machine.
+
+    One :meth:`step` performs one schedulable unit of work: starting a move
+    (charging the Python-side tree-traversal work and submitting the first
+    evaluation wave), resuming after a fulfilled wave (submitting the next
+    wave), or committing a move once its search completes.  At an inference
+    boundary the driver *suspends*: its ``mcts_tree_search`` and
+    ``expand_leaf`` profiler annotations stay open across the wait, so both
+    the queueing delay and the batch time the worker is later charged land
+    inside the same operation events the synchronous path records.  The
+    driver becomes runnable again once its ticket is served.
+
+    Without an inference service the driver evaluates waves in place (the
+    legacy per-worker compiled evaluator); with one, :meth:`step` leaves a
+    ticket pending and the caller decides when the service runs —
+    immediately (:meth:`SelfPlayWorker.play_games`) or only once every
+    runnable worker is blocked (:class:`~repro.minigo.workers.PoolScheduler`).
+    """
+
+    def __init__(self, worker: SelfPlayWorker, num_games: int) -> None:
+        self.worker = worker
+        self.num_games = num_games
+        self.result = SelfPlayResult(worker=worker.system.worker, games=num_games, moves=0)
+        self.steps = 0
+        self._games_done = 0
+        self._finished = num_games <= 0
+        # Per-game state.
+        self._mcts: Optional[MCTS] = None
+        self._position: Optional[GoPosition] = None
+        self._game_examples: List[Tuple[np.ndarray, np.ndarray, int]] = []
+        self._move_number = 0
+        # Per-move state (held open across suspensions).
+        self._gen = None
+        self._request: Optional[LeafEvalRequest] = None
+        self._ticket: Optional[InferenceTicket] = None
+        self._search_op = None
+        self._leaf_op = None
+        if worker.profiler is not None:
+            worker.profiler.set_phase("selfplay")
+
+    # ------------------------------------------------------------- scheduling
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def blocked(self) -> bool:
+        """Suspended at an inference boundary, ticket not yet served."""
+        return self._ticket is not None and not self._ticket.done
+
+    @property
+    def runnable(self) -> bool:
+        return not self._finished and not self.blocked
+
+    @property
+    def now_us(self) -> float:
+        """The worker's virtual clock (the scheduler's priority key)."""
+        return self.worker.system.clock.now_us
+
+    def step(self) -> bool:
+        """Advance by one unit of work; returns False once all games finished."""
+        if self._finished:
+            return False
+        if self.blocked:
+            raise RuntimeError(f"stepped driver of {self.worker.system.worker!r} "
+                               "while it is blocked on inference")
+        self.steps += 1
+        with use_engine(self.worker.engine):
+            if self._ticket is not None:
+                self._resume_wave()
             else:
-                op_cm = nullcontext()
-            with op_cm:
-                # Python-side tree traversal work.
-                self.system.cpu_work(TREE_SEARCH_UNITS_PER_SIM * self.num_simulations)
-                root = mcts.search(position, add_noise=True)
-                temperature = 1.0 if move_number < self.temperature_moves else 1e-6
-                # policy_from_visits returns a normalised distribution (it
-                # guards the all-zero and underflow cases itself).
-                policy = mcts.policy_from_visits(root, temperature=temperature)
-                move_index = int(self.rng.choice(len(policy), p=policy))
-                move = position.index_to_move(move_index)
-            game_examples.append((position.features(), policy.astype(np.float32), position.to_play))
-            position = position.play(move)
-            move_number += 1
-            result.moves += 1
+                self._begin()
+        return not self._finished
 
+    # ------------------------------------------------------------ transitions
+    def _begin(self) -> None:
+        """Start the next move, rolling game boundaries as needed."""
+        if self._position is None:
+            self._start_game()
+        while self._position.is_over or self._move_number >= self.worker.max_moves:
+            self._finish_game()
+            if self._finished:
+                return
+            self._start_game()
+        self._begin_move()
+
+    def _start_game(self) -> None:
+        worker = self.worker
+        self._mcts = MCTS(worker._profiled_evaluator, num_simulations=worker.num_simulations,
+                          leaf_batch=worker.leaf_batch, rng=worker.rng)
+        self._position = GoPosition.initial(worker.board_size)
+        self._game_examples = []
+        self._move_number = 0
+
+    def _begin_move(self) -> None:
+        worker = self.worker
+        if worker.profiler is not None:
+            self._search_op = worker.profiler.operation(OP_TREE_SEARCH)
+        else:
+            self._search_op = nullcontext()
+        self._search_op.__enter__()
+        # Python-side tree traversal work.
+        worker.system.cpu_work(TREE_SEARCH_UNITS_PER_SIM * worker.num_simulations)
+        self._gen = self._mcts.search_steps(self._position, add_noise=True)
+        self._advance_search()
+
+    def _advance_search(self) -> None:
+        """Run the search generator until it suspends or the move completes."""
+        worker = self.worker
+        while True:
+            try:
+                request = next(self._gen)
+            except StopIteration as stop:
+                self._commit_move(stop.value)
+                return
+            if worker._client is None:
+                # Private compiled evaluator: resolve the wave in place.
+                priors, values = worker._profiled_evaluator(request.features)
+                request.fulfill(priors, values)
+                continue
+            # Shared service: open the expand_leaf annotation, queue the
+            # wave, and suspend until the scheduler serves it.
+            self._request = request
+            metadata = None
+            if worker.profiler is not None:
+                metadata = {"rows": request.num_rows, "leaf_batch": worker.leaf_batch}
+                self._leaf_op = worker.profiler.operation(OP_EXPAND_LEAF, metadata=metadata)
+                self._leaf_op.__enter__()
+            self._ticket = worker._client.submit(request.features, metadata=metadata)
+            return
+
+    def _resume_wave(self) -> None:
+        """Continue after the pending ticket was served."""
+        ticket, self._ticket = self._ticket, None
+        if self._leaf_op is not None:
+            self._leaf_op.__exit__(None, None, None)
+            self._leaf_op = None
+        request, self._request = self._request, None
+        priors, values = ticket.result()
+        request.fulfill(priors, values)
+        self._advance_search()
+
+    def _commit_move(self, root) -> None:
+        worker = self.worker
+        temperature = 1.0 if self._move_number < worker.temperature_moves else 1e-6
+        # policy_from_visits returns a normalised distribution (it guards
+        # the all-zero and underflow cases itself).
+        policy = self._mcts.policy_from_visits(root, temperature=temperature)
+        move_index = int(worker.rng.choice(len(policy), p=policy))
+        move = self._position.index_to_move(move_index)
+        self._search_op.__exit__(None, None, None)
+        self._search_op = None
+        self._gen = None
+        self._game_examples.append((self._position.features(), policy.astype(np.float32),
+                                    self._position.to_play))
+        self._position = self._position.play(move)
+        self._move_number += 1
+        self.result.moves += 1
+
+    def _finish_game(self) -> None:
+        position = self._position
         outcome = position.result() if position.is_over else float(np.sign(position.board.area_score()) or 1.0)
         if outcome > 0:
-            result.black_wins += 1
-        for features, policy, to_play in game_examples:
+            self.result.black_wins += 1
+        for features, policy, to_play in self._game_examples:
             value_target = outcome if to_play == 1 else -outcome
-            result.examples.append(SelfPlayExample(features=features, policy_target=policy,
-                                                   value_target=float(value_target)))
+            self.result.examples.append(SelfPlayExample(features=features, policy_target=policy,
+                                                        value_target=float(value_target)))
+        self._games_done += 1
+        self._mcts = None
+        self._position = None
+        self._game_examples = []
+        if self._games_done >= self.num_games:
+            self._finished = True

@@ -32,9 +32,10 @@ from ..profiler.api import Profiler, ProfilerConfig
 from ..profiler.events import EventTrace
 from ..sim.go import GoPosition
 from ..system import System
+from .inference import InferenceService, InferenceStats
 from .mcts import MCTS
 from .selfplay import PolicyValueNet, SelfPlayExample, SelfPlayWorker
-from .workers import SelfPlayPool, WorkerRun
+from .workers import SCHEDULER_SEQUENTIAL, SchedulerStats, SelfPlayPool, WorkerRun
 
 
 @dataclass
@@ -53,6 +54,13 @@ class MinigoRoundResult:
     device: Optional[GPUDevice] = None
     #: Set when the round streamed every phase's trace into a TraceDB store.
     trace_dir: Optional[str] = None
+    #: Batching behaviour of the self-play phase's shared service (None when
+    #: batched inference is off).
+    selfplay_inference_stats: Optional[InferenceStats] = None
+    #: Batching behaviour of the candidate-evaluation phase's shared service.
+    evaluation_inference_stats: Optional[InferenceStats] = None
+    #: Event-loop counters of the self-play phase (event scheduler only).
+    scheduler_stats: Optional[SchedulerStats] = None
 
     def traces(self) -> Dict[str, EventTrace]:
         traces = {run.worker: run.trace for run in self.worker_runs if run.trace is not None}
@@ -96,6 +104,17 @@ class MinigoConfig:
     leaf_batch: int = 1
     #: Largest row count the inference service packs into one engine call.
     inference_max_batch: int = 64
+    #: Self-play execution model: "sequential" runs each worker to
+    #: completion on its own timeline; "event" interleaves all workers at
+    #: wave granularity so the shared service batches across workers
+    #: (requires batched_inference).
+    scheduler: str = SCHEDULER_SEQUENTIAL
+    #: How the event-driven scheduler departs batches: "max-batch" (wait
+    #: until full or everyone blocks), "timeout" (partial batches depart
+    #: flush_timeout_us after their first request), or "unbatched" (one
+    #: ticket per call — the determinism baseline).
+    flush_policy: str = "max-batch"
+    flush_timeout_us: Optional[float] = None
     #: When set, every phase streams its trace into one TraceDB store
     #: (per-worker shards) instead of keeping whole traces in memory.  Each
     #: round gets its own ``round_NNN`` store under this directory — worker
@@ -143,6 +162,9 @@ class MinigoTraining:
             batched_inference=cfg.batched_inference,
             leaf_batch=cfg.leaf_batch,
             inference_max_batch=cfg.inference_max_batch,
+            scheduler=cfg.scheduler,
+            flush_policy=cfg.flush_policy,
+            flush_timeout_us=cfg.flush_timeout_us,
         )
         runs = pool.run(self.current_weights)
         examples = pool.all_examples()
@@ -152,7 +174,8 @@ class MinigoTraining:
             examples, pool.device, store)
 
         # Phase 3: evaluation games between current and candidate models.
-        wins, eval_trace, eval_time = self._evaluate_candidate(candidate_weights, pool.device, store)
+        wins, eval_trace, eval_time, eval_stats = self._evaluate_candidate(
+            candidate_weights, pool.device, store)
         if store is not None:
             store.close()
         accepted = wins / max(cfg.evaluation_games, 1) >= cfg.acceptance_threshold
@@ -171,6 +194,11 @@ class MinigoTraining:
             losses=losses,
             device=pool.device,
             trace_dir=round_dir,
+            selfplay_inference_stats=(pool.inference_service.stats
+                                      if pool.inference_service is not None else None),
+            evaluation_inference_stats=eval_stats,
+            scheduler_stats=(pool.pool_scheduler.stats
+                             if pool.pool_scheduler is not None else None),
         )
 
     # ----------------------------------------------------------------- phase 2
@@ -246,14 +274,36 @@ class MinigoTraining:
             candidate = PolicyValueNet(cfg.board_size, cfg.hidden, rng=np.random.default_rng(cfg.seed + 7))
             candidate.load_state_dict(candidate_weights)
 
+            # With batched inference on, both evaluation workers share one
+            # InferenceService queue: each side's MCTS waves (leaf_batch
+            # leaves per wave) go through one batched engine call instead of
+            # per-leaf evaluations on private compiled evaluators.  Rows of
+            # the two models never share a matmul — the candidate client
+            # carries its own network — but both ride the same service,
+            # replica bookkeeping and stats.
+            eval_service: Optional[InferenceService] = None
+            current_client = candidate_client = None
+            if cfg.batched_inference:
+                eval_service = InferenceService(current, max_batch=cfg.inference_max_batch,
+                                                name="evaluation_inference")
+                current_client = eval_service.connect(system, engine, worker="evaluation_current",
+                                                      profiler=profiler)
+                candidate_client = eval_service.connect(system, engine, worker="evaluation_candidate",
+                                                        network=candidate, profiler=profiler)
+
+            eval_leaf_batch = cfg.leaf_batch if cfg.batched_inference else 1
             current_worker = SelfPlayWorker(system, engine, current, profiler=profiler,
                                             board_size=cfg.board_size,
                                             num_simulations=max(cfg.num_simulations // 2, 2),
-                                            max_moves=cfg.max_moves, seed=cfg.seed + 21)
+                                            max_moves=cfg.max_moves, seed=cfg.seed + 21,
+                                            leaf_batch=eval_leaf_batch,
+                                            inference=eval_service, inference_client=current_client)
             candidate_worker = SelfPlayWorker(system, engine, candidate, profiler=profiler,
                                               board_size=cfg.board_size,
                                               num_simulations=max(cfg.num_simulations // 2, 2),
-                                              max_moves=cfg.max_moves, seed=cfg.seed + 22)
+                                              max_moves=cfg.max_moves, seed=cfg.seed + 22,
+                                              leaf_batch=eval_leaf_batch,
+                                              inference=eval_service, inference_client=candidate_client)
 
             for game in range(cfg.evaluation_games):
                 candidate_is_black = game % 2 == 0
@@ -266,7 +316,8 @@ class MinigoTraining:
         trace = profiler.finalize() if profiler is not None else None
         if store is not None:
             trace = None
-        return wins, trace, system.clock.now_us
+        eval_stats = eval_service.stats if eval_service is not None else None
+        return wins, trace, system.clock.now_us, eval_stats
 
     def _play_match(self, black_worker: SelfPlayWorker, white_worker: SelfPlayWorker,
                     rng: np.random.Generator) -> bool:
@@ -278,7 +329,7 @@ class MinigoTraining:
         while not position.is_over and move_number < max_moves:
             worker = black_worker if position.to_play == 1 else white_worker
             mcts = MCTS(worker._profiled_evaluator, num_simulations=worker.num_simulations,
-                        rng=rng)
+                        leaf_batch=worker.leaf_batch, rng=rng)
             root = mcts.search(position, add_noise=False)
             move = mcts.choose_move(root, temperature=1e-6)
             position = position.play(move)

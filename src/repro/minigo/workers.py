@@ -7,12 +7,24 @@ CUPTI instance — its own process, in effect — while kernels land on a shared
 :class:`~repro.hw.gpu.GPUDevice`, each worker on its own stream (its own CUDA
 context).  Worker clocks share epoch zero, so the merged device timeline is
 what an ``nvidia-smi`` sampler would observe during parallel data collection.
+
+Two schedulers simulate the parallel collection phase:
+
+* ``sequential`` (legacy): each worker runs to completion on its own
+  virtual timeline.  A shared-service flush then almost always serves a
+  single worker's wave, so cross-worker batching never materializes.
+* ``event``: a :class:`PoolScheduler` interleaves all workers' stepwise
+  :class:`~repro.minigo.selfplay.GameDriver`s in virtual-time order and only
+  serves the shared :class:`~repro.minigo.inference.InferenceService` once
+  every runnable worker is blocked at an inference boundary — so one engine
+  call batches leaves from many workers at the same virtual instant, the way
+  a real inference server batches across client processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,7 +40,13 @@ from ..hw.gpu import GPUDevice
 from ..profiler.api import Profiler, ProfilerConfig
 from ..profiler.events import EventTrace
 from ..system import System
-from .selfplay import PolicyValueNet, SelfPlayResult, SelfPlayWorker
+from .inference import FLUSH_MAX_BATCH, FLUSH_POLICIES, FLUSH_TIMEOUT
+from .selfplay import GameDriver, PolicyValueNet, SelfPlayResult, SelfPlayWorker
+
+#: Scheduler modes understood by :class:`SelfPlayPool`.
+SCHEDULER_SEQUENTIAL = "sequential"
+SCHEDULER_EVENT = "event"
+SCHEDULERS = (SCHEDULER_SEQUENTIAL, SCHEDULER_EVENT)
 
 
 @dataclass
@@ -45,6 +63,90 @@ class WorkerRun:
     trace: Optional[EventTrace]
     total_time_us: float
     system: Optional[System] = field(repr=False, default=None)
+
+
+@dataclass
+class SchedulerStats:
+    """Counters describing one event-driven scheduling run."""
+
+    steps: int = 0            #: driver steps executed
+    serves: int = 0           #: times the service queue was served
+    timeout_serves: int = 0   #: serves triggered by a partial-batch deadline
+    steps_per_worker: Dict[str, int] = field(default_factory=dict)
+
+
+class PoolScheduler:
+    """Virtual-time event loop interleaving self-play workers at wave granularity.
+
+    The scheduler repeatedly picks the runnable driver with the smallest
+    virtual clock and advances it one step (one MCTS wave or one move
+    commit).  A driver that submits an evaluation wave suspends; once every
+    unfinished driver is blocked on inference the scheduler serves the
+    shared service under its flush policy, which batches the pending waves
+    of many workers into shared engine calls and un-blocks everyone whose
+    ticket was served.  Under the ``timeout`` policy a pending partial batch
+    is additionally served as soon as virtual time passes its deadline
+    (first arrival + ``flush_timeout_us``), even while other workers are
+    still runnable — the latency/throughput knob of a real batching server.
+    """
+
+    def __init__(self, drivers: Sequence[GameDriver], service: "InferenceService", *,
+                 flush_policy: str = FLUSH_MAX_BATCH,
+                 flush_timeout_us: Optional[float] = None) -> None:
+        if not drivers:
+            raise ValueError("scheduler needs at least one driver")
+        if flush_policy not in FLUSH_POLICIES:
+            raise ValueError(f"unknown flush policy {flush_policy!r}; expected one of {FLUSH_POLICIES}")
+        if flush_policy == FLUSH_TIMEOUT and (flush_timeout_us is None or flush_timeout_us < 0):
+            raise ValueError("the timeout flush policy requires a non-negative flush_timeout_us")
+        self.drivers = list(drivers)
+        self.service = service
+        self.flush_policy = flush_policy
+        self.flush_timeout_us = flush_timeout_us
+        self.stats = SchedulerStats()
+
+    def _serve(self, *, arrival_cutoff_us: Optional[float] = None) -> int:
+        self.stats.serves += 1
+        return self.service.serve_queued(policy=self.flush_policy,
+                                         timeout_us=self.flush_timeout_us,
+                                         arrival_cutoff_us=arrival_cutoff_us)
+
+    def _pending_deadline_us(self) -> Optional[float]:
+        if self.flush_policy != FLUSH_TIMEOUT:
+            return None
+        earliest = self.service.earliest_pending_arrival_us()
+        if earliest is None:
+            return None
+        return earliest + self.flush_timeout_us
+
+    def run(self) -> SchedulerStats:
+        """Drive every worker's games to completion; returns scheduling stats."""
+        while True:
+            runnable = [driver for driver in self.drivers if driver.runnable]
+            if not runnable:
+                if self.service.pending_tickets:
+                    # Everyone is blocked at an inference boundary: this is
+                    # the virtual instant at which one engine call can serve
+                    # every pending wave.
+                    self._serve()
+                    continue
+                if all(driver.finished for driver in self.drivers):
+                    return self.stats
+                raise RuntimeError("scheduler deadlock: unfinished workers but "
+                                   "nothing runnable and nothing pending")
+            nxt = min(runnable, key=lambda driver: driver.now_us)
+            deadline = self._pending_deadline_us()
+            if deadline is not None and nxt.now_us >= deadline:
+                # The oldest pending batch times out before the next worker
+                # would act: depart it partial, serving only requests that
+                # arrived by the deadline (later ones wait for more riders).
+                self.stats.timeout_serves += 1
+                self._serve(arrival_cutoff_us=deadline)
+                continue
+            self.stats.steps += 1
+            worker = nxt.worker.system.worker
+            self.stats.steps_per_worker[worker] = self.stats.steps_per_worker.get(worker, 0) + 1
+            nxt.step()
 
 
 class SelfPlayPool:
@@ -73,15 +175,37 @@ class SelfPlayPool:
         batched_inference: bool = False,
         leaf_batch: int = 1,
         inference_max_batch: int = 64,
+        scheduler: str = SCHEDULER_SEQUENTIAL,
+        flush_policy: str = FLUSH_MAX_BATCH,
+        flush_timeout_us: Optional[float] = None,
     ) -> None:
         """With ``batched_inference=True`` the pool creates one shared
         :class:`~repro.minigo.inference.InferenceService` (a single model
         replica) and every worker's MCTS collects up to ``leaf_batch``
         in-flight leaves per wave for batched evaluation through it.  At
         ``leaf_batch=1`` the batched path reproduces the legacy per-leaf game
-        records move-for-move under identical seeds."""
+        records move-for-move under identical seeds.
+
+        ``scheduler="event"`` (requires ``batched_inference``) replaces the
+        run-each-worker-to-completion loop with a :class:`PoolScheduler`
+        that interleaves all workers at wave granularity and serves the
+        service under ``flush_policy`` (``max-batch``, ``timeout`` with
+        ``flush_timeout_us``, or ``unbatched`` — the bit-for-bit
+        determinism baseline), so engine calls batch leaves across
+        workers."""
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
+        if scheduler not in SCHEDULERS:
+            raise ValueError(f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}")
+        if scheduler == SCHEDULER_EVENT:
+            if not batched_inference:
+                raise ValueError("the event-driven scheduler requires batched_inference=True "
+                                 "(workers must block on a shared InferenceService)")
+            if flush_policy not in FLUSH_POLICIES:
+                raise ValueError(f"unknown flush policy {flush_policy!r}; "
+                                 f"expected one of {FLUSH_POLICIES}")
+            if flush_policy == FLUSH_TIMEOUT and (flush_timeout_us is None or flush_timeout_us < 0):
+                raise ValueError("the timeout flush policy requires a non-negative flush_timeout_us")
         self.num_workers = num_workers
         self.board_size = board_size
         self.num_simulations = num_simulations
@@ -94,7 +218,11 @@ class SelfPlayPool:
         self.batched_inference = batched_inference
         self.leaf_batch = leaf_batch
         self.inference_max_batch = inference_max_batch
+        self.scheduler = scheduler
+        self.flush_policy = flush_policy
+        self.flush_timeout_us = flush_timeout_us
         self.inference_service: Optional["InferenceService"] = None
+        self.pool_scheduler: Optional[PoolScheduler] = None
         #: the shared accelerator all workers contend for
         self.device = GPUDevice()
         self.runs: List[WorkerRun] = []
@@ -133,6 +261,7 @@ class SelfPlayPool:
                                "create a new pool (or trace_dir) for another run")
         self.runs = []
         self.inference_service = None
+        self.pool_scheduler = None
         if self.batched_inference:
             from .inference import InferenceService
             # One model replica serves every worker; with the same init seed
@@ -143,15 +272,32 @@ class SelfPlayPool:
                 shared_network.load_state_dict(weights)
             self.inference_service = InferenceService(shared_network,
                                                       max_batch=self.inference_max_batch)
-        for index in range(self.num_workers):
-            self.runs.append(self._run_worker(index, weights))
+        if self.scheduler == SCHEDULER_EVENT:
+            # Build every worker first (same creation order as sequential, so
+            # all RNG streams are identical), then interleave their stepwise
+            # drivers on the shared virtual timeline.
+            workers = [self._make_worker(index, weights) for index in range(self.num_workers)]
+            drivers = [GameDriver(worker, self.games_per_worker) for worker, _ in workers]
+            self.pool_scheduler = PoolScheduler(
+                drivers, self.inference_service,
+                flush_policy=self.flush_policy, flush_timeout_us=self.flush_timeout_us)
+            self.pool_scheduler.run()
+            self.runs = [self._finish_worker(worker, profiler, driver.result)
+                         for (worker, profiler), driver in zip(workers, drivers)]
+        else:
+            for index in range(self.num_workers):
+                worker, profiler = self._make_worker(index, weights)
+                result = worker.play_games(self.games_per_worker)
+                self.runs.append(self._finish_worker(worker, profiler, result))
         if self.streaming:
             self._streamed = True
             if self._owns_store:
                 self._store.close()
         return self.runs
 
-    def _run_worker(self, index: int, weights: Optional[List[np.ndarray]]) -> WorkerRun:
+    def _make_worker(self, index: int, weights: Optional[List[np.ndarray]]
+                     ) -> Tuple[SelfPlayWorker, Optional[Profiler]]:
+        """Build one worker's system/engine/profiler stack (its "process")."""
         worker_name = f"selfplay_worker_{index}"
         system = System.create(
             seed=self.seed + 100 + index,
@@ -185,13 +331,16 @@ class SelfPlayPool:
             leaf_batch=self.leaf_batch,
             inference=self.inference_service,
         )
-        result = worker.play_games(self.games_per_worker)
+        return worker, profiler
+
+    def _finish_worker(self, worker: SelfPlayWorker, profiler: Optional[Profiler],
+                       result: SelfPlayResult) -> WorkerRun:
         trace = profiler.finalize() if profiler is not None else None
         if self.streaming:
             # The trace lives in the store's shard; keep runs lightweight.
             trace = None
-        return WorkerRun(worker=worker_name, result=result, trace=trace,
-                         total_time_us=system.clock.now_us, system=system)
+        return WorkerRun(worker=worker.system.worker, result=result, trace=trace,
+                         total_time_us=worker.system.clock.now_us, system=worker.system)
 
     # ------------------------------------------------------------- reporting
     def traces(self) -> Dict[str, EventTrace]:

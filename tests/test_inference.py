@@ -86,7 +86,8 @@ def test_service_splits_oversized_requests_across_batches():
 
     assert priors.shape == (10, NUM_MOVES) and values.shape == (10,)
     assert service.stats.engine_calls == 3          # 4 + 4 + 2 rows
-    assert service.stats.batch_sizes == [4, 4, 2]
+    assert service.stats.batch_sizes.sample == [4, 4, 2]
+    assert service.stats.batch_sizes.count == 3
     assert metadata["engine_calls"] == 3
     assert metadata["batch_rows"] == 10
     assert metadata["inference_service"] == service.name
@@ -100,6 +101,147 @@ def test_service_rejects_bad_input():
         client.submit(np.zeros((0, 75), dtype=np.float32))
     with pytest.raises(ValueError):
         InferenceService(make_network(), max_batch=0)
+    with pytest.raises(ValueError):
+        service.serve_queued(policy="bogus")
+    with pytest.raises(ValueError):
+        service.serve_queued(policy="timeout")   # timeout policy needs timeout_us
+
+
+def test_batch_size_stats_memory_is_bounded():
+    from repro.minigo import BatchSizeStats
+
+    stats = BatchSizeStats(reservoir_size=32)
+    for i in range(10_000):
+        stats.append(1 + (i % 100))
+    assert stats.count == 10_000
+    assert sum(stats.counts) == 10_000
+    assert len(stats.sample) == 32            # reservoir never grows past capacity
+    assert stats.max_rows == 100
+    assert 0 < stats.mean <= 100
+    # Histogram buckets cover every observation and stay a fixed size.
+    assert sum(count for _, _, count in stats.histogram()) == 10_000
+    assert len(stats.counts) == len(BatchSizeStats.BUCKET_BOUNDS) + 1
+    # Deterministic: same appends, same reservoir.
+    other = BatchSizeStats(reservoir_size=32)
+    for i in range(10_000):
+        other.append(1 + (i % 100))
+    assert other.sample == stats.sample
+
+
+def test_rider_wait_time_is_charged_inside_expand_leaf():
+    """Non-host batch riders must not advance their clock as untracked time."""
+    from repro.profiler import Profiler, ProfilerConfig
+
+    device = GPUDevice()
+    service = InferenceService(make_network(), max_batch=64)
+    systems, clients = [], []
+    for i, worker in enumerate(("host", "rider")):
+        system = System.create(seed=i, device=device, worker=worker)
+        system.cuda.default_stream = i
+        engine = GraphEngine(system, flavor="tensorflow")
+        profiler = Profiler(system, ProfilerConfig.full(), worker=worker)
+        profiler.attach(engine=engine)
+        clients.append(service.connect(system, engine, worker=worker, profiler=profiler))
+        systems.append((system, profiler))
+
+    rng = np.random.default_rng(0)
+    clients[0].submit(rng.normal(size=(2, 75)).astype(np.float32))
+    clients[1].submit(rng.normal(size=(1, 75)).astype(np.float32))
+    service.flush()
+
+    rider_system, rider_profiler = systems[1]
+    trace = rider_profiler.finalize()
+    rider_ops = [op for op in trace.operations if op.name == OP_EXPAND_LEAF]
+    assert rider_ops, "the rider's batch wait must be recorded as an expand_leaf operation"
+    op = rider_ops[0]
+    assert op.metadata is not None and op.metadata["batch_rider"] is True
+    assert op.metadata["batch_clients"] == 2
+    # The operation covers (at least) the whole batch time charged to the rider.
+    assert op.end_us - op.start_us >= op.metadata["batch_time_us"]
+    assert rider_system.clock.now_us >= op.end_us
+
+
+def test_serve_queued_charges_wait_plus_batch_and_times_out_partial_batches():
+    """Queueing model: arrival-order packing, deadlines, wait attribution."""
+    device = GPUDevice()
+    service = InferenceService(make_network(), max_batch=8)
+    early = make_client(service, device, worker="early", stream=0)
+    late = make_client(service, device, worker="late", seed=1, stream=1)
+
+    rng = np.random.default_rng(3)
+    early.submit(rng.normal(size=(2, 75)).astype(np.float32))          # arrives at t=0
+    late.system.clock.advance(50_000.0)
+    late.submit(rng.normal(size=(2, 75)).astype(np.float32))           # arrives at t=50ms
+    calls = service.serve_queued(policy="timeout", timeout_us=1_000.0)
+
+    # The early request's batch departed at its deadline (t=1000), long
+    # before the late request arrived; two separate engine calls resulted.
+    assert calls == 2
+    stats = service.stats
+    assert stats.engine_calls == 2
+    assert stats.cross_worker_batches == 0
+    assert stats.queued_waits == 2
+    # The early worker waited out the full timeout before its batch started.
+    assert stats.max_queue_delay_us >= 1_000.0
+    assert early.system.clock.now_us >= 1_000.0
+    # The late worker's batch could not start before the replica freed up
+    # *and* its own deadline passed.
+    assert late.system.clock.now_us >= 51_000.0
+    assert stats.mean_occupancy == pytest.approx(2 / 8)
+
+
+def test_cutoff_serve_holds_back_partial_batches_still_within_their_deadline():
+    """A deadline-triggered serve must not depart a later batch early.
+
+    With a cutoff (the scheduler's timeout trigger), full batches and the
+    due partial batch depart, but an overflow partial batch whose own
+    deadline lies beyond the cutoff stays queued so it can still gather
+    riders."""
+    device = GPUDevice()
+    service = InferenceService(make_network(), max_batch=4)
+    clients = []
+    for i in range(3):
+        client = make_client(service, device, worker=f"w{i}", seed=i, stream=i)
+        client.system.clock.advance(100.0 * i)   # arrivals at t=0, 100, 200
+        clients.append(client)
+
+    rng = np.random.default_rng(5)
+    tickets = [c.submit(rng.normal(size=(2, 75)).astype(np.float32)) for c in clients]
+    calls = service.serve_queued(policy="timeout", timeout_us=500.0,
+                                 arrival_cutoff_us=500.0)
+
+    # 6 rows pack as one full 4-row batch (due) plus a 2-row overflow whose
+    # deadline (200 + 500) is past the cutoff: only the full batch departs.
+    assert calls == 1
+    assert tickets[0].done and tickets[1].done
+    assert not tickets[2].done
+    assert service.pending_tickets == 1
+    # A later serve without a cutoff drains the held-back ticket.
+    assert service.serve_queued(policy="timeout", timeout_us=500.0) == 1
+    assert tickets[2].done
+
+
+def test_serve_queued_coalesces_across_workers_and_serializes_the_replica():
+    device = GPUDevice()
+    service = InferenceService(make_network(), max_batch=4)
+    a = make_client(service, device, worker="a", stream=0)
+    b = make_client(service, device, worker="b", seed=1, stream=1)
+
+    rng = np.random.default_rng(4)
+    ticket_a = a.submit(rng.normal(size=(3, 75)).astype(np.float32))
+    b.system.clock.advance(100.0)
+    ticket_b = b.submit(rng.normal(size=(3, 75)).astype(np.float32))
+    calls = service.serve_queued(policy="max-batch")
+
+    # 6 rows into chunks of 4: the first batch is cross-worker.
+    assert calls == 2
+    assert service.stats.cross_worker_batches == 1
+    assert ticket_a.done and ticket_b.done
+    assert ticket_a.priors.shape == (3, NUM_MOVES)
+    assert ticket_b.priors.shape == (3, NUM_MOVES)
+    # Both workers end at/after the completion of the last batch they rode.
+    assert b.system.clock.now_us >= a.system.clock.now_us - 1e-9
+    assert service.stats.queue_delay_us > 0.0
 
 
 # -------------------------------------------------------------- wave MCTS

@@ -1,0 +1,255 @@
+"""Tests for the event-driven virtual-time pool scheduler and game drivers."""
+
+import numpy as np
+import pytest
+
+from repro.minigo import (
+    GameDriver,
+    MinigoConfig,
+    MinigoTraining,
+    PoolScheduler,
+    SelfPlayPool,
+)
+from repro.minigo.mcts import MCTS, LeafEvalRequest
+from repro.profiler import multi_process_summary
+from repro.sim.go import GoPosition
+
+POOL_KWARGS = dict(board_size=5, num_simulations=6, games_per_worker=1,
+                   max_moves=8, hidden=(16, 16), seed=3)
+
+
+def _game_records(pool):
+    return [
+        [(ex.features.tobytes(), ex.policy_target.tobytes(), ex.value_target)
+         for ex in run.result.examples]
+        for run in pool.runs
+    ]
+
+
+# ------------------------------------------------------------ search_steps
+def test_search_steps_matches_synchronous_search():
+    """Driving the generator with the same evaluator reproduces search()."""
+    def evaluator(features):
+        batch = features.shape[0]
+        priors = np.full((batch, 26), 1.0 / 26, dtype=np.float32)
+        return priors, np.linspace(-0.5, 0.5, batch, dtype=np.float32)
+
+    position = GoPosition.initial(size=5)
+    sync = MCTS(evaluator, num_simulations=12, leaf_batch=4, rng=np.random.default_rng(5))
+    sync_root = sync.search(position)
+
+    stepped = MCTS(evaluator, num_simulations=12, leaf_batch=4, rng=np.random.default_rng(5))
+    gen = stepped.search_steps(position)
+    requests = 0
+    try:
+        request = next(gen)
+        while True:
+            assert isinstance(request, LeafEvalRequest)
+            assert not request.done
+            requests += 1
+            request.fulfill(*evaluator(request.features))
+            request = gen.send(None)
+    except StopIteration as stop:
+        stepped_root = stop.value
+
+    assert requests >= 2  # root expansion plus at least one wave
+    assert stepped_root.visit_count == sync_root.visit_count
+
+    def visits(node):
+        return sorted((index, child.visit_count) for index, child in node.children.items())
+    assert visits(stepped_root) == visits(sync_root)
+
+
+def test_search_steps_rejects_unfulfilled_resume():
+    mcts = MCTS(lambda f: (np.full((f.shape[0], 26), 1 / 26), np.zeros(f.shape[0])),
+                num_simulations=2)
+    gen = mcts.search_steps(GoPosition.initial(size=5))
+    next(gen)
+    with pytest.raises(RuntimeError):
+        gen.send(None)  # resumed without fulfilling the pending request
+
+
+# ---------------------------------------------------- bit-for-bit determinism
+@pytest.mark.parametrize("leaf_batch", [1, 4])
+def test_event_unbatched_pool_is_bitwise_identical_to_sequential(leaf_batch):
+    """The scheduler machinery itself introduces zero drift.
+
+    Under the ``unbatched`` flush policy every ticket is served on its own
+    worker's clock exactly as the sequential pool serves it, so game
+    records, per-worker clocks and overlap summaries must all be
+    bit-for-bit identical — only the execution order interleaves.
+    """
+    sequential = SelfPlayPool(3, profile=True, batched_inference=True,
+                              leaf_batch=leaf_batch, **POOL_KWARGS)
+    sequential.run()
+    event = SelfPlayPool(3, profile=True, batched_inference=True, leaf_batch=leaf_batch,
+                         scheduler="event", flush_policy="unbatched", **POOL_KWARGS)
+    event.run()
+
+    assert _game_records(event) == _game_records(sequential)
+    assert [run.total_time_us for run in event.runs] == \
+        [run.total_time_us for run in sequential.runs]
+    assert multi_process_summary(event.traces()) == multi_process_summary(sequential.traces())
+    # The event pool really ran through the scheduler.
+    stats = event.pool_scheduler.stats
+    assert stats.steps > 0 and stats.serves > 0
+
+
+def test_event_scheduler_leaf_batch_one_reproduces_legacy_records():
+    """The acceptance bar: event-driven at leaf_batch=1 == legacy sequential."""
+    legacy = SelfPlayPool(3, profile=False, **POOL_KWARGS)
+    legacy.run()
+    event = SelfPlayPool(3, profile=False, batched_inference=True, leaf_batch=1,
+                         scheduler="event", flush_policy="unbatched", **POOL_KWARGS)
+    event.run()
+    assert _game_records(event) == _game_records(legacy)
+
+
+# ------------------------------------------------------- cross-worker batching
+def test_event_scheduler_batches_across_workers():
+    sequential = SelfPlayPool(4, profile=False, batched_inference=True, leaf_batch=4,
+                              **POOL_KWARGS)
+    sequential.run()
+    event = SelfPlayPool(4, profile=False, batched_inference=True, leaf_batch=4,
+                         scheduler="event", **POOL_KWARGS)
+    event.run()
+
+    seq_stats = sequential.inference_service.stats
+    ev_stats = event.inference_service.stats
+    assert seq_stats.cross_worker_batches == 0, \
+        "sequential simulation cannot coalesce across workers"
+    assert ev_stats.cross_worker_batches > 0
+    assert ev_stats.cross_worker_share >= 0.5
+    assert ev_stats.engine_calls < seq_stats.engine_calls / 2
+    assert ev_stats.mean_batch_rows > seq_stats.mean_batch_rows
+    # The queueing model charged arrival-order waiting time.
+    assert ev_stats.queued_waits > 0
+    assert ev_stats.mean_queue_delay_us >= 0.0
+    assert 0.0 < ev_stats.mean_occupancy <= 1.0
+
+
+def test_event_scheduler_profiled_run_attributes_wait_inside_operations():
+    """Suspended waits land inside the worker's own operation annotations."""
+    pool = SelfPlayPool(3, profile=True, batched_inference=True, leaf_batch=4,
+                        scheduler="event", **POOL_KWARGS)
+    pool.run()
+    summaries = multi_process_summary(pool.traces())
+    for run, summary in zip(pool.runs, summaries):
+        # Everything the worker was charged — including queueing delay and
+        # shared batch time — is covered by its recorded events: the trace's
+        # span matches the clock, and no negative/overflowed times appear.
+        assert summary.total_time_us == pytest.approx(run.total_time_us)
+        assert summary.cpu_time_us <= summary.total_time_us + 1e-6
+    for run in pool.runs:
+        expand_ops = [op for op in run.trace.operations if op.name == "expand_leaf"]
+        assert expand_ops
+        assert all(op.metadata is not None and op.metadata.get("batch_rows", 0) >= 1
+                   for op in expand_ops)
+        # At least one wave of this worker rode a cross-worker batch.
+        assert any(op.metadata.get("batch_clients", 0) > 1 for op in expand_ops)
+
+
+# ----------------------------------------------------------------- fairness
+def test_no_worker_starves_under_the_event_loop():
+    pool = SelfPlayPool(5, profile=False, batched_inference=True, leaf_batch=2,
+                        scheduler="event", **POOL_KWARGS)
+    pool.run()
+    stats = pool.pool_scheduler.stats
+    assert set(stats.steps_per_worker) == {run.worker for run in pool.runs}
+    assert all(steps > 0 for steps in stats.steps_per_worker.values())
+    # Every worker finished all its games and produced moves.
+    for run in pool.runs:
+        assert run.result.games == POOL_KWARGS["games_per_worker"]
+        assert run.result.moves > 0
+        assert run.total_time_us > 0
+    # The min-clock policy keeps worker clocks within one wave of each other
+    # while running, so final clocks cannot be wildly skewed.
+    clocks = [run.total_time_us for run in pool.runs]
+    assert max(clocks) < 2 * min(clocks)
+
+
+def test_timeout_policy_serves_partial_batches_while_others_run():
+    pool = SelfPlayPool(4, profile=False, batched_inference=True, leaf_batch=4,
+                        scheduler="event", flush_policy="timeout", flush_timeout_us=10.0,
+                        **POOL_KWARGS)
+    pool.run()
+    stats = pool.pool_scheduler.stats
+    service_stats = pool.inference_service.stats
+    # A 10us deadline is far shorter than a wave of tree-search work, so
+    # most batches depart partial, before every worker has blocked.
+    assert stats.timeout_serves > 0
+    assert service_stats.mean_occupancy < 1.0
+    # A generous deadline behaves like max-batch: bigger batches, more
+    # queueing delay per request.
+    relaxed = SelfPlayPool(4, profile=False, batched_inference=True, leaf_batch=4,
+                           scheduler="event", flush_policy="timeout",
+                           flush_timeout_us=1e9, **POOL_KWARGS)
+    relaxed.run()
+    relaxed_stats = relaxed.inference_service.stats
+    assert relaxed_stats.mean_batch_rows >= service_stats.mean_batch_rows
+    assert relaxed_stats.engine_calls <= service_stats.engine_calls
+
+
+# ------------------------------------------------------------- configuration
+def test_event_scheduler_requires_batched_inference():
+    with pytest.raises(ValueError):
+        SelfPlayPool(2, scheduler="event", **POOL_KWARGS)
+    with pytest.raises(ValueError):
+        SelfPlayPool(2, scheduler="bogus", **POOL_KWARGS)
+    with pytest.raises(ValueError):
+        SelfPlayPool(2, batched_inference=True, scheduler="event",
+                     flush_policy="timeout", **POOL_KWARGS)  # missing timeout_us
+
+
+def test_game_driver_guards_misuse():
+    pool = SelfPlayPool(1, profile=False, batched_inference=True, leaf_batch=2,
+                        **POOL_KWARGS)
+    pool.inference_service = None  # build worker without running
+    worker, _ = pool._make_worker(0, None)
+    driver = GameDriver(worker, 0)
+    assert driver.finished and not driver.blocked
+    assert driver.step() is False
+
+    with pytest.raises(ValueError):
+        PoolScheduler([], service=None)
+
+
+# ------------------------------------------------- evaluation phase batching
+def test_candidate_evaluation_routes_through_shared_service():
+    config = MinigoConfig(num_workers=2, board_size=5, num_simulations=4,
+                          games_per_worker=1, max_moves=6, sgd_steps=2,
+                          evaluation_games=2, hidden=(16, 16), seed=0,
+                          batched_inference=True, leaf_batch=4)
+    result = MinigoTraining(config).run_round()
+
+    stats = result.evaluation_inference_stats
+    assert stats is not None
+    assert stats.engine_calls > 0
+    # Waves batch leaf evaluations: far fewer calls than evaluated rows.
+    assert stats.engine_calls < stats.rows
+    assert stats.mean_batch_rows > 1.0
+    # Both sides of the match rode the one shared service.
+    assert set(stats.rows_by_worker) == {"evaluation_current", "evaluation_candidate"}
+    assert result.selfplay_inference_stats is not None
+    assert result.selfplay_inference_stats.engine_calls > 0
+
+    # Without batched inference the evaluation phase reports no stats.
+    legacy = MinigoTraining(MinigoConfig(num_workers=1, board_size=5, num_simulations=2,
+                                         games_per_worker=1, max_moves=4, sgd_steps=1,
+                                         evaluation_games=1, hidden=(8, 8), seed=0))
+    legacy_result = legacy.run_round()
+    assert legacy_result.evaluation_inference_stats is None
+    assert legacy_result.scheduler_stats is None
+
+
+def test_minigo_round_runs_under_event_scheduler():
+    config = MinigoConfig(num_workers=3, board_size=5, num_simulations=4,
+                          games_per_worker=1, max_moves=6, sgd_steps=2,
+                          evaluation_games=1, hidden=(16, 16), seed=0,
+                          batched_inference=True, leaf_batch=4, scheduler="event")
+    result = MinigoTraining(config).run_round()
+    assert result.scheduler_stats is not None
+    assert result.scheduler_stats.steps > 0
+    assert result.selfplay_inference_stats.cross_worker_batches > 0
+    assert len(result.traces()) == 5  # 3 self-play workers + trainer + evaluation
+    assert result.losses
