@@ -1,0 +1,93 @@
+"""Benchmark: sharded inference service vs the single-replica event pool.
+
+Regenerates the replica sweep behind the multi-GPU inference sharding
+(replicas × workers × routing on an inference-bound cost model):
+
+* with 8 workers and ``leaf_batch=8`` the event-driven pool at 2 replicas
+  completes its virtual collection span at least 1.8x faster than the same
+  pool on 1 replica (the acceptance bar; the measured speedup is ~2.1x, and
+  ~4x at 4 replicas), with per-replica occupancy/utilisation reported;
+* ``num_replicas=1`` under *any* routing policy reproduces the
+  single-service pool's game records and per-worker clocks bit-for-bit, so
+  the sharding refactor (replica objects, routing, eager serving guards)
+  introduces zero drift in every configuration shipped before it.
+"""
+
+from conftest import save_report
+from repro.experiments.replicasweep import (
+    DEFAULT_REPLICA_POOL_KWARGS,
+    inference_bound_cost_config,
+    run_replica_sweep,
+)
+from repro.minigo.workers import SelfPlayPool
+
+NUM_WORKERS = 8
+POOL_KWARGS = dict(
+    board_size=5,
+    num_simulations=16,
+    games_per_worker=1,
+    max_moves=10,
+    hidden=(32, 32),
+    seed=0,
+)
+
+
+def _game_records(pool):
+    """Per-worker (features, policy, value) byte records of every move."""
+    return [
+        [(ex.features.tobytes(), ex.policy_target.tobytes(), ex.value_target)
+         for ex in run.result.examples]
+        for run in pool.runs
+    ]
+
+
+def test_bench_replica_sweep(benchmark):
+    sweep = benchmark.pedantic(run_replica_sweep, rounds=1, iterations=1)
+
+    # --- determinism: sharding machinery adds zero drift at one replica.
+    baseline = SelfPlayPool(NUM_WORKERS, profile=False, batched_inference=True,
+                            leaf_batch=8, scheduler="event", **POOL_KWARGS)
+    baseline.run()
+    for routing in ("round-robin", "least-loaded", "sticky"):
+        single = SelfPlayPool(NUM_WORKERS, profile=False, batched_inference=True,
+                              leaf_batch=8, scheduler="event",
+                              num_replicas=1, routing=routing, **POOL_KWARGS)
+        single.run()
+        assert _game_records(single) == _game_records(baseline), \
+            f"num_replicas=1 with {routing!r} routing must reproduce the single-service records"
+        assert [run.total_time_us for run in single.runs] == \
+            [run.total_time_us for run in baseline.runs], \
+            f"num_replicas=1 with {routing!r} routing must reproduce per-worker clocks"
+
+    # --- the acceptance bar: >=1.8x shorter collection span at 2 replicas.
+    for routing in ("round-robin", "least-loaded"):
+        speedup = sweep.speedup(NUM_WORKERS, 2, routing)
+        assert speedup >= 1.8, \
+            (f"expected >=1.8x effective-throughput (collection-span) improvement at "
+             f"2 replicas / {NUM_WORKERS} workers / leaf_batch="
+             f"{DEFAULT_REPLICA_POOL_KWARGS['leaf_batch']} ({routing}), got {speedup:.2f}x")
+    assert sweep.speedup(NUM_WORKERS, 4, "least-loaded") > sweep.speedup(NUM_WORKERS, 2, "least-loaded"), \
+        "four replicas must beat two on an inference-bound workload"
+
+    # --- per-replica occupancy/utilisation is reported for every point.
+    for point in sweep.points:
+        assert len(point.replica_calls) == point.num_replicas
+        assert len(point.replica_occupancy) == point.num_replicas
+        assert len(point.replica_utilisation) == point.num_replicas
+        assert sum(point.routing_decisions) == point.engine_calls
+        assert all(calls > 0 for calls in point.replica_calls), \
+            "every replica must serve work under every routing policy"
+        assert all(0.0 < occ <= 1.0 for occ in point.replica_occupancy)
+
+    # The eager path really engaged once replicas could make progress early.
+    sharded = [p for p in sweep.points if p.num_replicas > 1]
+    assert any(p.eager_serves > 0 for p in sharded)
+
+    # The sweep's pinned point matches the config the bar describes.
+    assert DEFAULT_REPLICA_POOL_KWARGS["leaf_batch"] == 8
+    assert inference_bound_cost_config().python_op_us < 0.01
+
+    report = sweep.report()
+    print()
+    print(report)
+    save_report("replica_sweep", report)

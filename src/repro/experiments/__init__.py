@@ -21,6 +21,15 @@ from .schedsweep import (
     SchedSweepResult,
     run_sched_sweep,
 )
+from .replicasweep import (
+    DEFAULT_REPLICA_COUNTS,
+    DEFAULT_REPLICA_ROUTINGS,
+    DEFAULT_REPLICA_WORKERS,
+    ReplicaSweepPoint,
+    ReplicaSweepResult,
+    inference_bound_cost_config,
+    run_replica_sweep,
+)
 from .fig4 import FRAMEWORKS_BY_ALGO, Fig4Result, run_fig4
 from .fig5 import SURVEY_ALGORITHMS, Fig5Result, run_fig5
 from .fig7 import SURVEY_SIMULATORS, Fig7Result, run_fig7
@@ -55,6 +64,13 @@ __all__ = [
     "SchedSweepPoint",
     "SchedSweepResult",
     "run_sched_sweep",
+    "DEFAULT_REPLICA_COUNTS",
+    "DEFAULT_REPLICA_ROUTINGS",
+    "DEFAULT_REPLICA_WORKERS",
+    "ReplicaSweepPoint",
+    "ReplicaSweepResult",
+    "inference_bound_cost_config",
+    "run_replica_sweep",
     "FRAMEWORKS_BY_ALGO",
     "Fig4Result",
     "run_fig4",

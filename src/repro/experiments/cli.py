@@ -10,7 +10,9 @@ Examples::
     rls-experiment batchsweep --leaf-batches 1,4,16,64
     rls-experiment schedsweep --workers 8 --leaf-batches 1,4,8
     rls-experiment schedsweep --flush-policy timeout --timeout-us 500
-    rls-experiment fig8 --scheduler event
+    rls-experiment schedsweep --replicas 2 --routing least-loaded
+    rls-experiment replicasweep --replicas 1,2,4 --workers 8
+    rls-experiment fig8 --scheduler event --replicas 2
     rls-experiment findings          # run everything and check F.1-F.12
 """
 
@@ -20,15 +22,21 @@ import argparse
 from typing import Optional, Sequence
 
 
-def _leaf_batch_list(text: str) -> tuple:
-    """Parse a comma-separated list of positive leaf batch sizes."""
-    try:
-        batches = tuple(int(batch) for batch in text.split(","))
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}")
-    if not batches or any(batch <= 0 for batch in batches):
-        raise argparse.ArgumentTypeError(f"leaf batch sizes must be positive, got {text!r}")
-    return batches
+def _positive_int_list(noun: str):
+    """argparse type: a comma-separated list of positive integers."""
+    def parse(text: str) -> tuple:
+        try:
+            values = tuple(int(value) for value in text.split(","))
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"expected comma-separated integers, got {text!r}")
+        if not values or any(value <= 0 for value in values):
+            raise argparse.ArgumentTypeError(f"{noun} must be positive, got {text!r}")
+        return values
+    return parse
+
+
+_leaf_batch_list = _positive_int_list("leaf batch sizes")
+_replica_list = _positive_int_list("replica counts")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,7 +44,7 @@ def build_parser() -> argparse.ArgumentParser:
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("experiment",
                         choices=["table1", "fig4", "fig5", "fig7", "fig8", "fig11a", "fig11b",
-                                 "batchsweep", "schedsweep", "findings"])
+                                 "batchsweep", "schedsweep", "replicasweep", "findings"])
     parser.add_argument("--algo", default="TD3", help="algorithm for fig4 (TD3 or DDPG)")
     parser.add_argument("--timesteps", type=int, default=None, help="steps per workload (default: experiment-specific)")
     parser.add_argument("--seed", type=int, default=0)
@@ -44,22 +52,40 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated leaf batch sizes for batchsweep/schedsweep "
                              "(defaults: 1,4,16,64 / 1,4,8)")
     parser.add_argument("--workers", type=int, default=None,
-                        help="self-play workers for schedsweep (default: 8)")
+                        help="self-play workers for schedsweep/replicasweep (default: 8 / 4,8)")
+    parser.add_argument("--replicas", type=_replica_list, default=None,
+                        help="inference replicas: a single count for fig8/schedsweep, a "
+                             "comma-separated list for replicasweep (default: 1 / 1,2,4)")
+    parser.add_argument("--routing", choices=["round-robin", "least-loaded", "sticky"],
+                        default=None,
+                        help="replica routing policy for fig8/schedsweep (replicasweep "
+                             "sweeps every policy unless one is given)")
     parser.add_argument("--scheduler", choices=["sequential", "event"], default=None,
                         help="self-play scheduler for fig8 (event implies batched inference)")
     parser.add_argument("--flush-policy", choices=["max-batch", "timeout", "unbatched"],
-                        default="max-batch",
-                        help="how the event-driven scheduler departs inference batches")
+                        default=None,
+                        help="how the event-driven scheduler departs inference batches "
+                             "(fig8/schedsweep default: max-batch; replicasweep default: "
+                             "timeout 50us)")
     parser.add_argument("--timeout-us", type=float, default=None,
                         help="partial-batch deadline in virtual us (flush policy 'timeout')")
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment in ("fig8", "schedsweep") and args.replicas and len(args.replicas) > 1:
+        parser.error(f"{args.experiment} takes a single --replicas count "
+                     "(a list is only meaningful for replicasweep)")
+    if args.experiment == "replicasweep" and args.leaf_batches and len(args.leaf_batches) > 1:
+        parser.error("replicasweep takes a single --leaf-batches value "
+                     "(a list is only meaningful for batchsweep/schedsweep)")
     from . import (
         DEFAULT_LEAF_BATCHES, run_batch_sweep,
         DEFAULT_SCHED_LEAF_BATCHES, DEFAULT_SCHED_WORKERS, run_sched_sweep,
+        DEFAULT_REPLICA_COUNTS, DEFAULT_REPLICA_ROUTINGS, DEFAULT_REPLICA_WORKERS,
+        run_replica_sweep,
         run_fig4, run_fig5, run_fig7, run_fig8, run_fig11a, run_fig11b, run_table1, table1, findings,
     )
     from .common import DEFAULT_TIMESTEPS
@@ -78,7 +104,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(run_fig7(timesteps=steps, seed=args.seed).report())
     elif args.experiment == "fig8":
         print(run_fig8(scheduler=args.scheduler, flush_policy=args.flush_policy,
-                       flush_timeout_us=args.timeout_us).report())
+                       flush_timeout_us=args.timeout_us,
+                       num_replicas=args.replicas[0] if args.replicas else None,
+                       routing=args.routing).report())  # flush_policy=None keeps the config default
     elif args.experiment == "fig11a":
         print(run_fig11a(timesteps=fig11_steps, seed=args.seed).report())
     elif args.experiment == "fig11b":
@@ -90,8 +118,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         batches = args.leaf_batches if args.leaf_batches is not None else DEFAULT_SCHED_LEAF_BATCHES
         workers = args.workers if args.workers is not None else DEFAULT_SCHED_WORKERS
         print(run_sched_sweep(batches, num_workers=workers, seed=args.seed,
-                              flush_policy=args.flush_policy,
+                              num_replicas=args.replicas[0] if args.replicas else 1,
+                              routing=args.routing or "round-robin",
+                              flush_policy=args.flush_policy or "max-batch",
                               flush_timeout_us=args.timeout_us).report())
+    elif args.experiment == "replicasweep":
+        replicas = args.replicas if args.replicas is not None else DEFAULT_REPLICA_COUNTS
+        worker_counts = (args.workers,) if args.workers is not None else DEFAULT_REPLICA_WORKERS
+        routings = (args.routing,) if args.routing is not None else DEFAULT_REPLICA_ROUTINGS
+        sweep_kwargs = {}
+        if args.leaf_batches is not None:
+            sweep_kwargs["leaf_batch"] = args.leaf_batches[0]
+        if args.flush_policy is not None:
+            sweep_kwargs["flush_policy"] = args.flush_policy
+            if args.flush_policy != "timeout":
+                sweep_kwargs["flush_timeout_us"] = None
+        if args.timeout_us is not None:
+            sweep_kwargs["flush_timeout_us"] = args.timeout_us
+        print(run_replica_sweep(replicas, worker_counts=worker_counts,
+                                routings=routings, seed=args.seed,
+                                **sweep_kwargs).report())
     elif args.experiment == "findings":
         fig4_td3 = run_fig4("TD3", timesteps=steps, seed=args.seed)
         fig4_ddpg = run_fig4("DDPG", timesteps=steps, seed=args.seed)

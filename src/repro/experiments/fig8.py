@@ -83,6 +83,8 @@ def run_fig8(
     leaf_batch: Optional[int] = None,
     flush_policy: Optional[str] = None,
     flush_timeout_us: Optional[float] = None,
+    num_replicas: Optional[int] = None,
+    routing: Optional[str] = None,
 ) -> Fig8Result:
     """Run one Minigo round and compute the Figure 8 quantities.
 
@@ -92,7 +94,9 @@ def run_fig8(
     to the in-memory path.  ``scheduler="event"`` switches the self-play
     phase to the event-driven virtual-time pool (implies batched inference,
     with ``leaf_batch`` leaves per MCTS wave, departing batches under
-    ``flush_policy``/``flush_timeout_us``).
+    ``flush_policy``/``flush_timeout_us``).  ``num_replicas``/``routing``
+    shard the inference service across that many model replicas (each
+    beyond the first modelling an additional inference GPU).
     """
     config = config if config is not None else DEFAULT_MINIGO_CONFIG
     if trace_dir is not None:
@@ -106,6 +110,15 @@ def run_fig8(
         config = replace(config, flush_policy=flush_policy)
     if flush_timeout_us is not None:
         config = replace(config, flush_timeout_us=flush_timeout_us)
+    if num_replicas is not None:
+        config = replace(config, num_replicas=num_replicas)
+    if routing is not None:
+        config = replace(config, routing=routing)
+    if config.num_replicas > 1 and not config.batched_inference:
+        # Without batched inference there is no service to shard — silently
+        # returning single-device numbers would be misleading.
+        raise ValueError("num_replicas > 1 requires batched inference; pass "
+                         "scheduler='event' (or a config with batched_inference=True)")
     training = MinigoTraining(config)
     round_result = training.run_round()
     if round_result.trace_dir is not None:

@@ -19,10 +19,10 @@ many times more engine calls).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from ..minigo.inference import FLUSH_MAX_BATCH
+from ..minigo.inference import FLUSH_MAX_BATCH, ROUTING_ROUND_ROBIN
 from ..minigo.workers import SCHEDULER_EVENT, SCHEDULER_SEQUENTIAL, SelfPlayPool
 
 #: The sweep the paper-style report covers.
@@ -44,6 +44,11 @@ class SchedSweepPoint:
     mean_queue_delay_us: float
     moves: int
     span_us: float           #: parallel collection span (slowest worker)
+    #: Per-replica roll-ups (index-aligned; single-entry lists with the
+    #: default unsharded service, empty when constructed without them).
+    replica_calls: List[int] = field(default_factory=list)
+    replica_utilisation: List[float] = field(default_factory=list)
+    routing_decisions: List[int] = field(default_factory=list)
 
     @property
     def cross_worker_share(self) -> float:
@@ -60,6 +65,8 @@ class SchedSweepResult:
     flush_policy: str
     flush_timeout_us: Optional[float]
     points: List[SchedSweepPoint]
+    num_replicas: int = 1
+    routing: str = ROUTING_ROUND_ROBIN
 
     def point(self, scheduler: str, leaf_batch: int) -> SchedSweepPoint:
         for point in self.points:
@@ -89,9 +96,11 @@ class SchedSweepResult:
         policy = self.flush_policy
         if self.flush_timeout_us is not None:
             policy += f" (timeout {self.flush_timeout_us:.0f}us)"
+        replicas = ("one shared inference replica" if self.num_replicas == 1 else
+                    f"{self.num_replicas} inference replicas ({self.routing} routing)")
         lines = [
             f"Scheduler sweep: {self.num_workers} self-play workers, "
-            f"one shared inference replica, flush policy {policy}",
+            f"{replicas}, flush policy {policy}",
             header,
         ]
         for point in self.points:
@@ -102,6 +111,16 @@ class SchedSweepResult:
                 f"{point.mean_batch_rows:>10.2f} {point.mean_occupancy:>9.1%} "
                 f"{100.0 * point.cross_worker_share:>9.1f}% "
                 f"{delay} {point.span_us / 1e6:>9.3f} {point.moves:>6d}")
+            if self.num_replicas > 1:
+                # Per-replica utilisation / routed-batch counts so routing
+                # imbalance is visible at a glance (zip tolerates points
+                # constructed without the per-replica columns).
+                per_replica = zip(point.routing_decisions, point.replica_calls,
+                                  point.replica_utilisation)
+                for index, (routed, calls, util) in enumerate(per_replica):
+                    lines.append(
+                        f"{'':>21} replica_{index}: routed={routed:<4d} "
+                        f"calls={calls:<4d} utilisation={util:.1%}")
         best = max(point.leaf_batch for point in self.points)
         event = self.point(SCHEDULER_EVENT, best)
         lines.append(
@@ -127,6 +146,8 @@ def run_sched_sweep(
     max_moves: Optional[int] = 10,
     hidden: tuple = (32, 32),
     inference_max_batch: int = 64,
+    num_replicas: int = 1,
+    routing: str = ROUTING_ROUND_ROBIN,
     flush_policy: str = FLUSH_MAX_BATCH,
     flush_timeout_us: Optional[float] = None,
     seed: int = 0,
@@ -149,12 +170,16 @@ def run_sched_sweep(
                 batched_inference=True,
                 leaf_batch=leaf_batch,
                 inference_max_batch=inference_max_batch,
+                num_replicas=num_replicas,
+                routing=routing,
                 scheduler=scheduler,
                 flush_policy=flush_policy,
                 flush_timeout_us=flush_timeout_us,
             )
             pool.run()
-            stats = pool.inference_service.stats
+            service = pool.inference_service
+            stats = service.stats
+            span_us = pool.collection_span_us()
             points.append(SchedSweepPoint(
                 scheduler=scheduler,
                 leaf_batch=leaf_batch,
@@ -165,7 +190,11 @@ def run_sched_sweep(
                 mean_occupancy=stats.mean_occupancy,
                 mean_queue_delay_us=stats.mean_queue_delay_us,
                 moves=sum(run.result.moves for run in pool.runs),
-                span_us=pool.collection_span_us(),
+                span_us=span_us,
+                replica_calls=[r.stats.engine_calls for r in service.replicas],
+                replica_utilisation=service.replica_utilisation(span_us),
+                routing_decisions=service.routing_decisions(),
             ))
     return SchedSweepResult(num_workers=num_workers, flush_policy=flush_policy,
-                            flush_timeout_us=flush_timeout_us, points=points)
+                            flush_timeout_us=flush_timeout_us, points=points,
+                            num_replicas=num_replicas, routing=routing)

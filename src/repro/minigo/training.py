@@ -61,6 +61,14 @@ class MinigoRoundResult:
     evaluation_inference_stats: Optional[InferenceStats] = None
     #: Event-loop counters of the self-play phase (event scheduler only).
     scheduler_stats: Optional[SchedulerStats] = None
+    #: Per-replica batching stats of the self-play service (index-aligned;
+    #: None when batched inference is off).
+    selfplay_replica_stats: Optional[List[InferenceStats]] = None
+    #: Virtual time to broadcast the round's outgoing weights to every
+    #: inference replica (0.0 without batched inference).  Reported for
+    #: between-round accounting; collection-phase clocks restart at zero
+    #: each round, so the broadcast does not delay later rounds' timelines.
+    weight_broadcast_us: float = 0.0
 
     def traces(self) -> Dict[str, EventTrace]:
         traces = {run.worker: run.trace for run in self.worker_runs if run.trace is not None}
@@ -104,6 +112,12 @@ class MinigoConfig:
     leaf_batch: int = 1
     #: Largest row count the inference service packs into one engine call.
     inference_max_batch: int = 64
+    #: Number of model replicas the inference service shards across (each
+    #: replica beyond the first models an additional inference GPU).
+    num_replicas: int = 1
+    #: How batches are routed to replicas: "round-robin", "least-loaded" or
+    #: "sticky" (cache-affinity: each batch host pins to one replica).
+    routing: str = "round-robin"
     #: Self-play execution model: "sequential" runs each worker to
     #: completion on its own timeline; "event" interleaves all workers at
     #: wave granularity so the shared service batches across workers
@@ -162,6 +176,8 @@ class MinigoTraining:
             batched_inference=cfg.batched_inference,
             leaf_batch=cfg.leaf_batch,
             inference_max_batch=cfg.inference_max_batch,
+            num_replicas=cfg.num_replicas,
+            routing=cfg.routing,
             scheduler=cfg.scheduler,
             flush_policy=cfg.flush_policy,
             flush_timeout_us=cfg.flush_timeout_us,
@@ -182,6 +198,15 @@ class MinigoTraining:
         if accepted:
             self.current_weights = candidate_weights
 
+        # Propagate the round's outgoing weights to every inference replica
+        # and record the virtual broadcast span.  The cost is *reported*
+        # (weight_broadcast_us), not enforced on later rounds: each round
+        # builds a fresh pool whose clocks restart at zero, with the weights
+        # pre-placed before collection starts (update_weights(charge=False)).
+        broadcast_us = 0.0
+        if pool.inference_service is not None:
+            broadcast_us = pool.inference_service.update_weights(self.current_weights)
+
         return MinigoRoundResult(
             worker_runs=runs,
             trainer_trace=trainer_trace,
@@ -199,6 +224,10 @@ class MinigoTraining:
             evaluation_inference_stats=eval_stats,
             scheduler_stats=(pool.pool_scheduler.stats
                              if pool.pool_scheduler is not None else None),
+            selfplay_replica_stats=(
+                [replica.stats for replica in pool.inference_service.replicas]
+                if pool.inference_service is not None else None),
+            weight_broadcast_us=broadcast_us,
         )
 
     # ----------------------------------------------------------------- phase 2
@@ -285,7 +314,12 @@ class MinigoTraining:
             current_client = candidate_client = None
             if cfg.batched_inference:
                 eval_service = InferenceService(current, max_batch=cfg.inference_max_batch,
-                                                name="evaluation_inference")
+                                                name="evaluation_inference",
+                                                num_replicas=cfg.num_replicas,
+                                                routing=cfg.routing,
+                                                primary_device=device,
+                                                cost_config=self.cost_config,
+                                                seed=cfg.seed)
                 current_client = eval_service.connect(system, engine, worker="evaluation_current",
                                                       profiler=profiler)
                 candidate_client = eval_service.connect(system, engine, worker="evaluation_candidate",

@@ -14,11 +14,14 @@ Two schedulers simulate the parallel collection phase:
   virtual timeline.  A shared-service flush then almost always serves a
   single worker's wave, so cross-worker batching never materializes.
 * ``event``: a :class:`PoolScheduler` interleaves all workers' stepwise
-  :class:`~repro.minigo.selfplay.GameDriver`s in virtual-time order and only
+  :class:`~repro.minigo.selfplay.GameDriver`s in virtual-time order and
   serves the shared :class:`~repro.minigo.inference.InferenceService` once
   every runnable worker is blocked at an inference boundary — so one engine
   call batches leaves from many workers at the same virtual instant, the way
-  a real inference server batches across client processes.
+  a real inference server batches across client processes.  With several
+  model replicas (``num_replicas > 1``) the scheduler additionally serves
+  *full* batches eagerly, so free replicas start in-flight batches while the
+  remaining workers keep running.
 """
 
 from __future__ import annotations
@@ -40,7 +43,15 @@ from ..hw.gpu import GPUDevice
 from ..profiler.api import Profiler, ProfilerConfig
 from ..profiler.events import EventTrace
 from ..system import System
-from .inference import FLUSH_MAX_BATCH, FLUSH_POLICIES, FLUSH_TIMEOUT
+from .inference import (
+    FLUSH_MAX_BATCH,
+    FLUSH_POLICIES,
+    FLUSH_TIMEOUT,
+    FLUSH_UNBATCHED,
+    ROUTING_POLICIES,
+    ROUTING_ROUND_ROBIN,
+    RoutingPolicy,
+)
 from .selfplay import GameDriver, PolicyValueNet, SelfPlayResult, SelfPlayWorker
 
 #: Scheduler modes understood by :class:`SelfPlayPool`.
@@ -72,6 +83,7 @@ class SchedulerStats:
     steps: int = 0            #: driver steps executed
     serves: int = 0           #: times the service queue was served
     timeout_serves: int = 0   #: serves triggered by a partial-batch deadline
+    eager_serves: int = 0     #: full-batch serves issued while workers still ran
     steps_per_worker: Dict[str, int] = field(default_factory=dict)
 
 
@@ -88,6 +100,15 @@ class PoolScheduler:
     is additionally served as soon as virtual time passes its deadline
     (first arrival + ``flush_timeout_us``), even while other workers are
     still runnable — the latency/throughput knob of a real batching server.
+
+    The scheduler is replica-aware: with more than one model replica it no
+    longer waits for every worker to block.  As soon as a *full* batch is
+    pending (``max_batch`` rows of one network — it can never gather more
+    riders), it is served eagerly so a free replica can start it while the
+    remaining workers keep tree-searching; its riders un-block and overlap
+    their next waves with other replicas' in-flight batches.  With a single
+    replica the eager path is disabled, so single-replica runs reproduce
+    the all-blocked barrier schedule bit-for-bit.
     """
 
     def __init__(self, drivers: Sequence[GameDriver], service: "InferenceService", *,
@@ -104,6 +125,12 @@ class PoolScheduler:
         self.flush_policy = flush_policy
         self.flush_timeout_us = flush_timeout_us
         self.stats = SchedulerStats()
+        # Signature of the pending queue after a fruitless eager attempt
+        # plus the virtual time at which retrying could first succeed (the
+        # earliest held full batch's departure), so the planner is not
+        # re-run every step while nothing changed.
+        self._stale_eager_signature: Optional[Tuple[int, int]] = None
+        self._eager_retry_at_us: Optional[float] = None
 
     def _serve(self, *, arrival_cutoff_us: Optional[float] = None) -> int:
         self.stats.serves += 1
@@ -118,6 +145,48 @@ class PoolScheduler:
         if earliest is None:
             return None
         return earliest + self.flush_timeout_us
+
+    def _try_eager_serve(self, stable_before_us: float) -> bool:
+        """Serve pending *full* batches on the replica pool, if any.
+
+        Only meaningful with several replicas (a single replica reproduces
+        the all-blocked barrier schedule) and under a batching flush policy.
+        ``stable_before_us`` is the smallest runnable worker clock: only
+        batches departing at or before it are safe to serve — a later-
+        departing batch could still be reordered behind a future submission
+        in global arrival order.  Returns True when at least one batch was
+        served — workers may have un-blocked, so the caller must recompute
+        the runnable set.
+        """
+        if self.service.num_replicas <= 1 or self.flush_policy == FLUSH_UNBATCHED:
+            return False
+        if self.service.pending_rows < self.service.max_batch:
+            return False
+        signature = (self.service.pending_tickets, self.service.pending_rows)
+        if signature == self._stale_eager_signature and (
+                self._eager_retry_at_us is None
+                or stable_before_us < self._eager_retry_at_us):
+            # Same queue as the last fruitless attempt, and virtual time has
+            # not yet reached the earliest held batch's departure (if any):
+            # re-planning cannot serve anything new.
+            return False
+        calls = self.service.serve_queued(policy=self.flush_policy,
+                                          timeout_us=self.flush_timeout_us,
+                                          full_batches_only=True,
+                                          stable_before_us=stable_before_us)
+        if calls:
+            self.stats.serves += 1
+            self.stats.eager_serves += 1
+            self._stale_eager_signature = None
+            self._eager_retry_at_us = None
+            return True
+        # Nothing was due: rows spread across networks, deadline-split
+        # partials, or full batches departing past the stability horizon.
+        # Remember the queue shape (and when a held full batch becomes due)
+        # so the planner is not re-run until something can change.
+        self._stale_eager_signature = signature
+        self._eager_retry_at_us = self.service.last_undue_full_depart_us
+        return False
 
     def run(self) -> SchedulerStats:
         """Drive every worker's games to completion; returns scheduling stats."""
@@ -135,6 +204,8 @@ class PoolScheduler:
                 raise RuntimeError("scheduler deadlock: unfinished workers but "
                                    "nothing runnable and nothing pending")
             nxt = min(runnable, key=lambda driver: driver.now_us)
+            if self._try_eager_serve(nxt.now_us):
+                continue
             deadline = self._pending_deadline_us()
             if deadline is not None and nxt.now_us >= deadline:
                 # The oldest pending batch times out before the next worker
@@ -175,16 +246,24 @@ class SelfPlayPool:
         batched_inference: bool = False,
         leaf_batch: int = 1,
         inference_max_batch: int = 64,
+        num_replicas: int = 1,
+        routing: "str | RoutingPolicy" = ROUTING_ROUND_ROBIN,
         scheduler: str = SCHEDULER_SEQUENTIAL,
         flush_policy: str = FLUSH_MAX_BATCH,
         flush_timeout_us: Optional[float] = None,
     ) -> None:
         """With ``batched_inference=True`` the pool creates one shared
-        :class:`~repro.minigo.inference.InferenceService` (a single model
-        replica) and every worker's MCTS collects up to ``leaf_batch``
-        in-flight leaves per wave for batched evaluation through it.  At
-        ``leaf_batch=1`` the batched path reproduces the legacy per-leaf game
-        records move-for-move under identical seeds.
+        :class:`~repro.minigo.inference.InferenceService` holding
+        ``num_replicas`` model replicas behind the ``routing`` policy
+        (``round-robin``, ``least-loaded``, ``sticky``, or a
+        :class:`~repro.minigo.inference.RoutingPolicy` instance); replica 0
+        shares the pool's primary GPU, further replicas each model an
+        additional inference GPU.  Every worker's MCTS collects up to
+        ``leaf_batch`` in-flight leaves per wave for batched evaluation
+        through the service.  At ``leaf_batch=1`` the batched path
+        reproduces the legacy per-leaf game records move-for-move under
+        identical seeds, and at ``num_replicas=1`` (any routing) the sharded
+        service reproduces the single-replica timelines bit-for-bit.
 
         ``scheduler="event"`` (requires ``batched_inference``) replaces the
         run-each-worker-to-completion loop with a :class:`PoolScheduler`
@@ -192,9 +271,19 @@ class SelfPlayPool:
         service under ``flush_policy`` (``max-batch``, ``timeout`` with
         ``flush_timeout_us``, or ``unbatched`` — the bit-for-bit
         determinism baseline), so engine calls batch leaves across
-        workers."""
+        workers; with several replicas the scheduler also serves full
+        batches eagerly so free replicas overlap in-flight batches with
+        still-running workers."""
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
+        if num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+        if num_replicas > 1 and not batched_inference:
+            raise ValueError("num_replicas > 1 requires batched_inference=True "
+                             "(there is no inference service to shard otherwise)")
+        if isinstance(routing, str) and routing not in ROUTING_POLICIES:
+            raise ValueError(f"unknown routing policy {routing!r}; "
+                             f"expected one of {ROUTING_POLICIES}")
         if scheduler not in SCHEDULERS:
             raise ValueError(f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}")
         if scheduler == SCHEDULER_EVENT:
@@ -218,6 +307,8 @@ class SelfPlayPool:
         self.batched_inference = batched_inference
         self.leaf_batch = leaf_batch
         self.inference_max_batch = inference_max_batch
+        self.num_replicas = num_replicas
+        self.routing = routing
         self.scheduler = scheduler
         self.flush_policy = flush_policy
         self.flush_timeout_us = flush_timeout_us
@@ -264,14 +355,25 @@ class SelfPlayPool:
         self.pool_scheduler = None
         if self.batched_inference:
             from .inference import InferenceService
-            # One model replica serves every worker; with the same init seed
-            # as the legacy per-worker networks its weights are identical.
+            # One logical model serves every worker (with the same init seed
+            # as the legacy per-worker networks its weights are identical),
+            # sharded across num_replicas replicas: replica 0 shares the
+            # pool's primary GPU, the rest bring their own devices.
             shared_network = PolicyValueNet(self.board_size, self.hidden,
                                             rng=np.random.default_rng(self.seed + 7))
+            self.inference_service = InferenceService(
+                shared_network,
+                max_batch=self.inference_max_batch,
+                num_replicas=self.num_replicas,
+                routing=self.routing,
+                primary_device=self.device,
+                cost_config=self.cost_config,
+                seed=self.seed,
+            )
             if weights is not None:
-                shared_network.load_state_dict(weights)
-            self.inference_service = InferenceService(shared_network,
-                                                      max_batch=self.inference_max_batch)
+                # Initial model placement: load without charging broadcast
+                # time (clocks have not started).
+                self.inference_service.update_weights(weights, charge=False)
         if self.scheduler == SCHEDULER_EVENT:
             # Build every worker first (same creation order as sequential, so
             # all RNG streams are identical), then interleave their stepwise

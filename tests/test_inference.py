@@ -334,3 +334,19 @@ def test_batched_pool_records_expand_leaf_attribution_metadata(tmp_path):
     assert Event.from_dict(event.to_dict()) == event
     bare = Event("Operation", "expand_leaf", 0.0, 1.0)
     assert "metadata" not in bare.to_dict()
+
+
+def test_idle_service_statistics_never_divide_by_zero():
+    """Empty-service guard: every derived stat is defined before any batch."""
+    service = InferenceService(make_network(), max_batch=16)
+    stats = service.stats
+    assert stats.engine_calls == 0
+    assert stats.mean_batch_rows == 0.0
+    assert stats.mean_occupancy == 0.0
+    assert stats.mean_queue_delay_us == 0.0
+    assert stats.cross_worker_share == 0.0
+    assert service.flush() == 0
+    assert service.serve_queued(policy="max-batch") == 0
+    assert service.serve_queued(policy="timeout", timeout_us=5.0) == 0
+    # Still all zeros after serving an empty queue.
+    assert stats.mean_occupancy == 0.0 and stats.cross_worker_share == 0.0

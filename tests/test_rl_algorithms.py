@@ -60,8 +60,10 @@ def test_replay_buffer_size_invariant(entries, capacity):
         assert len(buffer) == min(buffer.capacity, len(buffer))
     assert len(buffer) == min(capacity, len(entries))
     batch = buffer.sample(8)
-    stored_rewards = {round(r, 4) for r, _ in entries}
-    assert all(round(float(r), 4) in stored_rewards for r in batch.rewards)
+    # The buffer stores rewards as float32; compare in float32 (rounding a
+    # float64 to 4 decimals can disagree with rounding its float32 cast).
+    stored_rewards = {np.float32(r) for r, _ in entries}
+    assert all(np.float32(r) in stored_rewards for r in batch.rewards)
 
 
 def test_rollout_buffer_gae_matches_manual_computation():

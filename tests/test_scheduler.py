@@ -253,3 +253,28 @@ def test_minigo_round_runs_under_event_scheduler():
     assert result.selfplay_inference_stats.cross_worker_batches > 0
     assert len(result.traces()) == 5  # 3 self-play workers + trainer + evaluation
     assert result.losses
+
+
+def test_timeout_policy_under_sharding_stays_correct_and_pipelines():
+    """Timeout flush + 2 replicas: deadlines, eager serves and full games."""
+    pool = SelfPlayPool(4, profile=False, batched_inference=True, leaf_batch=4,
+                        scheduler="event", flush_policy="timeout", flush_timeout_us=10.0,
+                        num_replicas=2, routing="least-loaded", **POOL_KWARGS)
+    pool.run()
+    for run in pool.runs:
+        assert run.result.games == POOL_KWARGS["games_per_worker"]
+        assert run.result.moves > 0
+    service = pool.inference_service
+    assert all(replica.stats.engine_calls > 0 for replica in service.replicas)
+    assert sum(service.routing_decisions()) == service.stats.engine_calls
+    # A zero deadline is the extreme edge: every pending batch is due the
+    # instant its first request arrives; the pool must still terminate with
+    # every ticket served exactly once.
+    instant = SelfPlayPool(3, profile=False, batched_inference=True, leaf_batch=4,
+                           scheduler="event", flush_policy="timeout",
+                           flush_timeout_us=0.0, num_replicas=2, **POOL_KWARGS)
+    instant.run()
+    stats = instant.inference_service.stats
+    assert stats.rows == sum(rs.rows for rs in
+                             (r.stats for r in instant.inference_service.replicas))
+    assert all(run.result.moves > 0 for run in instant.runs)
