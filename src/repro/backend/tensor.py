@@ -33,7 +33,9 @@ class Tensor:
     __slots__ = ("data", "requires_grad", "name", "id")
 
     def __init__(self, data: ArrayLike, *, requires_grad: bool = False, name: Optional[str] = None) -> None:
-        self.data = np.asarray(as_array(data), dtype=np.float32)
+        # as_array already yields a float32 ndarray; re-coercing it walked
+        # every tensor's data a second time on the engine hot path.
+        self.data = as_array(data)
         self.requires_grad = bool(requires_grad)
         self.name = name
         self.id = next(_tensor_ids)

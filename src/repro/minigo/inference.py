@@ -59,7 +59,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -518,6 +518,14 @@ class InferenceService:
         self.stats = InferenceStats(capacity=max_batch)
         self._pending: List[InferenceTicket] = []
         self._seq = 0
+        # O(1) queue summaries: the event-driven scheduler reads pending_rows
+        # (the eager-serve memo) and the earliest arrival (the timeout
+        # deadline) once per *event*, so both are maintained incrementally
+        # instead of re-scanned — submissions update them in place, serves
+        # mark the arrival cache dirty for a lazy recompute.
+        self._pending_rows = 0
+        self._earliest_arrival_us: Optional[float] = None
+        self._earliest_arrival_dirty = False
         #: After a full-batches-only serve: earliest departure among the full
         #: batches held back as not yet stable (None when none were).  Lets
         #: the scheduler skip eager re-plans until virtual time reaches it.
@@ -599,22 +607,41 @@ class InferenceService:
                                  arrival_us=client.system.clock.now_us, seq=self._seq)
         self._seq += 1
         self._pending.append(ticket)
+        self._pending_rows += ticket.num_rows
+        if not self._earliest_arrival_dirty:
+            if self._earliest_arrival_us is None or ticket.arrival_us < self._earliest_arrival_us:
+                self._earliest_arrival_us = ticket.arrival_us
         self.stats.requests += 1
         return ticket
 
     @property
     def pending_rows(self) -> int:
-        return sum(ticket.num_rows for ticket in self._pending)
+        return self._pending_rows
 
     @property
     def pending_tickets(self) -> int:
         return len(self._pending)
 
     def earliest_pending_arrival_us(self) -> Optional[float]:
-        """Arrival time of the oldest queued request (None when idle)."""
+        """Arrival time of the oldest queued request (None when idle).
+
+        O(1) amortized: submissions fold their arrival into a running
+        minimum; only a serve (which removes arbitrary tickets) forces the
+        next call to rescan the much-shrunken queue.
+        """
         if not self._pending:
             return None
-        return min(ticket.arrival_us for ticket in self._pending)
+        if self._earliest_arrival_dirty:
+            self._earliest_arrival_us = min(ticket.arrival_us for ticket in self._pending)
+            self._earliest_arrival_dirty = False
+        return self._earliest_arrival_us
+
+    def _requeue(self, tickets: Iterable[InferenceTicket]) -> None:
+        """Put held-back tickets back on the queue, keeping summaries right."""
+        for ticket in tickets:
+            self._pending.append(ticket)
+            self._pending_rows += ticket.num_rows
+        self._earliest_arrival_dirty = True
 
     def _take_pending(self, arrival_cutoff_us: Optional[float] = None
                       ) -> List[List[InferenceTicket]]:
@@ -625,9 +652,13 @@ class InferenceService:
         riders before their own deadline)."""
         if arrival_cutoff_us is None:
             tickets, self._pending = self._pending, []
+            self._pending_rows = 0
         else:
             tickets = [t for t in self._pending if t.arrival_us <= arrival_cutoff_us]
             self._pending = [t for t in self._pending if t.arrival_us > arrival_cutoff_us]
+            self._pending_rows = sum(t.num_rows for t in self._pending)
+        self._earliest_arrival_us = None
+        self._earliest_arrival_dirty = bool(self._pending)
         groups: Dict[int, List[InferenceTicket]] = {}
         for ticket in tickets:
             groups.setdefault(id(ticket.client.network), []).append(ticket)
@@ -775,7 +806,7 @@ class InferenceService:
                 if rows < self.max_batch and depart_us > arrival_cutoff_us:
                     served = {id(t) for c, _, _ in batches[:-1] for t, _, _ in c}
                     if not any(id(t) in served for t, _, _ in chunk):
-                        self._pending.extend(t for t, _, _ in chunk)
+                        self._requeue(t for t, _, _ in chunk)
                         batches.pop()
             if full_batches_only and batches:
                 batches = self._hold_partial_batches(batches, stable_before_us)
@@ -811,7 +842,7 @@ class InferenceService:
                     if id(ticket) not in held_ids:
                         held_ids.add(id(ticket))
                         held_tickets.append(ticket)
-        self._pending.extend(held_tickets)
+        self._requeue(held_tickets)
         return keep
 
     def _plan_batches(self, tickets: List[InferenceTicket], timeout_us: Optional[float]

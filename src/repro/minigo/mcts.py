@@ -26,7 +26,6 @@ of that generator and behaves exactly as before.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -71,20 +70,59 @@ class LeafEvalRequest:
         return self.priors, self.values
 
 
-@dataclass
 class MCTSNode:
-    """One node of the search tree."""
+    """One node of the search tree.
 
-    position: GoPosition
-    parent: Optional["MCTSNode"] = None
-    move: Move = None                     #: move that led here from the parent
-    prior: float = 0.0
-    visit_count: int = 0
-    total_value: float = 0.0
-    children: Dict[int, "MCTSNode"] = field(default_factory=dict)
-    is_expanded: bool = False
-    #: in-flight selections counted as losses until their evaluation lands
-    virtual_loss: int = 0
+    Child positions are **materialized lazily**: expansion records only the
+    (parent, move, prior) triple, and :attr:`position` replays the move on
+    the parent's board the first time it is read.  Selection touches only
+    visit counts and priors, so the vast majority of children — the ones a
+    search never descends into — never pay for a board copy or legality
+    bookkeeping at all.  Game records are unchanged: boards carry no RNG,
+    and every node the search *does* visit materializes the identical
+    position the eager path would have built (pinned by
+    ``tests/test_go_oracle.py``).
+    """
+
+    __slots__ = ("_position", "parent", "move", "prior", "visit_count",
+                 "total_value", "children", "is_expanded", "virtual_loss")
+
+    def __init__(
+        self,
+        position: Optional[GoPosition] = None,
+        parent: Optional["MCTSNode"] = None,
+        move: Move = None,                #: move that led here from the parent
+        prior: float = 0.0,
+        visit_count: int = 0,
+        total_value: float = 0.0,
+        children: Optional[Dict[int, "MCTSNode"]] = None,
+        is_expanded: bool = False,
+        virtual_loss: int = 0,            #: in-flight selections counted as losses
+    ) -> None:
+        if position is None and parent is None:
+            raise ValueError("a node needs a position or a parent to derive one from")
+        self._position = position
+        self.parent = parent
+        self.move = move
+        self.prior = prior
+        self.visit_count = visit_count
+        self.total_value = total_value
+        self.children = {} if children is None else children
+        self.is_expanded = is_expanded
+        self.virtual_loss = virtual_loss
+
+    @property
+    def position(self) -> GoPosition:
+        position = self._position
+        if position is None:
+            position = self.parent.position.play(self.move)
+            self._position = position
+        return position
+
+    @property
+    def has_position(self) -> bool:
+        """True once the position has been materialized (testing hook)."""
+        return self._position is not None
 
     @property
     def mean_value(self) -> float:
@@ -106,6 +144,12 @@ class MCTSNode:
 
 class MCTS:
     """PUCT tree search over Go positions."""
+
+    #: When True, expansion materializes every child's position immediately
+    #: (the pre-optimization behaviour).  The wall-clock benchmark flips this
+    #: to reproduce the old allocation pattern; searches are decision-
+    #: identical either way (boards carry no RNG).
+    eager_child_positions: bool = False
 
     def __init__(
         self,
@@ -160,15 +204,20 @@ class MCTS:
         self._expand_with_priors(root, np.asarray(priors[0], dtype=np.float64),
                                  add_noise=add_noise)
         remaining = self.num_simulations
+        # One scratch dict reused across waves (cleared, not reallocated).
+        evaluated: Dict[int, Tuple[np.ndarray, float]] = {}
         while remaining > 0:
             wave, pending = self._select_wave(root, min(self.leaf_batch, remaining))
-            evaluated: Dict[int, Tuple[np.ndarray, float]] = {}
+            evaluated.clear()
             if pending:
                 request = LeafEvalRequest(np.stack([node.position.features() for node in pending]))
                 yield request
                 priors, values = request.results()
+                # One dtype conversion per wave; per-leaf rows are views into
+                # it, bit-identical to converting each row on its own.
+                priors64 = np.asarray(priors, dtype=np.float64)
                 for i, node in enumerate(pending):
-                    evaluated[id(node)] = (np.asarray(priors[i], dtype=np.float64), float(values[i]))
+                    evaluated[id(node)] = (priors64[i], float(values[i]))
             remaining -= self._finish_wave(wave, evaluated)
         return root
 
@@ -182,11 +231,16 @@ class MCTS:
         wave: List[Tuple[MCTSNode, Optional[float]]] = []
         pending: List[MCTSNode] = []
         pending_ids: set = set()
+        c_puct = self.c_puct
+
+        def ucb_key(child: MCTSNode) -> float:
+            return child.ucb_score(c_puct)
+
         for _ in range(target):
             node = root
             # Selection: descend to a leaf.
             while node.is_expanded and node.children:
-                node = max(node.children.values(), key=lambda child: child.ucb_score(self.c_puct))
+                node = max(node.children.values(), key=ucb_key)
             if node.position.is_over:
                 value = node.position.result()
                 # result() is from Black's perspective; convert to the player to move.
@@ -230,9 +284,17 @@ class MCTS:
             current = current.parent
 
     def _expand_with_priors(self, node: MCTSNode, priors: np.ndarray, *, add_noise: bool) -> None:
-        """Create the node's children from an already-computed prior row."""
-        legal = node.position.legal_moves()
-        legal_indices = [node.position.move_to_index(move) for move in legal]
+        """Create the node's children from an already-computed prior row.
+
+        Children are created *without* positions: a child's board is only
+        materialized if a later simulation actually descends into it (see
+        :class:`MCTSNode`), which skips the dominant cost of expansion — one
+        board copy plus capture bookkeeping per legal move.
+        """
+        position = node.position
+        legal = position.legal_moves()
+        move_to_index = position.move_to_index
+        legal_indices = [move_to_index(move) for move in legal]
         masked = np.zeros_like(priors)
         masked[legal_indices] = np.maximum(priors[legal_indices], 1e-8)
         masked /= masked.sum()
@@ -244,13 +306,16 @@ class MCTS:
                 + self.exploration_fraction * noise
             )
 
+        eager = self.eager_child_positions
+        children = node.children
         for move, index in zip(legal, legal_indices):
-            node.children[index] = MCTSNode(
-                position=node.position.play(move),
+            child = MCTSNode(
+                position=position.play(move) if eager else None,
                 parent=node,
                 move=move,
                 prior=float(masked[index]),
             )
+            children[index] = child
         node.is_expanded = True
 
     @staticmethod

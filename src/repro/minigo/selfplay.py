@@ -40,6 +40,10 @@ OP_EXPAND_LEAF = "expand_leaf"
 #: Python units charged per MCTS node traversal (tree-walking work in Python).
 TREE_SEARCH_UNITS_PER_SIM = 1500.0
 
+#: Shared no-op context for unprofiled runs: ``nullcontext`` is stateless and
+#: re-entrant, so one module-level instance replaces a per-move allocation.
+_NULL_OPERATION = nullcontext()
+
 
 class PolicyValueNet(Module):
     """Small AlphaGoZero-style network: shared trunk, policy head, value head."""
@@ -280,7 +284,7 @@ class GameDriver:
         if worker.profiler is not None:
             self._search_op = worker.profiler.operation(OP_TREE_SEARCH)
         else:
-            self._search_op = nullcontext()
+            self._search_op = _NULL_OPERATION
         self._search_op.__enter__()
         # Python-side tree traversal work.
         worker.system.cpu_work(TREE_SEARCH_UNITS_PER_SIM * worker.num_simulations)

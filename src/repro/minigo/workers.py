@@ -26,6 +26,7 @@ Two schedulers simulate the parallel collection phase:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -78,13 +79,24 @@ class WorkerRun:
 
 @dataclass
 class SchedulerStats:
-    """Counters describing one event-driven scheduling run."""
+    """Counters describing one event-driven scheduling run.
+
+    The heap counters are zero under the legacy linear-scan loop
+    (``use_heap=False``), which lets tests assert both that the heap is
+    actually exercised and that every scheduling *decision* counter
+    (``steps``, ``serves``, ``timeout_serves``, ``eager_serves``,
+    ``steps_per_worker``) is identical between the two loops.
+    """
 
     steps: int = 0            #: driver steps executed
     serves: int = 0           #: times the service queue was served
     timeout_serves: int = 0   #: serves triggered by a partial-batch deadline
     eager_serves: int = 0     #: full-batch serves issued while workers still ran
     steps_per_worker: Dict[str, int] = field(default_factory=dict)
+    # Heap bookkeeping (heap-driven loop only).
+    heap_pushes: int = 0      #: (clock, index) entries pushed
+    heap_pops: int = 0        #: entries popped (valid and stale)
+    heap_stale_pops: int = 0  #: popped entries invalidated by a newer clock
 
 
 class PoolScheduler:
@@ -109,11 +121,29 @@ class PoolScheduler:
     their next waves with other replicas' in-flight batches.  With a single
     replica the eager path is disabled, so single-replica runs reproduce
     the all-blocked barrier schedule bit-for-bit.
+
+    **Event-loop cost.**  By default the runnable driver with the minimum
+    clock comes off a lazy min-heap of ``(now_us, index)`` entries: a
+    driver is (re-)pushed whenever it becomes runnable or its clock
+    advances, and entries superseded by a newer push are discarded on pop
+    (invalidate-on-advance) — O(log workers) per event instead of the
+    original rebuild-the-runnable-list-and-``min()`` scan, which cost
+    O(workers) *per event* and dominated interpreter time at high worker
+    counts.  The legacy scan loop is kept behind ``use_heap=False`` (or the
+    :attr:`default_use_heap` class switch) as the pinned pre-optimization
+    baseline; both loops produce identical schedules, stats and game
+    records (``tests/test_scheduler.py``).
     """
+
+    #: Default for ``use_heap`` — the wall-clock benchmark flips this to
+    #: time the pre-optimization linear-scan loop without threading a knob
+    #: through every pool constructor.
+    default_use_heap: bool = True
 
     def __init__(self, drivers: Sequence[GameDriver], service: "InferenceService", *,
                  flush_policy: str = FLUSH_MAX_BATCH,
-                 flush_timeout_us: Optional[float] = None) -> None:
+                 flush_timeout_us: Optional[float] = None,
+                 use_heap: Optional[bool] = None) -> None:
         if not drivers:
             raise ValueError("scheduler needs at least one driver")
         if flush_policy not in FLUSH_POLICIES:
@@ -124,6 +154,7 @@ class PoolScheduler:
         self.service = service
         self.flush_policy = flush_policy
         self.flush_timeout_us = flush_timeout_us
+        self.use_heap = self.default_use_heap if use_heap is None else use_heap
         self.stats = SchedulerStats()
         # Signature of the pending queue after a fruitless eager attempt
         # plus the virtual time at which retrying could first succeed (the
@@ -190,13 +221,113 @@ class PoolScheduler:
 
     def run(self) -> SchedulerStats:
         """Drive every worker's games to completion; returns scheduling stats."""
+        if self.use_heap:
+            return self._run_heap()
+        return self._run_scan()
+
+    def _step(self, driver: GameDriver) -> None:
+        self.stats.steps += 1
+        worker = driver.worker.system.worker
+        self.stats.steps_per_worker[worker] = self.stats.steps_per_worker.get(worker, 0) + 1
+        driver.step()
+
+    def _run_heap(self) -> SchedulerStats:
+        """Heap-driven event loop: O(log workers) per event.
+
+        The heap holds ``(now_us, index)`` entries; ``queued_key[index]``
+        remembers the clock of a driver's most recent push.  A popped entry
+        whose clock no longer matches was superseded by a later push
+        (invalidate-on-advance) and is discarded.  Drivers are pushed when
+        they become runnable — at the start, after a step that leaves them
+        runnable, and after any serve (only a serve can un-block a driver;
+        blocked drivers' clocks never move, so a sweep over the drivers per
+        *serve* keeps the heap complete without touching it per event).
+        Ties pop the lowest index first — exactly the driver ``min()``
+        returned in the linear scan, so schedules are identical.
+        """
+        stats = self.stats
+        drivers = self.drivers
+        heap: List[Tuple[float, int]] = []
+        queued_key: List[Optional[float]] = [None] * len(drivers)
+
+        def push(index: int) -> None:
+            key = drivers[index].now_us
+            if queued_key[index] != key:
+                queued_key[index] = key
+                heapq.heappush(heap, (key, index))
+                stats.heap_pushes += 1
+
+        def push_runnable() -> None:
+            for index, driver in enumerate(drivers):
+                if driver.runnable:
+                    push(index)
+
+        push_runnable()
         while True:
-            runnable = [driver for driver in self.drivers if driver.runnable]
-            if not runnable:
+            nxt: Optional[GameDriver] = None
+            index = -1
+            while heap:
+                key, candidate = heapq.heappop(heap)
+                stats.heap_pops += 1
+                if queued_key[candidate] != key:
+                    # Superseded by a newer push for this driver.
+                    stats.heap_stale_pops += 1
+                    continue
+                queued_key[candidate] = None
+                driver = drivers[candidate]
+                if driver.now_us != key or not driver.runnable:
+                    # Defensive: state changed without a re-push.  A driver
+                    # that is still runnable must not fall out of the heap —
+                    # losing it would starve the worker (or deadlock).
+                    stats.heap_stale_pops += 1
+                    if driver.runnable:
+                        push(candidate)
+                    continue
+                nxt, index = driver, candidate
+                break
+            if nxt is None:
                 if self.service.pending_tickets:
                     # Everyone is blocked at an inference boundary: this is
                     # the virtual instant at which one engine call can serve
                     # every pending wave.
+                    self._serve()
+                    push_runnable()
+                    continue
+                if all(driver.finished for driver in drivers):
+                    return stats
+                raise RuntimeError("scheduler deadlock: unfinished workers but "
+                                   "nothing runnable and nothing pending")
+            if self._try_eager_serve(nxt.now_us):
+                # nxt was not stepped; it and any just-unblocked riders go
+                # back into the heap before the next pick.
+                push(index)
+                push_runnable()
+                continue
+            deadline = self._pending_deadline_us()
+            if deadline is not None and nxt.now_us >= deadline:
+                # The oldest pending batch times out before the next worker
+                # would act: depart it partial, serving only requests that
+                # arrived by the deadline (later ones wait for more riders).
+                self.stats.timeout_serves += 1
+                self._serve(arrival_cutoff_us=deadline)
+                push(index)
+                push_runnable()
+                continue
+            self._step(nxt)
+            if nxt.runnable:
+                push(index)
+
+    def _run_scan(self) -> SchedulerStats:
+        """Original linear-scan loop: rebuilds the runnable list per event.
+
+        O(workers) per event; preserved as the pinned pre-optimization
+        baseline for the wall-clock benchmark and as the oracle the heap
+        loop's schedules are asserted against.
+        """
+        while True:
+            runnable = [driver for driver in self.drivers if driver.runnable]
+            if not runnable:
+                if self.service.pending_tickets:
                     self._serve()
                     continue
                 if all(driver.finished for driver in self.drivers):
@@ -208,16 +339,10 @@ class PoolScheduler:
                 continue
             deadline = self._pending_deadline_us()
             if deadline is not None and nxt.now_us >= deadline:
-                # The oldest pending batch times out before the next worker
-                # would act: depart it partial, serving only requests that
-                # arrived by the deadline (later ones wait for more riders).
                 self.stats.timeout_serves += 1
                 self._serve(arrival_cutoff_us=deadline)
                 continue
-            self.stats.steps += 1
-            worker = nxt.worker.system.worker
-            self.stats.steps_per_worker[worker] = self.stats.steps_per_worker.get(worker, 0) + 1
-            nxt.step()
+            self._step(nxt)
 
 
 class SelfPlayPool:

@@ -176,20 +176,40 @@ def compute_overlap(
     else:
         worker_list = list(workers)
 
+    # Group events and operations by worker in ONE pass over the trace
+    # (the original re-filtered the full event list once per worker —
+    # O(workers x events) on multi-process traces).  Relative order within
+    # each worker's slice is trace order, exactly what the per-worker
+    # filter produced, so accumulation is bit-for-bit unchanged.
+    wanted = set(worker_list)
+    events_by_worker: Dict[str, List[Event]] = {worker: [] for worker in worker_list}
+    ops_by_worker: Dict[str, List[Event]] = {worker: [] for worker in worker_list}
+    for event in trace.events:
+        if event.worker in wanted and event.end_us > event.start_us:
+            events_by_worker[event.worker].append(event)
+    for op in trace.operations:
+        if op.worker in wanted and op.end_us > op.start_us:
+            ops_by_worker[op.worker].append(op)
+
     # One partial result per worker, reduced with OverlapResult.merge: the
     # exact decomposition the shard-parallel path (repro.tracedb.mapreduce)
     # uses, so single-pass and map-reduce results are byte-identical.
     per_worker: List[OverlapResult] = []
     for worker in worker_list:
         regions: Dict[OverlapKey, float] = defaultdict(float)
-        _accumulate_worker(trace, worker, regions)
+        _accumulate_worker(events_by_worker[worker], ops_by_worker[worker], regions)
         per_worker.append(OverlapResult(regions=dict(regions)))
     return OverlapResult.merge(per_worker)
 
 
-def _accumulate_worker(trace: EventTrace, worker: str, regions: Dict[OverlapKey, float]) -> None:
-    events = [e for e in trace.events if e.worker == worker and e.end_us > e.start_us]
-    operations = [op for op in trace.operations if op.worker == worker and op.end_us > op.start_us]
+def _accumulate_worker(events: List[Event], operations: List[Event],
+                       regions: Dict[OverlapKey, float]) -> None:
+    """Accumulate overlap regions for one worker's (pre-filtered) slice.
+
+    ``events``/``operations`` must contain only that worker's non-empty
+    intervals, in trace order — :func:`compute_overlap` groups them in a
+    single pass over the full trace.
+    """
     if not events and not operations:
         return
 

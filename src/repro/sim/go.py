@@ -5,11 +5,23 @@ through MCTS self-play on Go.  This module implements the game itself: stone
 placement, capture, the suicide rule, simple-ko, passing, and area scoring
 with komi, on a configurable board size (9x9 by default to keep the
 reproduction fast).
+
+The board keeps **incrementally-maintained group and liberty maps**: every
+occupied point maps to an immutable group record (color, stones, liberties)
+that is updated in place as stones are played and captures cascade, plus an
+incrementally-maintained Zobrist hash of the stone configuration.  Legality
+is therefore an O(neighbors) lookup instead of the flood-fill-per-candidate
+scan of the original implementation (preserved verbatim as
+:mod:`repro.sim.go_reference` and pinned equivalent by the random-game oracle
+in ``tests/test_go_oracle.py``).  :class:`GoPosition` is immutable, so its
+``legal_moves()``/``features()`` are computed once and cached per instance —
+MCTS expansion and self-play record collection hit the cache instead of
+re-deriving them per call.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
@@ -29,8 +41,87 @@ def opponent(color: int) -> int:
     return -color
 
 
+# ------------------------------------------------------------- board geometry
+#: Per-size caches shared by every board instance: the row-major point list,
+#: the point -> neighbor-tuple map, and the Zobrist key tables.  Boards of
+#: the same size share these read-only structures, so copying a board never
+#: copies them.
+_POINTS_CACHE: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+_NEIGHBORS_CACHE: Dict[int, Dict[Tuple[int, int], Tuple[Tuple[int, int], ...]]] = {}
+_ZOBRIST_CACHE: Dict[int, Tuple[List[List[int]], List[int], int]] = {}
+
+#: Seed of the Zobrist key stream.  Fixed forever: hashes are persisted in
+#: nothing, but tests pin incremental == from-scratch recomputation.
+_ZOBRIST_SEED = 0x60B0A12D
+
+
+def _points(size: int) -> Tuple[Tuple[int, int], ...]:
+    points = _POINTS_CACHE.get(size)
+    if points is None:
+        points = tuple((row, col) for row in range(size) for col in range(size))
+        _POINTS_CACHE[size] = points
+    return points
+
+
+def _neighbor_map(size: int) -> Dict[Tuple[int, int], Tuple[Tuple[int, int], ...]]:
+    neighbors = _NEIGHBORS_CACHE.get(size)
+    if neighbors is None:
+        neighbors = {
+            (row, col): tuple(
+                (row + dr, col + dc)
+                for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1))
+                if 0 <= row + dr < size and 0 <= col + dc < size
+            )
+            for row, col in _points(size)
+        }
+        _NEIGHBORS_CACHE[size] = neighbors
+    return neighbors
+
+
+def _zobrist_tables(size: int) -> Tuple[List[List[int]], List[int], int]:
+    """(stone_keys[point][channel], ko_keys[point], turn_key) for one size.
+
+    ``channel`` 0 is Black, 1 is White.  Keys are plain Python ints so the
+    incremental XOR stays exact arbitrary-precision arithmetic.
+    """
+    tables = _ZOBRIST_CACHE.get(size)
+    if tables is None:
+        rng = np.random.default_rng(_ZOBRIST_SEED + size)
+        raw = rng.integers(1, 2 ** 63, size=(size * size, 3), dtype=np.int64)
+        stone_keys = [[int(raw[p, 0]), int(raw[p, 1])] for p in range(size * size)]
+        ko_keys = [int(raw[p, 2]) for p in range(size * size)]
+        turn_key = int(rng.integers(1, 2 ** 63, dtype=np.int64))
+        tables = (stone_keys, ko_keys, turn_key)
+        _ZOBRIST_CACHE[size] = tables
+    return tables
+
+
+class _Group:
+    """One connected group of stones with its liberties — immutable.
+
+    Immutability is what makes :meth:`GoBoard.copy` cheap: a copied board
+    shallow-copies the point -> group map and shares every group record with
+    the original; any later mutation replaces records instead of editing
+    them.
+    """
+
+    __slots__ = ("color", "stones", "liberties")
+
+    def __init__(self, color: int, stones: frozenset, liberties: frozenset) -> None:
+        self.color = color
+        self.stones = stones
+        self.liberties = liberties
+
+
 class GoBoard:
-    """Board state plus the rules of play."""
+    """Board state plus the rules of play, with incremental bookkeeping.
+
+    Public surface (``board`` array, ``ko_point``, ``copy``, ``is_legal``,
+    ``play``, ``legal_moves``, ``group_and_liberties``, ``area_score``) is
+    identical to the reference implementation; the random-game oracle test
+    pins the two move-for-move.  Additionally :attr:`zobrist` exposes the
+    incrementally-maintained hash of the stone configuration.
+    """
 
     def __init__(self, size: int = 9, komi: float = 6.5) -> None:
         if size < 3:
@@ -39,73 +130,176 @@ class GoBoard:
         self.komi = komi
         self.board = np.zeros((size, size), dtype=np.int8)
         self.ko_point: Optional[Tuple[int, int]] = None
+        #: point -> _Group for every occupied point (empty points are absent).
+        self._group_at: Dict[Tuple[int, int], _Group] = {}
+        self._neighbors = _neighbor_map(size)
+        self._points = _points(size)
+        self._stone_keys, self._ko_keys, self._turn_key = _zobrist_tables(size)
+        self.zobrist = 0  #: incremental Zobrist hash of the stone layout
 
     # ------------------------------------------------------------------ utils
     def copy(self) -> "GoBoard":
-        new = GoBoard(self.size, self.komi)
+        new = GoBoard.__new__(GoBoard)
+        new.size = self.size
+        new.komi = self.komi
         new.board = self.board.copy()
         new.ko_point = self.ko_point
+        new._group_at = dict(self._group_at)
+        new._neighbors = self._neighbors
+        new._points = self._points
+        new._stone_keys = self._stone_keys
+        new._ko_keys = self._ko_keys
+        new._turn_key = self._turn_key
+        new.zobrist = self.zobrist
         return new
 
     def in_bounds(self, row: int, col: int) -> bool:
         return 0 <= row < self.size and 0 <= col < self.size
 
     def neighbors(self, row: int, col: int) -> Iterable[Tuple[int, int]]:
-        for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
-            r, c = row + dr, col + dc
-            if self.in_bounds(r, c):
-                yield r, c
+        return self._neighbors[(row, col)]
 
     def group_and_liberties(self, row: int, col: int) -> Tuple[Set[Tuple[int, int]], Set[Tuple[int, int]]]:
         """Connected group containing (row, col) and its liberties."""
-        color = self.board[row, col]
-        if color == EMPTY:
+        group = self._group_at.get((row, col))
+        if group is None:
             raise ValueError("no stone at the given point")
-        group: Set[Tuple[int, int]] = set()
-        liberties: Set[Tuple[int, int]] = set()
-        frontier = [(row, col)]
-        while frontier:
-            point = frontier.pop()
-            if point in group:
-                continue
-            group.add(point)
-            for neighbor in self.neighbors(*point):
-                value = self.board[neighbor]
-                if value == EMPTY:
-                    liberties.add(neighbor)
-                elif value == color and neighbor not in group:
-                    frontier.append(neighbor)
-        return group, liberties
+        return set(group.stones), set(group.liberties)
+
+    def position_key(self, to_play: int, ko_point: Optional[Tuple[int, int]] = None) -> int:
+        """Transposition key: stones ^ ko point ^ side to move.
+
+        Built from the incremental :attr:`zobrist` stone hash, so it is O(1)
+        per query — the hook for transposition tables / positional-superko
+        follow-ons without changing the simple-ko rule the records pin.
+        """
+        key = self.zobrist
+        ko = ko_point if ko_point is not None else self.ko_point
+        if ko is not None:
+            key ^= self._ko_keys[ko[0] * self.size + ko[1]]
+        if to_play == WHITE:
+            key ^= self._turn_key
+        return key
+
+    def zobrist_from_scratch(self) -> int:
+        """Recompute the stone hash from the raw array (test oracle)."""
+        key = 0
+        for row, col in self._points:
+            value = self.board[row, col]
+            if value == BLACK:
+                key ^= self._stone_keys[row * self.size + col][0]
+            elif value == WHITE:
+                key ^= self._stone_keys[row * self.size + col][1]
+        return key
 
     # ------------------------------------------------------------------ rules
     def is_legal(self, move: Move, color: int) -> bool:
         if move is None:
             return True
         row, col = move
-        if not self.in_bounds(row, col) or self.board[row, col] != EMPTY:
+        if not (0 <= row < self.size and 0 <= col < self.size):
             return False
-        if self.ko_point == (row, col):
+        point = (row, col)
+        if point in self._group_at:  # occupied (board and map move in lockstep)
             return False
-        # Tentatively play to check for suicide.
-        scratch = self.copy()
-        scratch.ko_point = None
-        captured = scratch._place(row, col, color)
-        if captured:
-            return True
-        _, liberties = scratch.group_and_liberties(row, col)
-        return len(liberties) > 0
+        if self.ko_point == point:
+            return False
+        return self._legal_at_empty(point, color)
+
+    def _legal_at_empty(self, point: Tuple[int, int], color: int) -> bool:
+        """Legality of playing ``color`` on a known-empty, non-ko point.
+
+        O(neighbors): the move is legal iff the point has an empty neighbor,
+        or joins a friendly group that keeps another liberty, or captures an
+        adjacent opponent group whose last liberty is this point.
+        """
+        group_at = self._group_at
+        neighbor_groups = []
+        for neighbor in self._neighbors[point]:
+            group = group_at.get(neighbor)
+            if group is None:
+                return True  # an empty neighbor is a liberty of the new stone
+            neighbor_groups.append(group)
+        for group in neighbor_groups:
+            if group.color == color:
+                # point is one of the group's liberties; any other survives.
+                if len(group.liberties) > 1:
+                    return True
+            elif len(group.liberties) == 1:
+                # The opponent group's only liberty is this point: captured.
+                return True
+        return False
 
     def _place(self, row: int, col: int, color: int) -> List[Tuple[int, int]]:
         """Place a stone and remove captured opponent groups; returns captures."""
-        self.board[row, col] = color
+        point = (row, col)
+        group_at = self._group_at
+        stone_keys = self._stone_keys
+        size = self.size
+        self.board[point] = color
+        self.zobrist ^= stone_keys[row * size + col][0 if color == BLACK else 1]
+
+        merged: List[_Group] = []
+        enemies: List[_Group] = []
+        own_liberties: Set[Tuple[int, int]] = set()
+        for neighbor in self._neighbors[point]:
+            group = group_at.get(neighbor)
+            if group is None:
+                own_liberties.add(neighbor)
+            elif group.color == color:
+                if not any(group is seen for seen in merged):
+                    merged.append(group)
+            elif not any(group is seen for seen in enemies):
+                enemies.append(group)
+
+        own_stones: Set[Tuple[int, int]] = {point}
+        for group in merged:
+            own_stones |= group.stones
+            own_liberties |= group.liberties
+        own_liberties.discard(point)
+
         captured: List[Tuple[int, int]] = []
-        for neighbor in self.neighbors(row, col):
-            if self.board[neighbor] == opponent(color):
-                group, liberties = self.group_and_liberties(*neighbor)
-                if not liberties:
-                    for point in group:
-                        self.board[point] = EMPTY
-                        captured.append(point)
+        for group in enemies:
+            if len(group.liberties) == 1:  # its only liberty was this point
+                channel = 0 if group.color == BLACK else 1
+                for prisoner in group.stones:
+                    self.board[prisoner] = EMPTY
+                    del group_at[prisoner]
+                    self.zobrist ^= stone_keys[prisoner[0] * size + prisoner[1]][channel]
+                    captured.append(prisoner)
+            else:
+                survivor = _Group(group.color, group.stones, group.liberties - {point})
+                for stone in group.stones:
+                    group_at[stone] = survivor
+
+        if captured:
+            # Each captured point becomes a liberty of every adjacent group
+            # that survives.  Adjacent stones are necessarily the placing
+            # color (two touching stones of one color share a group, so no
+            # *other* opponent group can touch the captured one): either the
+            # new merged group, or a friendly group elsewhere on the board.
+            gained: Dict[int, Tuple[_Group, Set[Tuple[int, int]]]] = {}
+            merged_ids = {id(group) for group in merged}
+            for prisoner in captured:
+                for neighbor in self._neighbors[prisoner]:
+                    if neighbor in own_stones:
+                        own_liberties.add(prisoner)
+                        continue
+                    group = group_at.get(neighbor)
+                    if group is not None and id(group) not in merged_ids:
+                        entry = gained.get(id(group))
+                        if entry is None:
+                            gained[id(group)] = (group, {prisoner})
+                        else:
+                            entry[1].add(prisoner)
+            for group, liberties in gained.values():
+                enriched = _Group(group.color, group.stones, group.liberties | liberties)
+                for stone in group.stones:
+                    group_at[stone] = enriched
+
+        new_group = _Group(color, frozenset(own_stones), frozenset(own_liberties))
+        for stone in own_stones:
+            group_at[stone] = new_group
         return captured
 
     def play(self, move: Move, color: int) -> List[Tuple[int, int]]:
@@ -120,17 +314,19 @@ class GoBoard:
         # Simple ko: a single-stone capture that leaves the new stone with a
         # single liberty at the captured point forbids immediate recapture.
         if len(captured) == 1:
-            group, liberties = self.group_and_liberties(row, col)
-            if len(group) == 1 and len(liberties) == 1:
+            group = self._group_at[(row, col)]
+            if len(group.stones) == 1 and len(group.liberties) == 1:
                 self.ko_point = captured[0]
         return captured
 
     def legal_moves(self, color: int, *, include_pass: bool = True) -> List[Move]:
+        group_at = self._group_at
+        ko_point = self.ko_point
+        legal_at_empty = self._legal_at_empty
         moves: List[Move] = [
-            (row, col)
-            for row in range(self.size)
-            for col in range(self.size)
-            if self.board[row, col] == EMPTY and self.is_legal((row, col), color)
+            point for point in self._points
+            if point not in group_at and point != ko_point
+            and legal_at_empty(point, color)
         ]
         if include_pass:
             moves.append(None)
@@ -177,12 +373,24 @@ class GoBoard:
 
 @dataclass
 class GoPosition:
-    """Immutable-ish game position for tree search: board + whose turn + pass count."""
+    """Immutable game position for tree search: board + whose turn + pass count.
+
+    Positions never change after construction, so the expensive derived
+    quantities — the legal-move list and the network feature planes — are
+    computed once and cached on the instance.  Callers treat the returned
+    list/array as read-only.
+    """
 
     board: GoBoard
     to_play: int = BLACK
     consecutive_passes: int = 0
     move_count: int = 0
+
+    def __post_init__(self) -> None:
+        self._size = self.board.size
+        self._pass_index = self._size * self._size
+        self._legal_moves: Optional[List[Move]] = None
+        self._features: Optional[np.ndarray] = None
 
     @classmethod
     def initial(cls, size: int = 9, komi: float = 6.5) -> "GoPosition":
@@ -190,10 +398,14 @@ class GoPosition:
 
     @property
     def size(self) -> int:
-        return self.board.size
+        return self._size
 
     def legal_moves(self) -> List[Move]:
-        return self.board.legal_moves(self.to_play)
+        moves = self._legal_moves
+        if moves is None:
+            moves = self.board.legal_moves(self.to_play)
+            self._legal_moves = moves
+        return moves
 
     def play(self, move: Move) -> "GoPosition":
         """Return the successor position after the current player plays ``move``."""
@@ -209,7 +421,7 @@ class GoPosition:
 
     @property
     def is_over(self) -> bool:
-        return self.consecutive_passes >= 2 or self.move_count >= 2 * self.size * self.size
+        return self.consecutive_passes >= 2 or self.move_count >= 2 * self._pass_index
 
     def result(self) -> float:
         """+1 if Black wins, -1 if White wins (0 is impossible with fractional komi)."""
@@ -217,21 +429,30 @@ class GoPosition:
         return 1.0 if score > 0 else -1.0
 
     def features(self) -> np.ndarray:
-        """Flat feature vector for the policy/value network."""
-        own = (self.board.board == self.to_play).astype(np.float32)
-        other = (self.board.board == opponent(self.to_play)).astype(np.float32)
-        turn = np.full((self.size, self.size), 1.0 if self.to_play == BLACK else 0.0, dtype=np.float32)
-        return np.concatenate([own.reshape(-1), other.reshape(-1), turn.reshape(-1)])
+        """Flat feature vector for the policy/value network (cached)."""
+        features = self._features
+        if features is None:
+            own = (self.board.board == self.to_play).astype(np.float32)
+            other = (self.board.board == opponent(self.to_play)).astype(np.float32)
+            turn = np.full((self._size, self._size),
+                           1.0 if self.to_play == BLACK else 0.0, dtype=np.float32)
+            features = np.concatenate([own.reshape(-1), other.reshape(-1), turn.reshape(-1)])
+            self._features = features
+        return features
+
+    def transposition_key(self) -> int:
+        """Zobrist key of (stones, ko point, side to move) — O(1) per call."""
+        return self.board.position_key(self.to_play)
 
     def move_to_index(self, move: Move) -> int:
         if move is None:
-            return self.size * self.size
-        return move[0] * self.size + move[1]
+            return self._pass_index
+        return move[0] * self._size + move[1]
 
     def index_to_move(self, index: int) -> Move:
-        if index == self.size * self.size:
+        if index == self._pass_index:
             return None
-        return divmod(index, self.size)
+        return divmod(index, self._size)
 
 
 class GoEnv(Env):

@@ -149,6 +149,54 @@ def test_event_scheduler_profiled_run_attributes_wait_inside_operations():
         assert any(op.metadata.get("batch_clients", 0) > 1 for op in expand_ops)
 
 
+# ------------------------------------------------------- heap vs linear scan
+def _run_event_pool(use_heap, **overrides):
+    from repro.minigo.workers import PoolScheduler
+    kwargs = dict(profile=False, batched_inference=True, scheduler="event")
+    kwargs.update(overrides)
+    saved = PoolScheduler.default_use_heap
+    PoolScheduler.default_use_heap = use_heap
+    try:
+        pool = SelfPlayPool(**kwargs)
+        pool.run()
+    finally:
+        PoolScheduler.default_use_heap = saved
+    return pool
+
+
+@pytest.mark.parametrize("config", [
+    dict(num_workers=5, leaf_batch=4),
+    dict(num_workers=4, leaf_batch=4, flush_policy="timeout", flush_timeout_us=10.0),
+    dict(num_workers=4, leaf_batch=4, num_replicas=2, routing="least-loaded"),
+])
+def test_heap_scheduler_matches_linear_scan(config):
+    """The lazy min-heap makes identical scheduling decisions to the scan.
+
+    Covered paths: the plain all-blocked barrier, timeout deadline serves
+    (partial batches departing while others run), and replica-aware eager
+    serves.  Game records, per-worker clocks and every *decision* counter
+    must be identical; only the heap bookkeeping counters may differ.
+    """
+    heap_pool = _run_event_pool(True, **config, **POOL_KWARGS)
+    scan_pool = _run_event_pool(False, **config, **POOL_KWARGS)
+
+    assert _game_records(heap_pool) == _game_records(scan_pool)
+    assert [run.total_time_us for run in heap_pool.runs] == \
+        [run.total_time_us for run in scan_pool.runs]
+    heap_stats, scan_stats = heap_pool.pool_scheduler.stats, scan_pool.pool_scheduler.stats
+    assert (heap_stats.steps, heap_stats.serves, heap_stats.timeout_serves,
+            heap_stats.eager_serves, heap_stats.steps_per_worker) == \
+           (scan_stats.steps, scan_stats.serves, scan_stats.timeout_serves,
+            scan_stats.eager_serves, scan_stats.steps_per_worker)
+    # The heap loop actually used the heap; the scan loop never touched it.
+    assert heap_stats.heap_pushes > 0
+    assert heap_stats.heap_pops >= heap_stats.steps
+    assert heap_stats.heap_stale_pops <= heap_stats.heap_pops
+    assert scan_stats.heap_pushes == scan_stats.heap_pops == 0
+    # Amortized-cost sanity: every pop is funded by a push.
+    assert heap_stats.heap_pops <= heap_stats.heap_pushes
+
+
 # ----------------------------------------------------------------- fairness
 def test_no_worker_starves_under_the_event_loop():
     pool = SelfPlayPool(5, profile=False, batched_inference=True, leaf_batch=2,
@@ -157,6 +205,10 @@ def test_no_worker_starves_under_the_event_loop():
     stats = pool.pool_scheduler.stats
     assert set(stats.steps_per_worker) == {run.worker for run in pool.runs}
     assert all(steps > 0 for steps in stats.steps_per_worker.values())
+    # The heap-driven loop is the default and really drove this run; its
+    # bookkeeping must be self-consistent (each step came off the heap).
+    assert stats.heap_pushes > 0
+    assert stats.heap_pops >= stats.steps
     # Every worker finished all its games and produced moves.
     for run in pool.runs:
         assert run.result.games == POOL_KWARGS["games_per_worker"]
