@@ -30,6 +30,16 @@ from .replicasweep import (
     inference_bound_cost_config,
     run_replica_sweep,
 )
+from .servesweep import (
+    DEFAULT_SERVE_KWARGS,
+    DEFAULT_SERVE_MULTIPLIERS,
+    DEFAULT_SERVE_OVERLOADS,
+    DEFAULT_SERVE_REPLICAS,
+    SERVE_ARRIVALS,
+    ServeSweepPoint,
+    ServeSweepResult,
+    run_serve_sweep,
+)
 from .fig4 import FRAMEWORKS_BY_ALGO, Fig4Result, run_fig4
 from .fig5 import SURVEY_ALGORITHMS, Fig5Result, run_fig5
 from .fig7 import SURVEY_SIMULATORS, Fig7Result, run_fig7
@@ -71,6 +81,14 @@ __all__ = [
     "ReplicaSweepResult",
     "inference_bound_cost_config",
     "run_replica_sweep",
+    "DEFAULT_SERVE_KWARGS",
+    "DEFAULT_SERVE_MULTIPLIERS",
+    "DEFAULT_SERVE_OVERLOADS",
+    "DEFAULT_SERVE_REPLICAS",
+    "SERVE_ARRIVALS",
+    "ServeSweepPoint",
+    "ServeSweepResult",
+    "run_serve_sweep",
     "FRAMEWORKS_BY_ALGO",
     "Fig4Result",
     "run_fig4",

@@ -13,6 +13,9 @@ Examples::
     rls-experiment schedsweep --replicas 2 --routing least-loaded
     rls-experiment replicasweep --replicas 1,2,4 --workers 8
     rls-experiment fig8 --scheduler event --replicas 2
+    rls-experiment servesweep --rates 0.5,2.0 --clients 256 --replicas 1,2
+    rls-experiment servesweep --arrival bursty --overloads shed-newest,block
+    rls-experiment servesweep --quick   # CI smoke: small trace, fast
     rls-experiment findings          # run everything and check F.1-F.12
 """
 
@@ -35,8 +38,32 @@ def _positive_int_list(noun: str):
     return parse
 
 
+def _positive_float_list(noun: str):
+    """argparse type: a comma-separated list of positive floats."""
+    def parse(text: str) -> tuple:
+        try:
+            values = tuple(float(value) for value in text.split(","))
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"expected comma-separated numbers, got {text!r}")
+        if not values or any(value <= 0 for value in values):
+            raise argparse.ArgumentTypeError(f"{noun} must be positive, got {text!r}")
+        return values
+    return parse
+
+
 _leaf_batch_list = _positive_int_list("leaf batch sizes")
 _replica_list = _positive_int_list("replica counts")
+_rate_list = _positive_float_list("rate multipliers")
+
+
+def _overload_list(text: str) -> tuple:
+    values = tuple(value.strip() for value in text.split(","))
+    allowed = ("none", "block", "shed-newest", "shed-oldest", "deadline-drop")
+    bad = [value for value in values if value not in allowed]
+    if bad:
+        raise argparse.ArgumentTypeError(
+            f"unknown overload policies {bad}; choose from {', '.join(allowed)}")
+    return values
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,7 +71,8 @@ def build_parser() -> argparse.ArgumentParser:
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("experiment",
                         choices=["table1", "fig4", "fig5", "fig7", "fig8", "fig11a", "fig11b",
-                                 "batchsweep", "schedsweep", "replicasweep", "findings"])
+                                 "batchsweep", "schedsweep", "replicasweep", "servesweep",
+                                 "findings"])
     parser.add_argument("--algo", default="TD3", help="algorithm for fig4 (TD3 or DDPG)")
     parser.add_argument("--timesteps", type=int, default=None, help="steps per workload (default: experiment-specific)")
     parser.add_argument("--seed", type=int, default=0)
@@ -69,6 +97,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "timeout 50us)")
     parser.add_argument("--timeout-us", type=float, default=None,
                         help="partial-batch deadline in virtual us (flush policy 'timeout')")
+    parser.add_argument("--rates", type=_rate_list, default=None,
+                        help="servesweep arrival rates as comma-separated multiples of "
+                             "measured capacity (default: 0.5,1.0,2.0)")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="servesweep synthetic client count (default: 256)")
+    parser.add_argument("--arrival", choices=["poisson", "bursty"], default=None,
+                        help="servesweep arrival process (default: poisson)")
+    parser.add_argument("--overloads", type=_overload_list, default=None,
+                        help="servesweep overload policies, comma-separated from "
+                             "none,block,shed-newest,shed-oldest,deadline-drop "
+                             "(default: all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="servesweep smoke mode: small trace, fewer clients, "
+                             "2-point grid (the CI configuration)")
+    parser.add_argument("--out", default=None,
+                        help="servesweep: also write the report to this path "
+                             "(default: results/serve_sweep.txt)")
     return parser
 
 
@@ -86,6 +131,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         DEFAULT_SCHED_LEAF_BATCHES, DEFAULT_SCHED_WORKERS, run_sched_sweep,
         DEFAULT_REPLICA_COUNTS, DEFAULT_REPLICA_ROUTINGS, DEFAULT_REPLICA_WORKERS,
         run_replica_sweep,
+        run_serve_sweep,
         run_fig4, run_fig5, run_fig7, run_fig8, run_fig11a, run_fig11b, run_table1, table1, findings,
     )
     from .common import DEFAULT_TIMESTEPS
@@ -138,6 +184,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(run_replica_sweep(replicas, worker_counts=worker_counts,
                                 routings=routings, seed=args.seed,
                                 **sweep_kwargs).report())
+    elif args.experiment == "servesweep":
+        sweep_kwargs = {}
+        if args.rates is not None:
+            sweep_kwargs["multipliers"] = args.rates
+        if args.overloads is not None:
+            sweep_kwargs["overloads"] = args.overloads
+        if args.replicas is not None:
+            sweep_kwargs["replica_counts"] = args.replicas
+        if args.clients is not None:
+            sweep_kwargs["num_clients"] = args.clients
+        if args.arrival is not None:
+            sweep_kwargs["arrival"] = args.arrival
+        if args.quick:
+            # CI smoke: a 2-point grid over a short trace, small client fleet.
+            sweep_kwargs.setdefault("multipliers", (0.5, 2.0))
+            sweep_kwargs.setdefault("overloads", ("none", "shed-newest"))
+            sweep_kwargs.setdefault("replica_counts", (1,))
+            sweep_kwargs.setdefault("num_clients", 64)
+            sweep_kwargs["horizon_us"] = 10_000.0
+        result = run_serve_sweep(seed=args.seed, **sweep_kwargs)
+        text = result.report()
+        print(text)
+        import pathlib
+        out = pathlib.Path(args.out) if args.out else pathlib.Path("results/serve_sweep.txt")
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
     elif args.experiment == "findings":
         fig4_td3 = run_fig4("TD3", timesteps=steps, seed=args.seed)
         fig4_ddpg = run_fig4("DDPG", timesteps=steps, seed=args.seed)

@@ -167,6 +167,50 @@ class BatchSizeStats:
                 f"max={self.max_rows})")
 
 
+class ReservoirSample:
+    """Fixed-capacity uniform sample of a float stream (Vitter's algorithm R).
+
+    Used for queue-delay percentiles: a long serving run measures one delay
+    per ticket, so the raw stream grows without bound while the reservoir
+    stays a constant-memory uniform sample of it.  The RNG is private and
+    deterministic, so two runs with identical delay streams keep identical
+    samples.
+    """
+
+    def __init__(self, capacity: int = 512, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.count = 0
+        self._values: List[float] = []
+        self._rng = np.random.default_rng(seed)
+
+    def append(self, value: float) -> None:
+        self.count += 1
+        if len(self._values) < self.capacity:
+            self._values.append(value)
+        else:
+            slot = int(self._rng.integers(0, self.count))
+            if slot < self.capacity:
+                self._values[slot] = value
+
+    def merge_counts_from(self, other: "ReservoirSample") -> None:
+        """Fold another reservoir's observation count in.
+
+        As with :meth:`BatchSizeStats.merge_counts_from`, two uniform samples
+        cannot be combined without the original streams, so a merged
+        reservoir's :attr:`sample` stays that of the accumulating side.
+        """
+        self.count += other.count
+
+    @property
+    def sample(self) -> List[float]:
+        return list(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReservoirSample(count={self.count}, kept={len(self._values)})"
+
+
 @dataclass
 class InferenceStats:
     """Counters describing the batching behaviour of one service or replica."""
@@ -183,6 +227,8 @@ class InferenceStats:
     queued_waits: int = 0        #: ticket/batch participations measured
     queue_delay_us: float = 0.0  #: total arrival -> batch-start delay
     max_queue_delay_us: float = 0.0
+    #: bounded uniform sample of per-ticket queue delays (percentile source)
+    queue_delay_samples: ReservoirSample = field(default_factory=ReservoirSample)
     # Weight propagation (sharded services broadcast to every replica).
     weight_broadcasts: int = 0        #: update_weights calls charged
     weight_broadcast_us: float = 0.0  #: total virtual broadcast time
@@ -212,6 +258,24 @@ class InferenceStats:
         """Mean arrival -> batch-start delay (0.0 when nothing queued yet)."""
         return self.queue_delay_us / self.queued_waits if self.queued_waits else 0.0
 
+    def queue_delay_percentiles(self, percentiles: Sequence[float] = (50.0, 95.0, 99.0)
+                                ) -> Optional[Dict[float, float]]:
+        """Queue-delay percentiles (µs) from the bounded delay reservoir.
+
+        Returns ``{percentile: delay_us}`` for each requested percentile
+        (defaults p50/p95/p99), computed over the uniform
+        :class:`ReservoirSample` of per-ticket arrival -> batch-start delays.
+        Empty-service guard: returns ``None`` when no queued wait has been
+        measured yet (an idle service, or one only ever served through the
+        synchronous :meth:`InferenceService.flush` path, which does not model
+        queueing delay).
+        """
+        values = self.queue_delay_samples.sample
+        if not values:
+            return None
+        ordered = np.sort(np.asarray(values, dtype=np.float64))
+        return {float(p): float(np.percentile(ordered, p)) for p in percentiles}
+
     @property
     def cross_worker_share(self) -> float:
         """Fraction of engine calls that served more than one worker.
@@ -239,6 +303,7 @@ class InferenceStats:
         self.queued_waits += other.queued_waits
         self.queue_delay_us += other.queue_delay_us
         self.max_queue_delay_us = max(self.max_queue_delay_us, other.max_queue_delay_us)
+        self.queue_delay_samples.merge_counts_from(other.queue_delay_samples)
         self.weight_broadcasts += other.weight_broadcasts
         self.weight_broadcast_us += other.weight_broadcast_us
 
@@ -599,7 +664,19 @@ class InferenceService:
     # ----------------------------------------------------------------- queue
     def submit(self, client: InferenceClient, features: np.ndarray,
                *, metadata: Optional[dict] = None) -> InferenceTicket:
-        """Queue a block of feature rows for batched evaluation."""
+        """Queue a block of feature rows for batched evaluation.
+
+        ``metadata`` is held **by reference**, intentionally: the service
+        writes batch attribution (``batch_rows``, ``queue_delay_us``,
+        ``completion_us``, ...) into the *caller's* dict so an open profiler
+        annotation created before the submit observes the attribution of the
+        batch that eventually serves it.  The flip side of that contract is
+        that a dict must never be shared between submissions — two tickets
+        writing into one dict alias each other's attribution.  Callers that
+        re-issue work (e.g. the serving tier's retry path) must pass a fresh
+        dict per submission; :mod:`repro.serving.protocol` enforces this
+        structurally by rebuilding the metadata dict at every wire decode.
+        """
         features = np.asarray(features)
         if features.ndim != 2 or features.shape[0] == 0:
             raise ValueError(f"expected a non-empty [rows, features] array, got shape {features.shape}")
@@ -642,6 +719,31 @@ class InferenceService:
             self._pending.append(ticket)
             self._pending_rows += ticket.num_rows
         self._earliest_arrival_dirty = True
+
+    def drop_pending(self, predicate) -> List[InferenceTicket]:
+        """Shed hook: remove queued tickets matching ``predicate`` (load shedding).
+
+        The serving tier's overload policies (shed-oldest, deadline-drop)
+        evict requests from the ingress queue; this removes the matching
+        tickets while keeping the O(1) queue summaries consistent.  Only
+        *pending* tickets are touchable: a batch that has departed was
+        removed from the queue when it was planned, so shedding can never
+        claw back rows that are already being served — the "deadline-drop
+        racing a departing batch" case resolves in the batch's favour by
+        construction.  Returns the dropped tickets (submission order) so the
+        caller can route shed replies; their stats were counted at submit
+        time and are otherwise untouched.
+        """
+        kept: List[InferenceTicket] = []
+        dropped: List[InferenceTicket] = []
+        for ticket in self._pending:
+            (dropped if predicate(ticket) else kept).append(ticket)
+        if dropped:
+            self._pending = kept
+            self._pending_rows = sum(t.num_rows for t in kept)
+            self._earliest_arrival_us = None
+            self._earliest_arrival_dirty = bool(kept)
+        return dropped
 
     def _take_pending(self, arrival_cutoff_us: Optional[float] = None
                       ) -> List[List[InferenceTicket]]:
@@ -916,8 +1018,14 @@ class InferenceService:
                 stats.queued_waits += 1
                 stats.queue_delay_us += delay
                 stats.max_queue_delay_us = max(stats.max_queue_delay_us, delay)
+                stats.queue_delay_samples.append(delay)
             if ticket.metadata is not None:
                 ticket.metadata["queue_delay_us"] = ticket.metadata.get("queue_delay_us", 0.0) + delay
+                # Batch completion in virtual time; a split ticket keeps the
+                # end of its last-served chunk (the serving tier's reply
+                # timestamp and deadline check read this).
+                ticket.metadata["completion_us"] = max(
+                    ticket.metadata.get("completion_us", 0.0), end_us)
         self._scatter(chunk, rows, priors, values, batch_time_us, len(clients), replica)
 
     # -------------------------------------------------------- shared helpers

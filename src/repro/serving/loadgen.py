@@ -1,0 +1,165 @@
+"""Open-loop traffic for the serving tier.
+
+The self-play harness is *closed-loop*: a worker submits its next leaf only
+after the previous evaluation returns, so load self-throttles and the
+service can never be overrun.  Production traffic is **open-loop** — users
+do not wait for each other — which is exactly the regime where admission
+control matters: arrivals keep coming at the offered rate no matter how far
+behind the server falls.
+
+Three arrival processes, all deterministic under a seeded generator:
+
+* :class:`PoissonProcess` — memoryless arrivals at a fixed rate; the
+  classic steady-state model.
+* :class:`BurstyProcess` — a two-state Markov-modulated Poisson process
+  (calm rate / burst rate with exponentially distributed dwell times); the
+  model for flash crowds and synchronized clients.  State switches use the
+  memorylessness of the exponential: when a sampled gap crosses the dwell
+  boundary the process jumps to the boundary, flips state, and resamples —
+  an exact MMPP simulation, not an approximation.
+* :class:`TraceReplay` — replay explicit arrival timestamps (recorded or
+  adversarially constructed), for reproducing a specific incident.
+
+:class:`LoadGenerator` owns a fleet of :class:`ServingClient`\\ s and deals
+each arrival to a client chosen uniformly at random (an arrival backs a new
+request only if that client is used; clients are cheap, make many).  It
+yields ``(time_us, client)`` pairs for the event loop to drive.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .client import RetryPolicy, ServingClient
+
+
+class ArrivalProcess:
+    """Yields arrival times (virtual µs) up to a horizon."""
+
+    def arrival_times(self, horizon_us: float,
+                      rng: np.random.Generator) -> Iterator[float]:
+        raise NotImplementedError
+
+
+class PoissonProcess(ArrivalProcess):
+    """Memoryless arrivals at ``rate_per_sec``."""
+
+    def __init__(self, rate_per_sec: float) -> None:
+        if rate_per_sec <= 0:
+            raise ValueError("rate_per_sec must be positive")
+        self.rate_per_sec = rate_per_sec
+
+    def arrival_times(self, horizon_us: float,
+                      rng: np.random.Generator) -> Iterator[float]:
+        mean_gap_us = 1e6 / self.rate_per_sec
+        t = 0.0
+        while True:
+            t += rng.exponential(mean_gap_us)
+            if t >= horizon_us:
+                return
+            yield t
+
+    def __repr__(self) -> str:
+        return f"PoissonProcess(rate_per_sec={self.rate_per_sec})"
+
+
+class BurstyProcess(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (calm <-> burst)."""
+
+    def __init__(self, calm_rate_per_sec: float, burst_rate_per_sec: float, *,
+                 mean_calm_us: float = 50_000.0,
+                 mean_burst_us: float = 10_000.0) -> None:
+        if calm_rate_per_sec <= 0 or burst_rate_per_sec <= 0:
+            raise ValueError("rates must be positive")
+        if mean_calm_us <= 0 or mean_burst_us <= 0:
+            raise ValueError("dwell times must be positive")
+        self.calm_rate_per_sec = calm_rate_per_sec
+        self.burst_rate_per_sec = burst_rate_per_sec
+        self.mean_calm_us = mean_calm_us
+        self.mean_burst_us = mean_burst_us
+
+    def arrival_times(self, horizon_us: float,
+                      rng: np.random.Generator) -> Iterator[float]:
+        mean_gaps = (1e6 / self.calm_rate_per_sec, 1e6 / self.burst_rate_per_sec)
+        dwells = (self.mean_calm_us, self.mean_burst_us)
+        state = 0  # start calm
+        t = 0.0
+        state_end = rng.exponential(dwells[state])
+        while t < horizon_us:
+            gap = rng.exponential(mean_gaps[state])
+            if t + gap >= state_end:
+                # Jump to the boundary and resample in the new state: valid
+                # because exponential gaps are memoryless.
+                t = state_end
+                state = 1 - state
+                state_end = t + rng.exponential(dwells[state])
+                continue
+            t += gap
+            if t >= horizon_us:
+                return
+            yield t
+
+    def __repr__(self) -> str:
+        return (f"BurstyProcess(calm={self.calm_rate_per_sec}, "
+                f"burst={self.burst_rate_per_sec})")
+
+
+class TraceReplay(ArrivalProcess):
+    """Replay an explicit, sorted list of arrival times."""
+
+    def __init__(self, times_us: Sequence[float]) -> None:
+        times = [float(t) for t in times_us]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("trace times must be non-decreasing")
+        self.times_us = times
+
+    def arrival_times(self, horizon_us: float,
+                      rng: np.random.Generator) -> Iterator[float]:
+        for t in self.times_us:
+            if t >= horizon_us:
+                return
+            yield t
+
+    def __repr__(self) -> str:
+        return f"TraceReplay({len(self.times_us)} arrivals)"
+
+
+class LoadGenerator:
+    """A fleet of synthetic clients fed by one arrival process.
+
+    Arrivals are generated open-loop over ``[0, horizon_us)`` and dealt to
+    clients uniformly at random.  Everything is derived from ``seed``: the
+    arrival stream, the client choice per arrival, and each client's
+    feature rows — so a fixed seed reproduces the exact same offered load.
+    """
+
+    def __init__(self, process: ArrivalProcess, num_clients: int, *,
+                 feature_dim: int, rows_per_request: int = 1,
+                 retry: RetryPolicy = RetryPolicy(),
+                 request_deadline_us: Optional[float] = None,
+                 seed: int = 0) -> None:
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        self.process = process
+        self.seed = seed
+        self._arrival_rng = np.random.default_rng(seed)
+        self._deal_rng = np.random.default_rng(seed + 1)
+        self.clients: List[ServingClient] = [
+            ServingClient(f"client_{index:04d}", feature_dim=feature_dim,
+                          rows_per_request=rows_per_request, retry=retry,
+                          request_deadline_us=request_deadline_us,
+                          seed=seed + 100 + index)
+            for index in range(num_clients)
+        ]
+
+    def arrivals(self, horizon_us: float) -> Iterator[Tuple[float, ServingClient]]:
+        """Yield ``(time_us, client)`` for every arrival before the horizon."""
+        for t in self.process.arrival_times(horizon_us, self._arrival_rng):
+            client = self.clients[int(self._deal_rng.integers(len(self.clients)))]
+            yield t, client
+
+    def close(self) -> None:
+        for client in self.clients:
+            client.close()

@@ -350,3 +350,100 @@ def test_idle_service_statistics_never_divide_by_zero():
     assert service.serve_queued(policy="timeout", timeout_us=5.0) == 0
     # Still all zeros after serving an empty queue.
     assert stats.mean_occupancy == 0.0 and stats.cross_worker_share == 0.0
+
+
+# --------------------------------------------------- queue-delay percentiles
+def test_queue_delay_percentiles_empty_service_returns_none():
+    service = InferenceService(make_network(), max_batch=8)
+    assert service.stats.queue_delay_percentiles() is None
+    assert service.stats.queue_delay_percentiles((50.0,)) is None
+
+
+def test_queue_delay_percentiles_match_observed_delays():
+    """Below reservoir capacity the sample is exact, so percentiles are too."""
+    device = GPUDevice()
+    service = InferenceService(make_network(), max_batch=8)
+    clients = []
+    for i in range(4):
+        client = make_client(service, device, worker=f"w{i}", seed=i, stream=i)
+        client.system.clock.advance(100.0 * i)   # arrivals at t=0,100,200,300
+        clients.append(client)
+    rng = np.random.default_rng(9)
+    for client in clients:
+        client.submit(rng.normal(size=(2, 75)).astype(np.float32))
+    service.serve_queued(policy="max-batch")
+
+    sample = service.stats.queue_delay_samples.sample
+    assert len(sample) == 4
+    stats = service.stats.queue_delay_percentiles()
+    assert set(stats) == {50.0, 95.0, 99.0}
+    expected = {p: float(np.percentile(sorted(sample), p)) for p in (50.0, 95.0, 99.0)}
+    for p, value in expected.items():
+        assert stats[p] == pytest.approx(value)
+    assert stats[50.0] <= stats[95.0] <= stats[99.0]
+    # The max delay in the sample is the stats max (nothing was evicted).
+    assert max(sample) == pytest.approx(service.stats.max_queue_delay_us)
+
+
+def test_queue_delay_reservoir_is_bounded_and_deterministic():
+    from repro.minigo.inference import ReservoirSample
+    a = ReservoirSample(capacity=32, seed=3)
+    b = ReservoirSample(capacity=32, seed=3)
+    for value in range(1000):
+        a.append(float(value))
+        b.append(float(value))
+    assert len(a.sample) == 32
+    assert a.count == 1000
+    assert a.sample == b.sample, "same seed, same stream, same reservoir"
+
+
+def test_completion_us_metadata_records_batch_end():
+    device = GPUDevice()
+    service = InferenceService(make_network(), max_batch=8)
+    client = make_client(service, device, worker="w0")
+    meta = {}
+    client.submit(np.random.default_rng(0).normal(size=(2, 75)).astype(np.float32),
+                  metadata=meta)
+    service.serve_queued(policy="max-batch")
+    assert meta["completion_us"] == pytest.approx(client.system.clock.now_us)
+    assert meta["completion_us"] >= meta["queue_delay_us"]
+
+
+# ----------------------------------------------------------------- shedding
+def test_drop_pending_partitions_and_keeps_departed_batches():
+    device = GPUDevice()
+    service = InferenceService(make_network(), max_batch=4)
+    client = make_client(service, device, worker="w0")
+    rng = np.random.default_rng(11)
+    tickets = []
+    for i in range(3):
+        client.system.clock.advance(10.0)
+        tickets.append(client.submit(rng.normal(size=(1, 75)).astype(np.float32)))
+
+    victims = {id(tickets[1])}
+    dropped = service.drop_pending(lambda t: id(t) in victims)
+    assert dropped == [tickets[1]]
+    assert service.pending_tickets == 2
+    assert service.pending_rows == 2
+    # Dropped work never reaches the engine; the rest still serves.
+    calls = service.serve_queued(policy="max-batch")
+    assert calls == 1
+    assert tickets[0].done and tickets[2].done
+    assert not tickets[1].done
+    assert service.stats.rows == 2
+    # A second drop finds nothing: the queue is empty now.
+    assert service.drop_pending(lambda t: True) == []
+
+
+def test_drop_pending_calls_predicate_once_per_ticket():
+    """Stateful predicates (drop the first N) must see each ticket once."""
+    device = GPUDevice()
+    service = InferenceService(make_network(), max_batch=8)
+    client = make_client(service, device, worker="w0")
+    rng = np.random.default_rng(12)
+    for _ in range(5):
+        client.submit(rng.normal(size=(1, 75)).astype(np.float32))
+    seen = []
+    service.drop_pending(lambda t: seen.append(id(t)) is None and len(seen) <= 2)
+    assert len(seen) == 5, "one predicate call per pending ticket"
+    assert service.pending_tickets == 3
