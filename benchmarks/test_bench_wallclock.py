@@ -72,6 +72,13 @@ MIN_END_TO_END_SPEEDUP = 3.0
 #: (the single-pass win grows with worker count, so it is measured wide).
 OVERLAP_WORKERS = 8 if QUICK else 32
 OVERLAP_REPEATS = 3
+#: Per-worker interval floor for the overlap trace: the vectorized sweep's
+#: win is per-worker-slice-sized, so each worker's slice is tiled in time
+#: until it is at least this dense.
+OVERLAP_MIN_INTERVALS_PER_WORKER = 4000
+#: Acceptance floor for the vectorized sweep vs the preserved Python loop
+#: (measured ~6x at the density above, ~8x on very large slices).
+MIN_OVERLAP_VECTOR_SPEEDUP = 5.0
 
 
 @contextmanager
@@ -120,17 +127,25 @@ def _commit_hash() -> str:
 
 
 def _overlap_metrics():
-    """Time single-pass grouping vs the per-worker re-filter on a wide trace.
+    """Time the overlap hot path's two optimizations on a wide, dense trace.
 
-    The win of the single grouping pass is O(workers x events) filter work
-    avoided, so it is measured on a many-worker trace: one profiled worker
-    shard cloned across ``OVERLAP_WORKERS`` synthetic workers (identical
-    per-worker content, so both code paths do identical sweep-line work and
-    differ only in how often they touch the full interval list).  Timings
-    take the best of ``OVERLAP_REPEATS`` runs to suppress scheduler noise.
+    * **single-pass grouping vs per-worker re-filter** — the win is
+      O(workers x events) filter work avoided, so it is measured on a
+      many-worker trace: one profiled worker shard cloned across
+      ``OVERLAP_WORKERS`` synthetic workers.
+    * **vectorized sweep vs the preserved Python loop**
+      (``_accumulate_worker_loop``) — the win is per worker *slice*, so
+      each worker's clone is additionally tiled in time until it holds at
+      least ``OVERLAP_MIN_INTERVALS_PER_WORKER`` intervals.  Both sweeps
+      must produce byte-identical regions (same key order, same float
+      bits), and the speedup must clear ``MIN_OVERLAP_VECTOR_SPEEDUP``.
+
+    Timings take the best of ``OVERLAP_REPEATS`` runs to suppress
+    scheduler noise.
     """
     from dataclasses import replace
 
+    from repro.profiler import overlap as overlap_mod
     from repro.profiler.events import EventTrace
 
     pool, _ = _run_pool(profile=True)
@@ -138,11 +153,20 @@ def _overlap_metrics():
     shard_worker = merged.workers()[0]
     shard_events = [e for e in merged.events if e.worker == shard_worker]
     shard_ops = [op for op in merged.operations if op.worker == shard_worker]
+    shard_intervals = len(shard_events) + len(shard_ops)
+    density = -(-OVERLAP_MIN_INTERVALS_PER_WORKER // max(shard_intervals, 1))
+    shard_span = max(e.end_us for e in shard_events + shard_ops) + 10.0
     wide = EventTrace()
     for index in range(OVERLAP_WORKERS):
         clone = f"overlap_worker_{index:02d}"
-        wide.events.extend(replace(e, worker=clone) for e in shard_events)
-        wide.operations.extend(replace(op, worker=clone) for op in shard_ops)
+        for tile in range(density):
+            offset = tile * shard_span
+            wide.events.extend(
+                replace(e, worker=clone, start_us=e.start_us + offset,
+                        end_us=e.end_us + offset) for e in shard_events)
+            wide.operations.extend(
+                replace(op, worker=clone, start_us=op.start_us + offset,
+                        end_us=op.end_us + offset) for op in shard_ops)
     intervals = len(wide.events) + len(wide.operations)
     workers = wide.workers()
 
@@ -159,12 +183,55 @@ def _overlap_metrics():
     refilter_s = min(_timed(refilter) for _ in range(OVERLAP_REPEATS))
     assert refilter().regions == single_pass.regions, \
         "per-worker re-filtered overlap must stay byte-identical to the single pass"
+
+    # The second preserved baseline: the per-boundary Python sweep
+    # (_accumulate_worker_loop).  Timed on pre-grouped per-worker slices so
+    # the bar isolates exactly what was vectorized; byte-identity is
+    # asserted end to end through compute_overlap.
+    assert overlap_mod.USE_VECTORIZED_ACCUMULATE, \
+        "the repo must ship with the vectorized sweep on"
+    overlap_mod.USE_VECTORIZED_ACCUMULATE = False
+    try:
+        loop_result = compute_overlap(wide)
+    finally:
+        overlap_mod.USE_VECTORIZED_ACCUMULATE = True
+    assert list(loop_result.regions) == list(single_pass.regions) and all(
+        loop_result.regions[key].hex() == single_pass.regions[key].hex()
+        for key in loop_result.regions), \
+        "vectorized sweep must be byte-identical to the Python loop"
+
+    from collections import defaultdict
+
+    events_by_worker = {w: [e for e in wide.events if e.worker == w] for w in workers}
+    ops_by_worker = {w: [op for op in wide.operations if op.worker == w] for w in workers}
+
+    def sweep_all(accumulate):
+        for worker in workers:
+            accumulate(events_by_worker[worker], ops_by_worker[worker],
+                       defaultdict(float))
+
+    vec_sweep_s = min(
+        _timed(lambda: sweep_all(overlap_mod._accumulate_worker_vectorized))
+        for _ in range(OVERLAP_REPEATS))
+    loop_sweep_s = min(
+        _timed(lambda: sweep_all(overlap_mod._accumulate_worker_loop))
+        for _ in range(OVERLAP_REPEATS))
+    vector_speedup = loop_sweep_s / vec_sweep_s if vec_sweep_s > 0 else float("inf")
+    assert vector_speedup >= MIN_OVERLAP_VECTOR_SPEEDUP, (
+        f"expected >= {MIN_OVERLAP_VECTOR_SPEEDUP}x vectorized overlap sweep on "
+        f"{intervals // len(workers)} intervals/worker, got {vector_speedup:.2f}x "
+        f"({loop_sweep_s:.3f}s -> {vec_sweep_s:.3f}s)")
     return {
         "trace_intervals": intervals,
         "workers": len(workers),
         "single_pass_s": single_pass_s,
         "per_worker_refilter_s": refilter_s,
-        "events_per_sec": intervals / single_pass_s if single_pass_s > 0 else float("inf"),
+        "vec_sweep_s": vec_sweep_s,
+        "loop_sweep_s": loop_sweep_s,
+        "vector_speedup": vector_speedup,
+        "events_per_sec": intervals / vec_sweep_s if vec_sweep_s > 0 else float("inf"),
+        "loop_events_per_sec": intervals / loop_sweep_s if loop_sweep_s > 0 else float("inf"),
+        "end_to_end_events_per_sec": intervals / single_pass_s if single_pass_s > 0 else float("inf"),
     }
 
 
@@ -264,6 +331,9 @@ def test_bench_wallclock(benchmark):
         ("overlap pass (s)", f"{overlap['per_worker_refilter_s']:.4f}",
          f"{overlap['single_pass_s']:.4f}",
          f"{overlap['per_worker_refilter_s'] / max(overlap['single_pass_s'], 1e-12):.2f}x"),
+        ("overlap sweep (s)", f"{overlap['loop_sweep_s']:.4f}",
+         f"{overlap['vec_sweep_s']:.4f}",
+         f"{overlap['vector_speedup']:.2f}x"),
     ]
     lines = [
         "Wall-clock speedups: pre-optimization harness vs optimized harness",
@@ -279,7 +349,9 @@ def test_bench_wallclock(benchmark):
         "",
         f"overlap trace: {overlap['trace_intervals']} intervals across "
         f"{overlap['workers']} workers "
-        f"({overlap['events_per_sec']:,.0f} intervals/sec single-pass)",
+        f"({overlap['events_per_sec']:,.0f} intervals/sec vectorized, "
+        f"{overlap['loop_events_per_sec']:,.0f} with the preserved loop; "
+        f"both sweeps byte-identical, asserted)",
         "",
         "Game records, per-worker clocks and scheduler decisions are",
         "bit-for-bit identical between the two harnesses (asserted).",

@@ -16,6 +16,9 @@ Examples::
     rls-experiment servesweep --rates 0.5,2.0 --clients 256 --replicas 1,2
     rls-experiment servesweep --arrival bursty --overloads shed-newest,block
     rls-experiment servesweep --quick   # CI smoke: small trace, fast
+    rls-experiment zoosweep --sims Pong,Hopper --algos DQN,PPO
+    rls-experiment zoosweep --worker-counts 4,8 --replicas 1,2
+    rls-experiment zoosweep --quick     # CI smoke: 2 sims, 1 worker count
     rls-experiment findings          # run everything and check F.1-F.12
 """
 
@@ -56,6 +59,13 @@ _replica_list = _positive_int_list("replica counts")
 _rate_list = _positive_float_list("rate multipliers")
 
 
+def _name_list(text: str) -> tuple:
+    values = tuple(value.strip() for value in text.split(",") if value.strip())
+    if not values:
+        raise argparse.ArgumentTypeError(f"expected comma-separated names, got {text!r}")
+    return values
+
+
 def _overload_list(text: str) -> tuple:
     values = tuple(value.strip() for value in text.split(","))
     allowed = ("none", "block", "shed-newest", "shed-oldest", "deadline-drop")
@@ -72,7 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("experiment",
                         choices=["table1", "fig4", "fig5", "fig7", "fig8", "fig11a", "fig11b",
                                  "batchsweep", "schedsweep", "replicasweep", "servesweep",
-                                 "findings"])
+                                 "zoosweep", "findings"])
     parser.add_argument("--algo", default="TD3", help="algorithm for fig4 (TD3 or DDPG)")
     parser.add_argument("--timesteps", type=int, default=None, help="steps per workload (default: experiment-specific)")
     parser.add_argument("--seed", type=int, default=0)
@@ -108,12 +118,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="servesweep overload policies, comma-separated from "
                              "none,block,shed-newest,shed-oldest,deadline-drop "
                              "(default: all)")
+    parser.add_argument("--sims", type=_name_list, default=None,
+                        help="zoosweep simulators, comma-separated registry names "
+                             "(default: Pong,Hopper,Walker2D,HalfCheetah)")
+    parser.add_argument("--algos", type=_name_list, default=None,
+                        help="zoosweep algorithm families, comma-separated from "
+                             "DQN,PPO,DDPG (default: all)")
+    parser.add_argument("--worker-counts", type=_positive_int_list("worker counts"),
+                        default=None,
+                        help="zoosweep worker-count grid, comma-separated "
+                             "(default: 4,8)")
+    parser.add_argument("--trace-dir", default=None,
+                        help="zoosweep: stream every batched cell's profiler trace "
+                             "into per-cell TraceDB directories under this path")
     parser.add_argument("--quick", action="store_true",
-                        help="servesweep smoke mode: small trace, fewer clients, "
-                             "2-point grid (the CI configuration)")
+                        help="servesweep/zoosweep smoke mode: a small grid "
+                             "(the CI configuration)")
     parser.add_argument("--out", default=None,
-                        help="servesweep: also write the report to this path "
-                             "(default: results/serve_sweep.txt)")
+                        help="servesweep/zoosweep: also write the report to this "
+                             "path (default: results/serve_sweep.txt / "
+                             "results/zoo_sweep.txt)")
     return parser
 
 
@@ -132,6 +156,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         DEFAULT_REPLICA_COUNTS, DEFAULT_REPLICA_ROUTINGS, DEFAULT_REPLICA_WORKERS,
         run_replica_sweep,
         run_serve_sweep,
+        run_zoo_sweep,
         run_fig4, run_fig5, run_fig7, run_fig8, run_fig11a, run_fig11b, run_table1, table1, findings,
     )
     from .common import DEFAULT_TIMESTEPS
@@ -208,6 +233,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(text)
         import pathlib
         out = pathlib.Path(args.out) if args.out else pathlib.Path("results/serve_sweep.txt")
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+    elif args.experiment == "zoosweep":
+        from .zoosweep import DEFAULT_ZOO_STEPS
+        sweep_kwargs = {}
+        if args.sims is not None:
+            sweep_kwargs["sims"] = args.sims
+        if args.algos is not None:
+            sweep_kwargs["algorithms"] = args.algos
+        if args.worker_counts is not None:
+            sweep_kwargs["worker_counts"] = args.worker_counts
+        if args.replicas is not None:
+            sweep_kwargs["replica_counts"] = args.replicas
+        if args.quick:
+            # CI smoke: two sims, one worker count, single replica.
+            sweep_kwargs.setdefault("sims", ("Pong", "Hopper"))
+            sweep_kwargs.setdefault("worker_counts", (4,))
+            sweep_kwargs.setdefault("replica_counts", (1,))
+            sweep_kwargs.setdefault("steps_per_worker", 6)
+        quick_steps = sweep_kwargs.pop("steps_per_worker", DEFAULT_ZOO_STEPS)
+        steps_per_worker = args.timesteps if args.timesteps is not None else quick_steps
+        result = run_zoo_sweep(seed=args.seed, steps_per_worker=steps_per_worker,
+                               trace_dir=args.trace_dir, **sweep_kwargs)
+        text = result.report()
+        print(text)
+        import pathlib
+        out = pathlib.Path(args.out) if args.out else pathlib.Path("results/zoo_sweep.txt")
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(text + "\n")
     elif args.experiment == "findings":

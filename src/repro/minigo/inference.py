@@ -1,1124 +1,59 @@
-"""Batched cross-worker inference service for Minigo self-play.
+"""Compatibility shim: the batched inference service lives in :mod:`repro.rollout.inference`.
 
-The paper's self-play workload spends its accelerator time in ``expand_leaf``
-— per-leaf, batch-size-1 network evaluations issued independently by every
-MCTS worker.  Each evaluation pays the full Python -> Backend transition,
-kernel-launch and feed-preparation cost for a single board position, so the
-GPU runs tiny kernels back to back while the CPU spends most of its time in
-dispatch: exactly the hardware-underutilizing pattern RL-Scope's breakdowns
-expose (finding F.11).
-
-:class:`InferenceService` fixes the shape of that work.  Self-play workers
-submit leaf-evaluation requests (a block of feature rows each) to a shared
-service holding a pool of :class:`ModelReplica`\\ s; the service coalesces
-everything pending into batched network calls of up to ``max_batch`` rows,
-routes each batch to a replica under a pluggable :class:`RoutingPolicy`,
-scatters the resulting policy/value rows back to the requesting workers, and
-charges each waiting worker's virtual clock for the batch it rode in.
-
-Sharding: each :class:`ModelReplica` is pinned to its own
-:class:`~repro.system.System` (its own :class:`~repro.hw.gpu.GPUDevice`,
-cost model, and virtual horizon) and caches its own compiled evaluation
-functions — adding a replica models adding an inference GPU.  Replica 0 may
-share the workload's primary device (the single-GPU configuration every
-other phase contends for); further replicas get fresh devices.  Batches are
-still *planned* in global arrival order — so ``num_replicas=1`` under any
-routing policy reproduces the single-service timelines bit-for-bit — but
-each planned batch *starts* at ``max(departure, chosen replica free time)``:
-with several replicas, batches fan out and overlap instead of serializing
-through one ``free_us`` horizon.  Weight updates propagate to every replica
-with a virtual-time broadcast cost (:meth:`InferenceService.update_weights`).
-
-Two serving paths exist:
-
-* :meth:`InferenceService.flush` — the synchronous path used by workers that
-  evaluate in place: everything pending is served *now* on the host worker's
-  clock, and non-host riders are charged the batch time (inside their own
-  ``expand_leaf`` annotation when they carry a profiler).
-* :meth:`InferenceService.serve_queued` — the event-driven path used by the
-  :class:`~repro.minigo.workers.PoolScheduler`: requests are packed in
-  **arrival order** under an explicit flush policy (``max-batch`` departs a
-  batch when it is full, ``timeout`` additionally departs a partial batch
-  ``timeout_us`` after its first request arrived, ``unbatched`` serves each
-  ticket alone — the bit-for-bit determinism baseline), each batch starts at
-  ``max(departure time, replica free time)``, and every participant is
-  charged its own queueing delay *plus* the batch time instead of batch time
-  only.
-
-Attribution: every request can carry a metadata dict which the service fills
-with the serving batch shape (``batch_rows``, ``batch_clients``,
-``batch_time_us``, ``engine_calls``, ``replica`` and under the queueing
-model ``queue_delay_us``).  Workers attach that dict to their
-``expand_leaf`` operation events, so the profiler can attribute shared
-batched time back to the requesting workers without changing any overlap
-quantity — operation-event metadata takes no part in
-``compute_overlap``/``parallel_overlap``.
+The service started life here as the Minigo self-play batcher; the
+env-agnostic rollout refactor moved it (unchanged in behaviour) into the
+shared rollout core so any :class:`~repro.rollout.driver.StepwiseDriver`
+workload can route policy evaluation through it.  Every public name is
+re-exported so existing imports — tests, experiments, the serving tier —
+keep working.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_right
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
-
-import numpy as np
-
-from ..backend import functional as F
-from ..backend.context import use_engine
-from ..backend.engine import BackendEngine, CompiledFunction
-from ..backend.tensor import Tensor
-from ..cuda.kernels import FLOAT_BYTES
-from ..hw.costmodel import CostModelConfig
-from ..hw.gpu import GPUDevice
-from ..system import System
-
-if TYPE_CHECKING:  # pragma: no cover - typing only; avoids an import cycle
-    from ..profiler.api import Profiler
-
-#: Compiled-function name used for batched evaluations; matches the legacy
-#: per-worker evaluator so cost-model lookups and trace names stay stable.
-EVALUATE_FUNCTION_NAME = "expand_leaf"
-
-#: Flush policies understood by :meth:`InferenceService.serve_queued`.
-FLUSH_UNBATCHED = "unbatched"    #: one ticket per engine call, no queueing
-FLUSH_MAX_BATCH = "max-batch"    #: depart when full (or when serving triggers)
-FLUSH_TIMEOUT = "timeout"        #: like max-batch, plus a partial-batch deadline
-FLUSH_POLICIES = (FLUSH_UNBATCHED, FLUSH_MAX_BATCH, FLUSH_TIMEOUT)
-
-#: Routing policies understood by :func:`make_routing_policy`.
-ROUTING_ROUND_ROBIN = "round-robin"    #: cycle through replicas per batch
-ROUTING_LEAST_LOADED = "least-loaded"  #: earliest-free replica per batch
-ROUTING_STICKY = "sticky"              #: pin each host worker to one replica
-ROUTING_POLICIES = (ROUTING_ROUND_ROBIN, ROUTING_LEAST_LOADED, ROUTING_STICKY)
-
-
-class BatchSizeStats:
-    """Bounded summary of per-call batch sizes.
-
-    Long runs issue one engine call per batch, so an unbounded list of sizes
-    grows linearly with virtual time.  This keeps a fixed-size power-of-two
-    histogram plus a fixed-capacity uniform reservoir sample (Vitter's
-    algorithm R with a private, deterministic RNG), so memory stays constant
-    no matter how many calls the service makes.
-    """
-
-    #: histogram bucket upper bounds: [1], (1,2], (2,4], ... (512,1024], (1024,inf)
-    BUCKET_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
-
-    def __init__(self, reservoir_size: int = 256, seed: int = 0) -> None:
-        if reservoir_size <= 0:
-            raise ValueError("reservoir_size must be positive")
-        self.reservoir_size = reservoir_size
-        self.counts = [0] * (len(self.BUCKET_BOUNDS) + 1)
-        self.count = 0
-        self.total_rows = 0
-        self.max_rows = 0
-        self._reservoir: List[int] = []
-        self._rng = np.random.default_rng(seed)
-
-    def append(self, rows: int) -> None:
-        self.count += 1
-        self.total_rows += rows
-        self.max_rows = max(self.max_rows, rows)
-        self.counts[bisect_right(self.BUCKET_BOUNDS, rows - 1)] += 1
-        if len(self._reservoir) < self.reservoir_size:
-            self._reservoir.append(rows)
-        else:
-            slot = int(self._rng.integers(0, self.count))
-            if slot < self.reservoir_size:
-                self._reservoir[slot] = rows
-
-    def merge_counts_from(self, other: "BatchSizeStats") -> None:
-        """Fold another summary's exact counters in (histogram, totals).
-
-        The reservoir is *not* merged — two uniform samples cannot be
-        combined into one without the original streams — so a merged
-        summary's :attr:`sample` stays that of the accumulating side.
-        """
-        for i, count in enumerate(other.counts):
-            self.counts[i] += count
-        self.count += other.count
-        self.total_rows += other.total_rows
-        self.max_rows = max(self.max_rows, other.max_rows)
-
-    @property
-    def mean(self) -> float:
-        return self.total_rows / self.count if self.count else 0.0
-
-    @property
-    def sample(self) -> List[int]:
-        """The reservoir: a uniform sample of all observed batch sizes."""
-        return list(self._reservoir)
-
-    def histogram(self) -> List[Tuple[int, Optional[int], int]]:
-        """Non-empty buckets as ``(lo_exclusive, hi_inclusive | None, count)``."""
-        buckets = []
-        lo = 0
-        for i, hi in enumerate(self.BUCKET_BOUNDS):
-            if self.counts[i]:
-                buckets.append((lo, hi, self.counts[i]))
-            lo = hi
-        if self.counts[-1]:
-            buckets.append((lo, None, self.counts[-1]))
-        return buckets
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"BatchSizeStats(count={self.count}, mean={self.mean:.2f}, "
-                f"max={self.max_rows})")
-
-
-class ReservoirSample:
-    """Fixed-capacity uniform sample of a float stream (Vitter's algorithm R).
-
-    Used for queue-delay percentiles: a long serving run measures one delay
-    per ticket, so the raw stream grows without bound while the reservoir
-    stays a constant-memory uniform sample of it.  The RNG is private and
-    deterministic, so two runs with identical delay streams keep identical
-    samples.
-    """
-
-    def __init__(self, capacity: int = 512, seed: int = 0) -> None:
-        if capacity <= 0:
-            raise ValueError("capacity must be positive")
-        self.capacity = capacity
-        self.count = 0
-        self._values: List[float] = []
-        self._rng = np.random.default_rng(seed)
-
-    def append(self, value: float) -> None:
-        self.count += 1
-        if len(self._values) < self.capacity:
-            self._values.append(value)
-        else:
-            slot = int(self._rng.integers(0, self.count))
-            if slot < self.capacity:
-                self._values[slot] = value
-
-    def merge_counts_from(self, other: "ReservoirSample") -> None:
-        """Fold another reservoir's observation count in.
-
-        As with :meth:`BatchSizeStats.merge_counts_from`, two uniform samples
-        cannot be combined without the original streams, so a merged
-        reservoir's :attr:`sample` stays that of the accumulating side.
-        """
-        self.count += other.count
-
-    @property
-    def sample(self) -> List[float]:
-        return list(self._values)
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ReservoirSample(count={self.count}, kept={len(self._values)})"
-
-
-@dataclass
-class InferenceStats:
-    """Counters describing the batching behaviour of one service or replica."""
-
-    requests: int = 0            #: submitted tickets
-    rows: int = 0                #: total feature rows evaluated
-    engine_calls: int = 0        #: batched network calls issued
-    max_batch_rows: int = 0      #: largest single batch
-    cross_worker_batches: int = 0  #: batches serving more than one worker
-    capacity: int = 0            #: the service's max_batch (occupancy denominator)
-    rows_by_worker: Dict[str, int] = field(default_factory=dict)
-    batch_sizes: BatchSizeStats = field(default_factory=BatchSizeStats)
-    # Queueing model (serve_queued only): arrival -> batch-start delays.
-    queued_waits: int = 0        #: ticket/batch participations measured
-    queue_delay_us: float = 0.0  #: total arrival -> batch-start delay
-    max_queue_delay_us: float = 0.0
-    #: bounded uniform sample of per-ticket queue delays (percentile source)
-    queue_delay_samples: ReservoirSample = field(default_factory=ReservoirSample)
-    # Weight propagation (sharded services broadcast to every replica).
-    weight_broadcasts: int = 0        #: update_weights calls charged
-    weight_broadcast_us: float = 0.0  #: total virtual broadcast time
-
-    @property
-    def mean_batch_rows(self) -> float:
-        return self.rows / self.engine_calls if self.engine_calls else 0.0
-
-    @property
-    def calls_saved(self) -> int:
-        """Engine calls avoided versus the per-leaf (one call per row) path."""
-        return self.rows - self.engine_calls
-
-    @property
-    def mean_occupancy(self) -> float:
-        """Mean batch fill as a fraction of the service's capacity.
-
-        Zero-batch safe: an idle service (no engine calls, or an unset
-        capacity) reports 0.0 instead of dividing by zero.
-        """
-        if not self.capacity or not self.engine_calls:
-            return 0.0
-        return self.mean_batch_rows / self.capacity
-
-    @property
-    def mean_queue_delay_us(self) -> float:
-        """Mean arrival -> batch-start delay (0.0 when nothing queued yet)."""
-        return self.queue_delay_us / self.queued_waits if self.queued_waits else 0.0
-
-    def queue_delay_percentiles(self, percentiles: Sequence[float] = (50.0, 95.0, 99.0)
-                                ) -> Optional[Dict[float, float]]:
-        """Queue-delay percentiles (µs) from the bounded delay reservoir.
-
-        Returns ``{percentile: delay_us}`` for each requested percentile
-        (defaults p50/p95/p99), computed over the uniform
-        :class:`ReservoirSample` of per-ticket arrival -> batch-start delays.
-        Empty-service guard: returns ``None`` when no queued wait has been
-        measured yet (an idle service, or one only ever served through the
-        synchronous :meth:`InferenceService.flush` path, which does not model
-        queueing delay).
-        """
-        values = self.queue_delay_samples.sample
-        if not values:
-            return None
-        ordered = np.sort(np.asarray(values, dtype=np.float64))
-        return {float(p): float(np.percentile(ordered, p)) for p in percentiles}
-
-    @property
-    def cross_worker_share(self) -> float:
-        """Fraction of engine calls that served more than one worker.
-
-        Zero-batch safe: 0.0 before the first engine call.
-        """
-        return self.cross_worker_batches / self.engine_calls if self.engine_calls else 0.0
-
-    def merge_from(self, other: "InferenceStats") -> None:
-        """Fold another stats object's counters into this one (roll-up).
-
-        Sums the additive counters, maxes the extrema, and merges the exact
-        batch-size histogram; the bounded reservoir sample is not merged
-        (see :meth:`BatchSizeStats.merge_counts_from`).
-        """
-        self.requests += other.requests
-        self.rows += other.rows
-        self.engine_calls += other.engine_calls
-        self.max_batch_rows = max(self.max_batch_rows, other.max_batch_rows)
-        self.cross_worker_batches += other.cross_worker_batches
-        self.capacity = max(self.capacity, other.capacity)
-        for worker, rows in other.rows_by_worker.items():
-            self.rows_by_worker[worker] = self.rows_by_worker.get(worker, 0) + rows
-        self.batch_sizes.merge_counts_from(other.batch_sizes)
-        self.queued_waits += other.queued_waits
-        self.queue_delay_us += other.queue_delay_us
-        self.max_queue_delay_us = max(self.max_queue_delay_us, other.max_queue_delay_us)
-        self.queue_delay_samples.merge_counts_from(other.queue_delay_samples)
-        self.weight_broadcasts += other.weight_broadcasts
-        self.weight_broadcast_us += other.weight_broadcast_us
-
-
-# --------------------------------------------------------------- routing
-class RoutingPolicy:
-    """Chooses which :class:`ModelReplica` serves each batch.
-
-    Policies are pluggable: pass an instance (or a name from
-    :data:`ROUTING_POLICIES`) to :class:`InferenceService`.  Every decision
-    is counted per replica index in :attr:`decisions`, so routing imbalance
-    is visible in sweep reports.  With a single replica every policy
-    degenerates to "always replica 0" — which is why ``num_replicas=1``
-    reproduces single-service runs bit-for-bit under any routing policy.
-    """
-
-    name = "base"
-
-    def __init__(self) -> None:
-        self.decisions: Dict[int, int] = {}
-
-    def reset(self) -> None:
-        """Clear all routing state.
-
-        Called by :class:`InferenceService` when it adopts a policy, so a
-        policy instance reused across services (e.g. a pool re-run) starts
-        every run from the same state — run-to-run reproducibility depends
-        on it.  Subclasses with extra state must extend this.
-        """
-        self.decisions = {}
-
-    def select(self, replicas: Sequence["ModelReplica"], *, host_worker: str,
-               depart_us: float) -> int:
-        """Return the index of the replica that should serve this batch."""
-        raise NotImplementedError
-
-    def choose(self, replicas: Sequence["ModelReplica"], *, host_worker: str,
-               depart_us: float = 0.0) -> "ModelReplica":
-        index = self.select(replicas, host_worker=host_worker, depart_us=depart_us)
-        self.decisions[index] = self.decisions.get(index, 0) + 1
-        return replicas[index]
-
-
-class RoundRobinRouting(RoutingPolicy):
-    """Cycle through replicas one batch at a time (load-oblivious)."""
-
-    name = ROUTING_ROUND_ROBIN
-
-    def __init__(self) -> None:
-        super().__init__()
-        self._next = 0
-
-    def reset(self) -> None:
-        super().reset()
-        self._next = 0
-
-    def select(self, replicas, *, host_worker, depart_us):
-        index = self._next % len(replicas)
-        self._next = (self._next + 1) % len(replicas)
-        return index
-
-
-class LeastLoadedRouting(RoutingPolicy):
-    """Send each batch to the replica whose horizon frees earliest.
-
-    Ties break toward the lowest replica index, so the policy is
-    deterministic under identical arrival streams.
-    """
-
-    name = ROUTING_LEAST_LOADED
-
-    def select(self, replicas, *, host_worker, depart_us):
-        return min(range(len(replicas)), key=lambda i: (replicas[i].free_us, i))
-
-
-class StickyRouting(RoutingPolicy):
-    """Pin each batch-hosting worker to one replica (cache affinity).
-
-    The first time a worker hosts a batch it is assigned the next replica
-    round-robin; afterwards all batches it hosts go to the same replica, the
-    configuration used for KV/feature-cache affinity experiments.  Riders
-    coalesced into the batch follow the host's replica.
-    """
-
-    name = ROUTING_STICKY
-
-    def __init__(self) -> None:
-        super().__init__()
-        self.assignments: Dict[str, int] = {}
-        self._next = 0
-
-    def reset(self) -> None:
-        super().reset()
-        self.assignments = {}
-        self._next = 0
-
-    def select(self, replicas, *, host_worker, depart_us):
-        index = self.assignments.get(host_worker)
-        if index is None or index >= len(replicas):
-            index = self._next % len(replicas)
-            self._next = (self._next + 1) % len(replicas)
-            self.assignments[host_worker] = index
-        return index
-
-
-def make_routing_policy(routing: Union[str, RoutingPolicy]) -> RoutingPolicy:
-    """Build a routing policy from a name (or pass an instance through)."""
-    if isinstance(routing, RoutingPolicy):
-        return routing
-    if routing == ROUTING_ROUND_ROBIN:
-        return RoundRobinRouting()
-    if routing == ROUTING_LEAST_LOADED:
-        return LeastLoadedRouting()
-    if routing == ROUTING_STICKY:
-        return StickyRouting()
-    raise ValueError(f"unknown routing policy {routing!r}; expected one of {ROUTING_POLICIES}")
-
-
-class ModelReplica:
-    """One model replica pinned to its own device/system.
-
-    A replica bundles everything one inference GPU owns: a
-    :class:`~repro.system.System` (virtual clock, cost model, CUDA runtime
-    and :class:`~repro.hw.gpu.GPUDevice`), a private compiled-function cache
-    (the model as loaded on *this* GPU), its own ``free_us`` horizon (the
-    virtual time at which its last queued batch completes), and its own
-    :class:`InferenceStats`.  Batches execute on the *host worker's* engine
-    and clock — the CPU-side dispatch belongs to the requesting process —
-    but their kernels land on the replica's device and their serialization
-    point is the replica's horizon.
-    """
-
-    def __init__(self, index: int, name: str, system: System, *,
-                 capacity: int, pinned: bool = True) -> None:
-        self.index = index
-        self.name = name
-        self.system = system
-        #: False only for a replica 0 with no primary device: its batches
-        #: execute on each host worker's own device (the pre-sharding
-        #: behaviour of a directly constructed service) instead of being
-        #: redirected to this replica's device.
-        self.pinned = pinned
-        self.free_us = 0.0           #: horizon: when the last queued batch ends
-        self.busy_us = 0.0           #: total virtual time spent serving batches
-        self.stats = InferenceStats(capacity=capacity)
-        self._compiled: Dict[Tuple[int, int], Tuple[CompiledFunction, object]] = {}
-
-    @property
-    def device(self) -> GPUDevice:
-        return self.system.device
-
-    def compiled_for(self, engine: BackendEngine, network, forward) -> CompiledFunction:
-        """This replica's compiled evaluator for (engine, network).
-
-        Keyed by (id(engine), id(network)): safe because the cache entry
-        holds strong references to both, so a cached id can never be
-        recycled while the entry exists.  Each replica keeps its own cache —
-        the compiled program loaded on its own GPU.
-        """
-        key = (id(engine), id(network))
-        entry = self._compiled.get(key)
-        if entry is None:
-            compiled = engine.function(
-                lambda features: forward(network, features),
-                name=EVALUATE_FUNCTION_NAME, num_feeds=1)
-            entry = (compiled, network)
-            self._compiled[key] = entry
-        return entry[0]
-
-    def utilisation(self, span_us: float) -> float:
-        """Fraction of ``span_us`` this replica spent serving batches."""
-        return self.busy_us / span_us if span_us > 0 else 0.0
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"ModelReplica({self.name!r}, free_us={self.free_us:.1f}, "
-                f"calls={self.stats.engine_calls})")
-
-
-class InferenceTicket:
-    """Handle for one submitted evaluation request."""
-
-    def __init__(self, client: "InferenceClient", features: np.ndarray,
-                 metadata: Optional[dict], *, arrival_us: float = 0.0, seq: int = 0) -> None:
-        self.client = client
-        self.features = features
-        self.metadata = metadata
-        self.arrival_us = arrival_us   #: submitting worker's clock at submit
-        self.seq = seq                 #: service-wide submission order
-        self.priors: Optional[np.ndarray] = None
-        self.values: Optional[np.ndarray] = None
-
-    @property
-    def num_rows(self) -> int:
-        return int(self.features.shape[0])
-
-    @property
-    def done(self) -> bool:
-        return self.priors is not None
-
-    def result(self) -> Tuple[np.ndarray, np.ndarray]:
-        """The (priors, values) rows for this request; flushes if pending."""
-        if not self.done:
-            self.client.service.flush()
-        assert self.priors is not None and self.values is not None
-        return self.priors, self.values
-
-
-class InferenceClient:
-    """One worker's connection to the shared service.
-
-    The client remembers the worker's system (whose clock pays for batch
-    latency), engine (on which batches hosted by this client execute), and
-    optionally the network its rows must be evaluated with (candidate
-    evaluation serves two models from one queue; rows of different networks
-    never share a matmul) and the worker's profiler (so rider wait time can
-    be charged inside an ``expand_leaf`` annotation instead of showing up as
-    untracked time).
-    """
-
-    def __init__(self, service: "InferenceService", system: System,
-                 engine: BackendEngine, worker: str, *,
-                 network=None, profiler: Optional["Profiler"] = None) -> None:
-        self.service = service
-        self.system = system
-        self.engine = engine
-        self.worker = worker
-        self.network = network if network is not None else service.network
-        self.profiler = profiler
-
-    def submit(self, features: np.ndarray, *, metadata: Optional[dict] = None) -> InferenceTicket:
-        return self.service.submit(self, features, metadata=metadata)
-
-    def evaluate(self, features: np.ndarray, *, metadata: Optional[dict] = None
-                 ) -> Tuple[np.ndarray, np.ndarray]:
-        """Synchronous evaluation: submit, flush the queue, return our rows."""
-        ticket = self.submit(features, metadata=metadata)
-        self.service.flush()
-        return ticket.result()
-
-
-class InferenceService:
-    """Coalesces leaf-evaluation requests from many workers into batched calls.
-
-    The service owns ``num_replicas`` :class:`ModelReplica`\\ s sharing one
-    logical model (``network``; a client may override the network, e.g. the
-    candidate model during evaluation — batches never mix rows of different
-    networks).  Requests queue up via :meth:`submit`; :meth:`flush` serves
-    everything synchronously on the host worker's clock, while
-    :meth:`serve_queued` applies the arrival-order queueing model used by
-    the event-driven pool scheduler.  Each batch is routed to a replica by
-    the service's :class:`RoutingPolicy`; per-replica stats roll up into the
-    service-level :attr:`stats`.
-    """
-
-    def __init__(self, network, *, max_batch: int = 64, name: str = "inference_service",
-                 num_replicas: int = 1, routing: Union[str, RoutingPolicy] = ROUTING_ROUND_ROBIN,
-                 primary_device: Optional[GPUDevice] = None,
-                 cost_config: Optional[CostModelConfig] = None, seed: int = 0) -> None:
-        """``primary_device`` pins replica 0 to an existing device (the GPU
-        the rest of the workload shares); further replicas always get fresh
-        devices of their own.  ``cost_config``/``seed`` parameterize the
-        replica systems' cost models (used for the weight-broadcast cost —
-        batch durations are always sampled from the *host worker's* model,
-        so adding replicas never perturbs single-replica timelines)."""
-        if max_batch <= 0:
-            raise ValueError("max_batch must be positive")
-        if num_replicas <= 0:
-            raise ValueError("num_replicas must be positive")
-        self.network = network
-        self.max_batch = max_batch
-        self.name = name
-        self.routing = make_routing_policy(routing)
-        # Adopting a policy resets it: a reused instance (e.g. a pool re-run
-        # passing the same object) must not carry decisions or cursor state
-        # from a previous service into this one.
-        self.routing.reset()
-        self.stats = InferenceStats(capacity=max_batch)
-        self._pending: List[InferenceTicket] = []
-        self._seq = 0
-        # O(1) queue summaries: the event-driven scheduler reads pending_rows
-        # (the eager-serve memo) and the earliest arrival (the timeout
-        # deadline) once per *event*, so both are maintained incrementally
-        # instead of re-scanned — submissions update them in place, serves
-        # mark the arrival cache dirty for a lazy recompute.
-        self._pending_rows = 0
-        self._earliest_arrival_us: Optional[float] = None
-        self._earliest_arrival_dirty = False
-        #: After a full-batches-only serve: earliest departure among the full
-        #: batches held back as not yet stable (None when none were).  Lets
-        #: the scheduler skip eager re-plans until virtual time reaches it.
-        self.last_undue_full_depart_us: Optional[float] = None
-        self.replicas: List[ModelReplica] = []
-        for index in range(num_replicas):
-            replica_name = f"{name}/replica_{index}"
-            pinned = True
-            if index == 0:
-                # Replica 0 lives on the workload's primary GPU.  Without an
-                # explicit primary device it stays unpinned: batches execute
-                # on each host worker's own device, exactly as the
-                # pre-sharding single-replica service did.
-                system = System.create(seed=seed + 9001, config=cost_config,
-                                       device=primary_device, worker=replica_name)
-                pinned = primary_device is not None
-            else:
-                system = System.create(seed=seed + 9001 + index, config=cost_config,
-                                       worker=replica_name)
-                system.device.name = f"{system.device.name}/{replica_name}"
-            self.replicas.append(ModelReplica(index, replica_name, system,
-                                              capacity=max_batch, pinned=pinned))
-
-    @property
-    def num_replicas(self) -> int:
-        return len(self.replicas)
-
-    # ---------------------------------------------------------------- clients
-    def connect(self, system: System, engine: BackendEngine,
-                *, worker: Optional[str] = None, network=None,
-                profiler: Optional["Profiler"] = None) -> InferenceClient:
-        """Register a worker; returns its client handle."""
-        return InferenceClient(self, system, engine, worker or system.worker,
-                               network=network, profiler=profiler)
-
-    def _forward(self, network, features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        logits, value = network(Tensor(features))
-        priors = F.softmax(logits)
-        return priors.numpy(), value.numpy().reshape(-1)
-
-    # ---------------------------------------------------------------- weights
-    def update_weights(self, weights, *, charge: bool = True) -> float:
-        """Load new weights into the model and broadcast them to every replica.
-
-        Models the weight push after a training round: each replica receives
-        the full parameter set over its host link, charged at its cost
-        model's memcpy rate, starting as soon as its horizon is free.  The
-        broadcast advances every replica's ``free_us`` (a replica cannot
-        serve batches mid-copy) and returns the virtual broadcast span —
-        first copy start to last copy end.  ``charge=False`` performs the
-        load only (initial model placement before the clocks start).
-        """
-        self.network.load_state_dict(weights)
-        if not charge:
-            return 0.0
-        arrays = weights.values() if hasattr(weights, "values") else weights
-        num_bytes = float(sum(FLOAT_BYTES * np.asarray(w).size for w in arrays))
-        begin_us = min(replica.free_us for replica in self.replicas)
-        end_us = begin_us
-        for replica in self.replicas:
-            copy_us = replica.system.cost_model.memcpy_duration(num_bytes)
-            replica.free_us += copy_us
-            replica.stats.weight_broadcasts += 1
-            replica.stats.weight_broadcast_us += copy_us
-            end_us = max(end_us, replica.free_us)
-        span_us = end_us - begin_us
-        self.stats.weight_broadcasts += 1
-        self.stats.weight_broadcast_us += span_us
-        return span_us
-
-    # ----------------------------------------------------------------- queue
-    def submit(self, client: InferenceClient, features: np.ndarray,
-               *, metadata: Optional[dict] = None) -> InferenceTicket:
-        """Queue a block of feature rows for batched evaluation.
-
-        ``metadata`` is held **by reference**, intentionally: the service
-        writes batch attribution (``batch_rows``, ``queue_delay_us``,
-        ``completion_us``, ...) into the *caller's* dict so an open profiler
-        annotation created before the submit observes the attribution of the
-        batch that eventually serves it.  The flip side of that contract is
-        that a dict must never be shared between submissions — two tickets
-        writing into one dict alias each other's attribution.  Callers that
-        re-issue work (e.g. the serving tier's retry path) must pass a fresh
-        dict per submission; :mod:`repro.serving.protocol` enforces this
-        structurally by rebuilding the metadata dict at every wire decode.
-        """
-        features = np.asarray(features)
-        if features.ndim != 2 or features.shape[0] == 0:
-            raise ValueError(f"expected a non-empty [rows, features] array, got shape {features.shape}")
-        ticket = InferenceTicket(client, features, metadata,
-                                 arrival_us=client.system.clock.now_us, seq=self._seq)
-        self._seq += 1
-        self._pending.append(ticket)
-        self._pending_rows += ticket.num_rows
-        if not self._earliest_arrival_dirty:
-            if self._earliest_arrival_us is None or ticket.arrival_us < self._earliest_arrival_us:
-                self._earliest_arrival_us = ticket.arrival_us
-        self.stats.requests += 1
-        return ticket
-
-    @property
-    def pending_rows(self) -> int:
-        return self._pending_rows
-
-    @property
-    def pending_tickets(self) -> int:
-        return len(self._pending)
-
-    def earliest_pending_arrival_us(self) -> Optional[float]:
-        """Arrival time of the oldest queued request (None when idle).
-
-        O(1) amortized: submissions fold their arrival into a running
-        minimum; only a serve (which removes arbitrary tickets) forces the
-        next call to rescan the much-shrunken queue.
-        """
-        if not self._pending:
-            return None
-        if self._earliest_arrival_dirty:
-            self._earliest_arrival_us = min(ticket.arrival_us for ticket in self._pending)
-            self._earliest_arrival_dirty = False
-        return self._earliest_arrival_us
-
-    def _requeue(self, tickets: Iterable[InferenceTicket]) -> None:
-        """Put held-back tickets back on the queue, keeping summaries right."""
-        for ticket in tickets:
-            self._pending.append(ticket)
-            self._pending_rows += ticket.num_rows
-        self._earliest_arrival_dirty = True
-
-    def drop_pending(self, predicate) -> List[InferenceTicket]:
-        """Shed hook: remove queued tickets matching ``predicate`` (load shedding).
-
-        The serving tier's overload policies (shed-oldest, deadline-drop)
-        evict requests from the ingress queue; this removes the matching
-        tickets while keeping the O(1) queue summaries consistent.  Only
-        *pending* tickets are touchable: a batch that has departed was
-        removed from the queue when it was planned, so shedding can never
-        claw back rows that are already being served — the "deadline-drop
-        racing a departing batch" case resolves in the batch's favour by
-        construction.  Returns the dropped tickets (submission order) so the
-        caller can route shed replies; their stats were counted at submit
-        time and are otherwise untouched.
-        """
-        kept: List[InferenceTicket] = []
-        dropped: List[InferenceTicket] = []
-        for ticket in self._pending:
-            (dropped if predicate(ticket) else kept).append(ticket)
-        if dropped:
-            self._pending = kept
-            self._pending_rows = sum(t.num_rows for t in kept)
-            self._earliest_arrival_us = None
-            self._earliest_arrival_dirty = bool(kept)
-        return dropped
-
-    def _take_pending(self, arrival_cutoff_us: Optional[float] = None
-                      ) -> List[List[InferenceTicket]]:
-        """Drain the queue into per-network ticket groups (submission order).
-
-        With ``arrival_cutoff_us`` only tickets that arrived at or before the
-        cutoff are taken; later ones stay queued (they can still gather more
-        riders before their own deadline)."""
-        if arrival_cutoff_us is None:
-            tickets, self._pending = self._pending, []
-            self._pending_rows = 0
-        else:
-            tickets = [t for t in self._pending if t.arrival_us <= arrival_cutoff_us]
-            self._pending = [t for t in self._pending if t.arrival_us > arrival_cutoff_us]
-            self._pending_rows = sum(t.num_rows for t in self._pending)
-        self._earliest_arrival_us = None
-        self._earliest_arrival_dirty = bool(self._pending)
-        groups: Dict[int, List[InferenceTicket]] = {}
-        for ticket in tickets:
-            groups.setdefault(id(ticket.client.network), []).append(ticket)
-        return list(groups.values())
-
-    # ------------------------------------------------------ synchronous flush
-    def flush(self) -> int:
-        """Evaluate everything pending on the host's clock, immediately.
-
-        This is the synchronous serving path: chunks execute *now* on the
-        engine of each chunk's first requester, and non-host riders are
-        charged the batch time.  The event-driven scheduler uses
-        :meth:`serve_queued` instead, which models arrival-order queueing
-        delay.  Returns the number of engine calls issued.
-        """
-        calls = 0
-        for tickets in self._take_pending():
-            # Flatten tickets into (ticket, row-within-ticket) spans and cut
-            # the row stream into chunks of at most max_batch rows.
-            spans: List[Tuple[InferenceTicket, int, int]] = []  # (ticket, lo, hi)
-            for ticket in tickets:
-                spans.append((ticket, 0, ticket.num_rows))
-            while spans:
-                chunk: List[Tuple[InferenceTicket, int, int]] = []
-                rows = 0
-                while spans and rows < self.max_batch:
-                    ticket, lo, hi = spans[0]
-                    take = min(hi - lo, self.max_batch - rows)
-                    chunk.append((ticket, lo, lo + take))
-                    rows += take
-                    if lo + take == hi:
-                        spans.pop(0)
-                    else:
-                        spans[0] = (ticket, lo + take, hi)
-                self._evaluate_chunk(chunk, rows)
-                calls += 1
-        return calls
-
-    def _evaluate_chunk(self, chunk: List[Tuple[InferenceTicket, int, int]], rows: int) -> None:
-        """Run one batched engine call now and scatter rows back to its tickets."""
-        host = chunk[0][0].client
-        replica = self.routing.choose(self.replicas, host_worker=host.worker,
-                                      depart_us=host.system.clock.now_us)
-        priors, values, batch_time_us = self._execute(host, chunk, replica)
-        replica.free_us = max(replica.free_us, host.system.clock.now_us)
-        replica.busy_us += batch_time_us
-
-        clients = {id(t.client): t.client for t, _, _ in chunk}
-        # Everyone who rode the batch waits for it; the host's clock already
-        # advanced while the engine executed.  Non-host riders advance here,
-        # inside an expand_leaf annotation of their own when they carry a
-        # profiler (without one the wait would show as untracked time).
-        for client in clients.values():
-            if client is not host:
-                self._charge_rider(client, batch_time_us, rows, len(clients))
-        self._scatter(chunk, rows, priors, values, batch_time_us, len(clients), replica)
-
-    def _charge_rider(self, client: InferenceClient, batch_time_us: float,
-                      rows: int, num_clients: int) -> None:
-        """Advance a non-host rider's clock by the batch time it waited for."""
-        profiler = client.profiler
-        if profiler is None or not profiler.config.annotations:
-            client.system.clock.advance(batch_time_us)
-            return
-        if profiler.current_operation is not None:
-            # Already suspended inside its own annotation (the event-driven
-            # driver holds expand_leaf open across the wait); the open
-            # operation covers the advance.
-            client.system.clock.advance(batch_time_us)
-            return
-        with profiler.operation(EVALUATE_FUNCTION_NAME, metadata={
-                "batch_rider": True, "inference_service": self.name,
-                "batch_rows": rows, "batch_clients": num_clients,
-                "batch_time_us": batch_time_us}):
-            client.system.clock.advance(batch_time_us)
-
-    # ------------------------------------------------------- queued serving
-    def serve_queued(self, *, policy: str = FLUSH_MAX_BATCH,
-                     timeout_us: Optional[float] = None,
-                     arrival_cutoff_us: Optional[float] = None,
-                     full_batches_only: bool = False,
-                     stable_before_us: Optional[float] = None) -> int:
-        """Serve everything pending under the arrival-order queueing model.
-
-        Requests are packed into batches in arrival order.  A batch *departs*
-        (becomes eligible to run) when it is full — ``max_batch`` rows — or,
-        under the ``timeout`` policy, at ``first arrival + timeout_us`` even
-        if partial.  It then *starts* at ``max(departure, replica free
-        time)`` on the replica the routing policy picks: a single replica
-        serializes batches, while several replicas fan batches out across
-        their horizons.  Every participant's clock is advanced to the
-        batch's completion time, charging it its own queueing delay plus the
-        batch time — a rider that arrived early pays more waiting than one
-        that arrived just before departure.
-
-        ``full_batches_only=True`` serves only the batches that packed to
-        ``max_batch`` rows (the replica-aware scheduler's eager path: a full
-        batch can never gather more riders, so a free replica may start it
-        while other workers still run); partial batches are re-queued unless
-        a split ticket straddles a served batch (partial re-queueing would
-        double-serve its rows).  ``stable_before_us`` bounds the eager path
-        to batches whose departure is already in the virtual past for every
-        still-running worker: a batch departing later than a runnable
-        worker's clock could still be reordered behind that worker's next
-        submission in global arrival order, so it is held back.  A held
-        deadline-closed partial may later start behind a full batch that
-        departed after it — the behaviour of a real batching server, which
-        dispatches full batches immediately while partials wait out their
-        deadlines.
-
-        ``unbatched`` serves each ticket on its own, on its own clock, with
-        no queueing — the determinism baseline: per-worker timelines are
-        bit-for-bit those of the synchronous sequential pool.  Returns the
-        number of engine calls issued.
-        """
-        if policy not in FLUSH_POLICIES:
-            raise ValueError(f"unknown flush policy {policy!r}; expected one of {FLUSH_POLICIES}")
-        if policy == FLUSH_TIMEOUT:
-            if timeout_us is None or timeout_us < 0:
-                raise ValueError("the timeout policy requires a non-negative timeout_us")
-        else:
-            timeout_us = None
-        calls = 0
-        if full_batches_only:
-            self.last_undue_full_depart_us = None
-        for tickets in self._take_pending(arrival_cutoff_us):
-            tickets.sort(key=lambda t: (t.arrival_us, t.seq))
-            if policy == FLUSH_UNBATCHED:
-                for ticket in tickets:
-                    lo = 0
-                    while lo < ticket.num_rows:
-                        hi = min(lo + self.max_batch, ticket.num_rows)
-                        self._evaluate_chunk([(ticket, lo, hi)], hi - lo)
-                        calls += 1
-                        lo = hi
-                continue
-            batches = self._plan_batches(tickets, timeout_us)
-            if arrival_cutoff_us is not None and batches:
-                # Cutoff-triggered serve (a deadline passed): a trailing
-                # partial batch whose own deadline lies beyond the cutoff is
-                # not due yet — hold its tickets back so they can still
-                # gather riders, unless a split ticket straddles the served
-                # batches (partial re-queueing would double-serve its rows).
-                chunk, rows, depart_us = batches[-1]
-                if rows < self.max_batch and depart_us > arrival_cutoff_us:
-                    served = {id(t) for c, _, _ in batches[:-1] for t, _, _ in c}
-                    if not any(id(t) in served for t, _, _ in chunk):
-                        self._requeue(t for t, _, _ in chunk)
-                        batches.pop()
-            if full_batches_only and batches:
-                batches = self._hold_partial_batches(batches, stable_before_us)
-            for chunk, rows, depart_us in batches:
-                self._serve_chunk_queued(chunk, rows, depart_us)
-                calls += 1
-        return calls
-
-    def _hold_partial_batches(self, batches, stable_before_us: Optional[float]):
-        """Keep only due full batches; re-queue the tickets of the rest.
-
-        A full batch is due when its departure is not later than
-        ``stable_before_us`` (no still-running worker could submit rows that
-        sort before it in arrival order).  A held batch is still served when
-        one of its tickets straddles a served batch (ticket rows split at a
-        full-batch boundary must not be double-served by a later re-plan)."""
-        served_ids: set = set()
-        keep = []
-        held_tickets: List[InferenceTicket] = []
-        held_ids: set = set()
-        for chunk, rows, depart_us in batches:
-            straddles = any(id(t) in served_ids for t, _, _ in chunk)
-            due = stable_before_us is None or depart_us <= stable_before_us
-            if rows >= self.max_batch and not due:
-                if (self.last_undue_full_depart_us is None
-                        or depart_us < self.last_undue_full_depart_us):
-                    self.last_undue_full_depart_us = depart_us
-            if (rows >= self.max_batch and due) or straddles:
-                keep.append((chunk, rows, depart_us))
-                served_ids.update(id(t) for t, _, _ in chunk)
-            else:
-                for ticket, _, _ in chunk:
-                    if id(ticket) not in held_ids:
-                        held_ids.add(id(ticket))
-                        held_tickets.append(ticket)
-        self._requeue(held_tickets)
-        return keep
-
-    def _plan_batches(self, tickets: List[InferenceTicket], timeout_us: Optional[float]
-                      ) -> List[Tuple[List[Tuple[InferenceTicket, int, int]], int, float]]:
-        """Greedy arrival-order packing into ``(chunk, rows, depart_us)`` batches.
-
-        A full batch departs when its last rider arrives; a partial batch
-        departs at ``first arrival + timeout_us`` when a timeout is set (the
-        server waits out the deadline hoping to fill), else when its last
-        rider arrives (the serve trigger means no more arrivals are coming).
-        """
-        batches: List[Tuple[List[Tuple[InferenceTicket, int, int]], int, float]] = []
-        chunk: List[Tuple[InferenceTicket, int, int]] = []
-        rows = 0
-        first_arrival = 0.0
-        last_arrival = 0.0
-
-        def close(depart_us: float) -> None:
-            nonlocal chunk, rows
-            batches.append((chunk, rows, depart_us))
-            chunk, rows = [], 0
-
-        for ticket in tickets:
-            if chunk and timeout_us is not None and ticket.arrival_us > first_arrival + timeout_us:
-                close(first_arrival + timeout_us)
-            lo = 0
-            while lo < ticket.num_rows:
-                if not chunk:
-                    first_arrival = ticket.arrival_us
-                take = min(ticket.num_rows - lo, self.max_batch - rows)
-                chunk.append((ticket, lo, lo + take))
-                rows += take
-                lo += take
-                last_arrival = ticket.arrival_us
-                if rows == self.max_batch:
-                    # A full batch departs when its last rider arrives (the
-                    # admission check above guarantees that is within the
-                    # first rider's deadline).
-                    close(last_arrival)
-        if chunk:
-            close(first_arrival + timeout_us if timeout_us is not None else last_arrival)
-        return batches
-
-    def _serve_chunk_queued(self, chunk: List[Tuple[InferenceTicket, int, int]],
-                            rows: int, depart_us: float) -> None:
-        """Run one planned batch under the queueing model and scatter results."""
-        host = chunk[0][0].client
-        replica = self.routing.choose(self.replicas, host_worker=host.worker,
-                                      depart_us=depart_us)
-        start_us = max(depart_us, replica.free_us)
-        # The host worker (first requester) waits for the batch to start...
-        host.system.clock.advance_to(start_us)
-        start_us = host.system.clock.now_us  # host may already be past depart
-        priors, values, batch_time_us = self._execute(host, chunk, replica)
-        end_us = host.system.clock.now_us
-        replica.free_us = end_us
-        replica.busy_us += batch_time_us
-        # ...and every rider waits for it to finish: wait + batch time, each
-        # from its own arrival, inside its own (open) expand_leaf annotation.
-        clients = {id(t.client): t.client for t, _, _ in chunk}
-        for client in clients.values():
-            if client is not host:
-                client.system.clock.advance_to(end_us)
-        seen = set()
-        for ticket, _, _ in chunk:
-            if id(ticket) in seen:
-                continue
-            seen.add(id(ticket))
-            delay = max(start_us - ticket.arrival_us, 0.0)
-            for stats in (self.stats, replica.stats):
-                stats.queued_waits += 1
-                stats.queue_delay_us += delay
-                stats.max_queue_delay_us = max(stats.max_queue_delay_us, delay)
-                stats.queue_delay_samples.append(delay)
-            if ticket.metadata is not None:
-                ticket.metadata["queue_delay_us"] = ticket.metadata.get("queue_delay_us", 0.0) + delay
-                # Batch completion in virtual time; a split ticket keeps the
-                # end of its last-served chunk (the serving tier's reply
-                # timestamp and deadline check read this).
-                ticket.metadata["completion_us"] = max(
-                    ticket.metadata.get("completion_us", 0.0), end_us)
-        self._scatter(chunk, rows, priors, values, batch_time_us, len(clients), replica)
-
-    # -------------------------------------------------------- shared helpers
-    def _execute(self, host: InferenceClient, chunk: List[Tuple[InferenceTicket, int, int]],
-                 replica: ModelReplica) -> Tuple[np.ndarray, np.ndarray, float]:
-        """One batched engine call on the host's engine/clock, on the replica's device.
-
-        The CPU side (dispatch, launches, syncs) runs on the host worker's
-        engine and cost model — its process issues the call — while the
-        kernels and memcpys land on the serving replica's device: the host's
-        CUDA runtime is pointed at that device for the duration of the call.
-        With replica 0 on the workload's primary device this is a no-op, and
-        an *unpinned* replica 0 (no primary device given) skips the redirect
-        entirely — kernels stay on the host's own device, as before
-        sharding — so single-replica timelines are unchanged either way.
-        """
-        features = np.concatenate([t.features[lo:hi] for t, lo, hi in chunk], axis=0)
-        compiled = replica.compiled_for(host.engine, host.network, self._forward)
-        cuda = host.system.cuda
-        saved_device = cuda.device
-        if replica.pinned:
-            cuda.device = replica.device
-        start_us = host.system.clock.now_us
-        try:
-            with use_engine(host.engine):
-                priors, values = compiled(features)
-        finally:
-            cuda.device = saved_device
-        return priors, values, host.system.clock.now_us - start_us
-
-    def _scatter(self, chunk: List[Tuple[InferenceTicket, int, int]], rows: int,
-                 priors: np.ndarray, values: np.ndarray, batch_time_us: float,
-                 num_clients: int, replica: ModelReplica) -> None:
-        """Record stats for one served batch and hand rows back to its tickets."""
-        # The service aggregate and the serving replica's stats advance in
-        # lock-step (aggregate first, so its reservoir RNG stream matches
-        # the pre-sharding single-stats service draw for draw).
-        for stats in (self.stats, replica.stats):
-            stats.engine_calls += 1
-            stats.rows += rows
-            stats.max_batch_rows = max(stats.max_batch_rows, rows)
-            stats.batch_sizes.append(rows)
-            if num_clients > 1:
-                stats.cross_worker_batches += 1
-
-        offset = 0
-        for ticket, lo, hi in chunk:
-            take = hi - lo
-            worker = ticket.client.worker
-            for stats in (self.stats, replica.stats):
-                stats.rows_by_worker[worker] = stats.rows_by_worker.get(worker, 0) + take
-            if ticket.priors is None:
-                # First chunk serving this ticket (split tickets count once,
-                # attributed to the replica that served their head rows).
-                replica.stats.requests += 1
-            prior_rows = priors[offset:offset + take]
-            value_rows = values[offset:offset + take]
-            if ticket.priors is None:
-                ticket.priors, ticket.values = prior_rows, value_rows
-            else:  # ticket split across chunks
-                ticket.priors = np.concatenate([ticket.priors, prior_rows], axis=0)
-                ticket.values = np.concatenate([ticket.values, value_rows], axis=0)
-            if ticket.metadata is not None:
-                meta = ticket.metadata
-                meta["inference_service"] = self.name
-                meta["batch_rows"] = meta.get("batch_rows", 0) + rows
-                meta["batch_clients"] = max(meta.get("batch_clients", 0), num_clients)
-                meta["batch_time_us"] = meta.get("batch_time_us", 0.0) + batch_time_us
-                meta["engine_calls"] = meta.get("engine_calls", 0) + 1
-                meta["replica"] = replica.index
-            offset += take
-
-    # ------------------------------------------------------------- reporting
-    def rolled_up_stats(self) -> InferenceStats:
-        """Service-level summary merged from every replica's own stats.
-
-        After a fully-served run this matches the live :attr:`stats`
-        aggregate on every additive serving counter.  Two families
-        intentionally differ: ``requests`` (the aggregate counts
-        submissions, the roll-up counts served tickets, so they diverge
-        while tickets are pending) and the weight-broadcast counters (the
-        aggregate records one broadcast *span* per :meth:`update_weights`
-        call, the roll-up sums every replica's own copy time).
-        """
-        merged = InferenceStats(capacity=self.max_batch)
-        for replica in self.replicas:
-            merged.merge_from(replica.stats)
-        return merged
-
-    def replica_utilisation(self, span_us: float) -> List[float]:
-        """Per-replica busy fraction of ``span_us`` (index-aligned)."""
-        return [replica.utilisation(span_us) for replica in self.replicas]
-
-    def routing_decisions(self) -> List[int]:
-        """Per-replica routed-batch counts (index-aligned)."""
-        return [self.routing.decisions.get(replica.index, 0) for replica in self.replicas]
+from ..rollout.inference import (
+    EVALUATE_FUNCTION_NAME,
+    FLUSH_MAX_BATCH,
+    FLUSH_POLICIES,
+    FLUSH_TIMEOUT,
+    FLUSH_UNBATCHED,
+    ROUTING_LEAST_LOADED,
+    ROUTING_POLICIES,
+    ROUTING_ROUND_ROBIN,
+    ROUTING_STICKY,
+    BatchSizeStats,
+    InferenceClient,
+    InferenceService,
+    InferenceStats,
+    InferenceTicket,
+    LeastLoadedRouting,
+    ModelReplica,
+    ReservoirSample,
+    RoundRobinRouting,
+    RoutingPolicy,
+    StickyRouting,
+    make_routing_policy,
+)
+
+__all__ = [
+    "EVALUATE_FUNCTION_NAME",
+    "FLUSH_MAX_BATCH",
+    "FLUSH_POLICIES",
+    "FLUSH_TIMEOUT",
+    "FLUSH_UNBATCHED",
+    "ROUTING_LEAST_LOADED",
+    "ROUTING_POLICIES",
+    "ROUTING_ROUND_ROBIN",
+    "ROUTING_STICKY",
+    "BatchSizeStats",
+    "InferenceClient",
+    "InferenceService",
+    "InferenceStats",
+    "InferenceTicket",
+    "LeastLoadedRouting",
+    "ModelReplica",
+    "ReservoirSample",
+    "RoundRobinRouting",
+    "RoutingPolicy",
+    "StickyRouting",
+    "make_routing_policy",
+]

@@ -29,6 +29,7 @@ from ..backend.engine import BackendEngine
 from ..backend.layers import MLP, Module
 from ..backend.tensor import Parameter, Tensor
 from ..profiler.api import Profiler
+from ..rollout.driver import StepwiseDriver
 from ..sim.go import GoPosition
 from ..system import System
 from .inference import InferenceClient, InferenceService, InferenceTicket
@@ -184,7 +185,7 @@ class SelfPlayWorker:
         return driver.result
 
 
-class GameDriver:
+class GameDriver(StepwiseDriver):
     """Stepwise self-play: one worker's games as a resumable state machine.
 
     One :meth:`step` performs one schedulable unit of work: starting a move
@@ -243,6 +244,10 @@ class GameDriver:
     def now_us(self) -> float:
         """The worker's virtual clock (the scheduler's priority key)."""
         return self.worker.system.clock.now_us
+
+    @property
+    def worker_name(self) -> str:
+        return self.worker.system.worker
 
     def step(self) -> bool:
         """Advance by one unit of work; returns False once all games finished."""

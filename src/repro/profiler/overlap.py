@@ -18,6 +18,8 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from .events import (
     CATEGORY_GPU,
     CATEGORY_OPERATION,
@@ -202,6 +204,14 @@ def compute_overlap(
     return OverlapResult.merge(per_worker)
 
 
+#: Dispatch flag for :func:`_accumulate_worker`.  The vectorized sweep is the
+#: default; the original per-boundary Python loop is preserved as
+#: :func:`_accumulate_worker_loop` and is both the byte-identity oracle the
+#: property tests compare against and the pre-optimization baseline
+#: ``benchmarks/test_bench_wallclock.py`` times.
+USE_VECTORIZED_ACCUMULATE = True
+
+
 def _accumulate_worker(events: List[Event], operations: List[Event],
                        regions: Dict[OverlapKey, float]) -> None:
     """Accumulate overlap regions for one worker's (pre-filtered) slice.
@@ -210,6 +220,115 @@ def _accumulate_worker(events: List[Event], operations: List[Event],
     intervals, in trace order — :func:`compute_overlap` groups them in a
     single pass over the full trace.
     """
+    if USE_VECTORIZED_ACCUMULATE:
+        _accumulate_worker_vectorized(events, operations, regions)
+    else:
+        _accumulate_worker_loop(events, operations, regions)
+
+
+def _accumulate_worker_vectorized(events: List[Event], operations: List[Event],
+                                  regions: Dict[OverlapKey, float]) -> None:
+    """Numpy sweep line, byte-identical to :func:`_accumulate_worker_loop`.
+
+    Identity argument, piece by piece:
+
+    * **Boundaries** — ``np.unique`` over all interval endpoints produces the
+      same sorted points as the loop's ``sorted(set(...))``, and
+      ``np.diff`` performs the same IEEE-754 subtractions for segment
+      durations.
+    * **Category sets** — per-category +1/-1 deltas at each point, prefix-
+      summed down the point axis (integer arithmetic, exact); a category is
+      active in segment ``i`` iff its count after applying the deltas at
+      ``points[i]`` is positive, exactly the loop's state when it charges
+      the segment ``[points[i], points[i+1])``.
+    * **Innermost operation** — operations are painted onto the segment
+      array sorted by ``(start_us asc, trace index desc)``, each writing its
+      name over ``[start, end)``; the last painter of a segment therefore
+      has the latest start (ties: earliest trace index), which is exactly
+      the loop's ``max(active_ops, key=start_us)`` pick (``max`` keeps the
+      first of equal keys, and ``active_ops`` holds ops in trace order).
+    * **Accumulation order** — per ``(operation, categories)`` key, segment
+      durations are reduced with ``np.add.accumulate`` (sequential, not
+      pairwise) in left-to-right segment order, seeded with the key's
+      current value — the same chain of float additions the loop's
+      ``regions[key] += segment`` performs.  Keys are inserted into
+      ``regions`` in first-occurrence order so downstream whole-dict
+      reductions iterate identically.
+    """
+    if not events and not operations:
+        return
+    ev_start = np.array([event.start_us for event in events], dtype=np.float64)
+    ev_end = np.array([event.end_us for event in events], dtype=np.float64)
+    op_start = np.array([op.start_us for op in operations], dtype=np.float64)
+    op_end = np.array([op.end_us for op in operations], dtype=np.float64)
+    points = np.unique(np.concatenate((ev_start, ev_end, op_start, op_end)))
+    if points.size < 2:
+        return
+    durations = np.diff(points)
+    n_segments = points.size - 1
+
+    # Per-segment active-category bitmasks (CATEGORY_OPERATION never counts,
+    # but its events still contribute boundaries above, like in the loop).
+    cat_index: Dict[str, int] = {}
+    for event in events:
+        if event.category != CATEGORY_OPERATION and event.category not in cat_index:
+            cat_index[event.category] = len(cat_index)
+    if not cat_index:
+        return  # no measurable categories: the loop never charges anything
+    cat_names = list(cat_index)
+    n_cats = len(cat_names)
+    cat_of_event = np.array([cat_index.get(event.category, -1) for event in events],
+                            dtype=np.int64)
+    counted = cat_of_event >= 0
+    # Scatter +1/-1 at each counted event's start/end boundary.  bincount on
+    # flattened (boundary, category) indices is an exact integer scatter-add
+    # (same deltas as np.add.at, substantially faster).
+    cats = cat_of_event[counted]
+    flat_start = np.searchsorted(points, ev_start[counted]) * n_cats + cats
+    flat_end = np.searchsorted(points, ev_end[counted]) * n_cats + cats
+    flat_size = points.size * n_cats
+    deltas = (np.bincount(flat_start, minlength=flat_size)
+              - np.bincount(flat_end, minlength=flat_size)
+              ).reshape(points.size, n_cats)
+    active = np.cumsum(deltas, axis=0)[:-1] > 0  # (n_segments, n_cats)
+    masks = active @ (1 << np.arange(n_cats, dtype=np.int64))
+
+    # Innermost-operation paint: name id per segment, -1 = untracked.
+    paint = np.full(n_segments, -1, dtype=np.int64)
+    if operations:
+        name_ids: Dict[str, int] = {}
+        op_name_id = [name_ids.setdefault(op.name, len(name_ids)) for op in operations]
+        op_names = list(name_ids)
+        start_idx = np.searchsorted(points, op_start)
+        end_idx = np.searchsorted(points, op_end)
+        for i in sorted(range(len(operations)),
+                        key=lambda i: (operations[i].start_us, -i)):
+            paint[start_idx[i]:end_idx[i]] = op_name_id[i]
+
+    valid = np.flatnonzero(masks)
+    if valid.size == 0:
+        return
+    durations = durations[valid]
+    codes = (paint[valid] + 1) << n_cats | masks[valid]
+
+    # Group segments by code, preserving left-to-right order within each
+    # group (stable sort) and first-occurrence order across groups.
+    uniq, first, inverse = np.unique(codes, return_index=True, return_inverse=True)
+    by_group = np.argsort(inverse, kind="stable")
+    splits = np.split(by_group, np.flatnonzero(np.diff(inverse[by_group])) + 1)
+    for group in np.argsort(first, kind="stable"):
+        code = int(uniq[group])
+        mask, name_id = code & ((1 << n_cats) - 1), (code >> n_cats) - 1
+        key = (UNTRACKED if name_id < 0 else op_names[name_id],
+               frozenset(cat_names[b] for b in range(n_cats) if mask >> b & 1))
+        seed = regions.get(key, 0.0)
+        chain = np.concatenate(([seed], durations[splits[group]]))
+        regions[key] = float(np.add.accumulate(chain)[-1])
+
+
+def _accumulate_worker_loop(events: List[Event], operations: List[Event],
+                            regions: Dict[OverlapKey, float]) -> None:
+    """The original per-boundary Python sweep (preserved byte-identity oracle)."""
     if not events and not operations:
         return
 

@@ -43,6 +43,15 @@ from .noise import GaussianNoise, OrnsteinUhlenbeckNoise
 from .ppo import PPO2
 from .sac import SAC
 from .td3 import TD3
+from .zoo import (
+    ZOO_ALGORITHMS,
+    ZooAlgorithm,
+    ZooCollectStats,
+    algorithm_supports,
+    collect_replay,
+    collect_rollout,
+    make_zoo_pool,
+)
 
 #: Algorithm registry used by the experiment harness and the CLI.
 ALGORITHMS: Dict[str, Type[BaseAlgorithm]] = {
@@ -110,8 +119,15 @@ __all__ = [
     "TrainResult",
     "TwinQCritic",
     "ValueCritic",
+    "ZOO_ALGORITHMS",
+    "ZooAlgorithm",
+    "ZooCollectStats",
+    "algorithm_supports",
+    "collect_replay",
+    "collect_rollout",
     "default_config",
     "default_framework",
     "make_algorithm",
     "make_engine",
+    "make_zoo_pool",
 ]

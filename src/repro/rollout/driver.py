@@ -1,0 +1,72 @@
+"""The stepwise-driver protocol: the unit of work the pool scheduler interleaves.
+
+A *stepwise driver* is a resumable workload running on its own virtual
+timeline: it advances in discrete steps (one MCTS wave, one env transition,
+one move commit) and *suspends* whenever it submits work to the shared
+batched :class:`~repro.rollout.inference.InferenceService` — leaving its
+ticket pending, its profiler annotations open across the wait, and its
+virtual clock frozen until the service's batch completes and advances it.
+The :class:`~repro.rollout.scheduler.PoolScheduler` interleaves many such
+drivers in virtual-time order, which is what lets one engine call batch
+requests from many workers at the same virtual instant.
+
+The contract (every property must be cheap — the scheduler reads them once
+or twice per event):
+
+* ``finished`` — the driver has no more work; ``step()`` must not be called.
+* ``blocked`` — the driver submitted an inference request and its ticket is
+  still pending; it cannot advance until the service serves it.
+* ``runnable`` — neither finished nor blocked: ``step()`` may be called.
+* ``now_us`` — the driver's virtual clock.  It must only move while the
+  driver runs or while the service charges it for a served batch; the
+  scheduler's min-clock pick and the heap's invalidate-on-advance both rely
+  on blocked drivers' clocks standing still.
+* ``worker_name`` — stable identifier used for per-worker scheduling stats.
+* ``step()`` — advance one unit of work; returns ``True`` while unfinished.
+  A step that submits to the service leaves the driver ``blocked``; any
+  profiler annotation opened before the submit stays open so the batch
+  wait is attributed to the operation that caused it.
+
+:class:`~repro.minigo.selfplay.GameDriver` (MCTS self-play) and
+:class:`~repro.rollout.envdriver.EnvRolloutDriver` (any registered
+simulator behind a policy network) are the two production drivers; the
+test suite ships a minimal synthetic driver exercising the protocol with
+no Go dependency.
+"""
+
+from __future__ import annotations
+
+
+class StepwiseDriver:
+    """Base class / protocol for schedulable stepwise workloads.
+
+    Subclasses implement ``finished``, ``blocked``, ``now_us``,
+    ``worker_name`` and ``step()``; ``runnable`` is derived.  The scheduler
+    only depends on these five members, so any object providing them duck-
+    types as a driver — subclassing is documentation plus the shared
+    ``runnable`` definition, not a hard requirement.
+    """
+
+    @property
+    def finished(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def blocked(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def runnable(self) -> bool:
+        return not self.finished and not self.blocked
+
+    @property
+    def now_us(self) -> float:
+        raise NotImplementedError
+
+    @property
+    def worker_name(self) -> str:
+        raise NotImplementedError
+
+    def step(self) -> bool:
+        """Advance one unit of work; returns ``True`` while unfinished."""
+        raise NotImplementedError

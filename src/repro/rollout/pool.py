@@ -1,0 +1,298 @@
+"""Worker pool running any registered simulator through the batched stack.
+
+:class:`EnvRolloutPool` is the env-agnostic sibling of
+:class:`~repro.minigo.workers.SelfPlayPool`: ``num_workers`` independent
+"processes" (each with its own virtual clock, cost model, CUDA runtime and
+stream on one shared :class:`~repro.hw.gpu.GPUDevice`) each run one
+``repro.sim.registry`` environment behind a shared policy network, with
+every per-step policy evaluation routed through one batched/sharded
+:class:`~repro.rollout.inference.InferenceService` and the workers
+interleaved by the :class:`~repro.rollout.scheduler.PoolScheduler`.  One
+engine call serves the pending steps of many workers — the cross-worker
+batching the Minigo pool demonstrated, now available to every sim and
+algorithm in the zoo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..tracedb.store import TraceDB
+    from ..tracedb.writer import StreamingTraceWriter
+
+from ..backend.graph import GraphEngine
+from ..backend.layers import MLP, Module
+from ..backend.tensor import Parameter, Tensor
+from ..hw.costmodel import CostModelConfig
+from ..hw.gpu import GPUDevice
+from ..profiler.api import Profiler, ProfilerConfig
+from ..profiler.events import EventTrace
+from ..sim import registry
+from ..system import System
+from .envdriver import (
+    ActionPolicy,
+    EnvRolloutDriver,
+    EnvRolloutResult,
+    GaussianNoisePolicy,
+    SampledDiscretePolicy,
+)
+from .inference import (
+    FLUSH_MAX_BATCH,
+    FLUSH_POLICIES,
+    FLUSH_TIMEOUT,
+    ROUTING_ROUND_ROBIN,
+    InferenceService,
+)
+from .scheduler import PoolScheduler
+
+#: Compiled-function name for zoo policy evaluations (mirrors the per-step
+#: inference functions the serial ``repro.rl`` collection loops compile).
+POLICY_FUNCTION_NAME = "policy_forward"
+
+
+class RolloutPolicyNet(Module):
+    """Default zoo actor-critic: shared trunk, action head, value head.
+
+    The action head emits logits for discrete envs (the service's default
+    softmax forward turns them into sampling probabilities) and tanh-bounded
+    action means for continuous envs (served raw through
+    :func:`continuous_actor_forward`; the env clips to its action space).
+    """
+
+    def __init__(self, obs_dim: int, out_dim: int, hidden: Tuple[int, ...] = (64, 64), *,
+                 continuous: bool = False, rng: Optional[np.random.Generator] = None,
+                 name: str = "zoo_net") -> None:
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.obs_dim = obs_dim
+        self.out_dim = out_dim
+        self.continuous = continuous
+        self.trunk = MLP(obs_dim, list(hidden[:-1]), hidden[-1], activation="relu",
+                         out_activation="relu", name=f"{name}/trunk", rng=rng)
+        self.action_head = MLP(hidden[-1], [], out_dim,
+                               out_activation="tanh" if continuous else None,
+                               name=f"{name}/action", rng=rng)
+        self.value_head = MLP(hidden[-1], [], 1, name=f"{name}/value", rng=rng)
+
+    def __call__(self, features: Tensor) -> Tuple[Tensor, Tensor]:
+        trunk = self.trunk(features)
+        return self.action_head(trunk), self.value_head(trunk)
+
+    def parameters(self) -> List[Parameter]:
+        return (self.trunk.parameters() + self.action_head.parameters()
+                + self.value_head.parameters())
+
+
+def continuous_actor_forward(network, features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Service forward for continuous actors: raw action rows, no softmax."""
+    actions, value = network(Tensor(features))
+    return actions.numpy(), value.numpy().reshape(-1)
+
+
+@dataclass
+class RolloutWorkerRun:
+    """Output of one zoo worker (mirrors the Minigo pool's ``WorkerRun``)."""
+
+    worker: str
+    result: EnvRolloutResult
+    trace: Optional[EventTrace]
+    total_time_us: float
+    system: Optional[System] = field(repr=False, default=None)
+
+
+class EnvRolloutPool:
+    """Pool of env-rollout workers sharing one GPU and one inference service."""
+
+    def __init__(
+        self,
+        sim: str,
+        num_workers: int = 8,
+        *,
+        steps_per_worker: int = 32,
+        hidden: Tuple[int, ...] = (64, 64),
+        network=None,
+        forward=None,
+        policy_factory=None,
+        profile: bool = False,
+        cost_config: Optional[CostModelConfig] = None,
+        seed: int = 0,
+        trace_dir: Optional[str] = None,
+        store: Optional["StreamingTraceWriter"] = None,
+        chunk_events: int = 50_000,
+        inference_max_batch: Optional[int] = None,
+        num_replicas: int = 1,
+        routing: str = ROUTING_ROUND_ROBIN,
+        flush_policy: str = FLUSH_MAX_BATCH,
+        flush_timeout_us: Optional[float] = None,
+        collect_transitions: bool = True,
+        env_kwargs: Optional[dict] = None,
+    ) -> None:
+        """``network``/``forward``/``policy_factory`` default to a shared
+        :class:`RolloutPolicyNet` with the env-appropriate service forward
+        and action policy (categorical sampling for discrete envs, gaussian
+        exploration noise for continuous ones); pass your own to route an
+        algorithm's live network through the service instead (see
+        ``repro.rl.zoo``).  ``policy_factory(env, seed)`` builds one
+        :class:`~repro.rollout.envdriver.ActionPolicy` per worker.
+
+        ``inference_max_batch`` defaults to ``num_workers // num_replicas``
+        (floor 1): with one row per blocked worker, a full batch then forms
+        as soon as one replica's fair share of the fleet is waiting, which
+        both bounds batch size and lets the replica-aware eager path fan
+        full batches out while other workers still run.
+        """
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if steps_per_worker <= 0:
+            raise ValueError("steps_per_worker must be positive")
+        if num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+        if flush_policy not in FLUSH_POLICIES:
+            raise ValueError(f"unknown flush policy {flush_policy!r}; "
+                             f"expected one of {FLUSH_POLICIES}")
+        if flush_policy == FLUSH_TIMEOUT and (flush_timeout_us is None or flush_timeout_us < 0):
+            raise ValueError("the timeout flush policy requires a non-negative flush_timeout_us")
+        self.sim = sim
+        self.num_workers = num_workers
+        self.steps_per_worker = steps_per_worker
+        self.hidden = hidden
+        self.profile = profile
+        self.cost_config = cost_config
+        self.seed = seed
+        self.num_replicas = num_replicas
+        self.routing = routing
+        self.flush_policy = flush_policy
+        self.flush_timeout_us = flush_timeout_us
+        self.collect_transitions = collect_transitions
+        self.env_kwargs = dict(env_kwargs or {})
+        self.inference_max_batch = (inference_max_batch if inference_max_batch is not None
+                                    else max(1, num_workers // num_replicas))
+        self._network = network
+        self._forward = forward
+        self._policy_factory = policy_factory
+        #: the shared accelerator all workers contend for
+        self.device = GPUDevice()
+        self.inference_service: Optional[InferenceService] = None
+        self.pool_scheduler: Optional[PoolScheduler] = None
+        self.runs: List[RolloutWorkerRun] = []
+        self._store = store
+        self._owns_store = False
+        self._streamed = False
+        if self._store is None and trace_dir is not None:
+            from ..tracedb.writer import StreamingTraceWriter
+            self._store = StreamingTraceWriter(trace_dir, chunk_events=chunk_events)
+            self._owns_store = True
+
+    @property
+    def streaming(self) -> bool:
+        return self._store is not None
+
+    @property
+    def store(self) -> Optional["StreamingTraceWriter"]:
+        return self._store
+
+    def tracedb(self) -> "TraceDB":
+        """Open the streamed trace store for querying/map-reduce analysis."""
+        if self._store is None:
+            raise ValueError("pool was not created with trace_dir/store; no trace store to open")
+        from ..tracedb.store import TraceDB
+        return TraceDB(str(self._store.directory))
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> List[RolloutWorkerRun]:
+        """Drive every worker's rollout to completion; returns per-worker runs."""
+        if self.streaming and self._streamed:
+            raise RuntimeError("this pool already streamed a run into its trace store; "
+                               "create a new pool (or trace_dir) for another run")
+        self.runs = []
+        # Build every worker's system/engine/env first (fixed creation order
+        # keeps every RNG stream independent of pool configuration).
+        stacks = [self._make_worker_stack(index) for index in range(self.num_workers)]
+        probe_env = stacks[0][2]
+        network = self._network
+        if network is None:
+            network = RolloutPolicyNet(
+                probe_env.observation_dim, probe_env.action_dim, self.hidden,
+                continuous=not probe_env.is_discrete,
+                rng=np.random.default_rng(self.seed + 7), name=f"zoo_{self.sim}")
+        forward = self._forward
+        if forward is None and not probe_env.is_discrete:
+            forward = continuous_actor_forward
+        self.inference_service = InferenceService(
+            network,
+            max_batch=self.inference_max_batch,
+            num_replicas=self.num_replicas,
+            routing=self.routing,
+            primary_device=self.device,
+            cost_config=self.cost_config,
+            seed=self.seed,
+            function_name=POLICY_FUNCTION_NAME,
+            forward=forward,
+        )
+        drivers: List[EnvRolloutDriver] = []
+        profilers: List[Optional[Profiler]] = []
+        for index, (system, engine, env, profiler) in enumerate(stacks):
+            client = self.inference_service.connect(system, engine,
+                                                    worker=system.worker,
+                                                    profiler=profiler)
+            policy = self._make_policy(env, index)
+            drivers.append(EnvRolloutDriver(
+                env, client, policy, self.steps_per_worker,
+                seed=self.seed + 5000 + index, profiler=profiler,
+                collect_transitions=self.collect_transitions))
+            profilers.append(profiler)
+        self.pool_scheduler = PoolScheduler(
+            drivers, self.inference_service,
+            flush_policy=self.flush_policy, flush_timeout_us=self.flush_timeout_us)
+        self.pool_scheduler.run()
+        for (system, _, _, profiler), driver in zip(stacks, drivers):
+            trace = profiler.finalize() if profiler is not None else None
+            if self.streaming:
+                trace = None  # the trace lives in the store's shard
+            self.runs.append(RolloutWorkerRun(
+                worker=system.worker, result=driver.result, trace=trace,
+                total_time_us=system.clock.now_us, system=system))
+        if self.streaming:
+            self._streamed = True
+            if self._owns_store:
+                self._store.close()
+        return self.runs
+
+    def _make_worker_stack(self, index: int):
+        """Build one worker's system/engine/env/profiler (its "process")."""
+        worker_name = f"rollout_worker_{index}"
+        system = System.create(
+            seed=self.seed + 100 + index,
+            config=self.cost_config,
+            device=self.device,
+            worker=worker_name,
+        )
+        system.cuda.default_stream = index
+        engine = GraphEngine(system, flavor="tensorflow")
+        env = registry.make(self.sim, system, seed=self.seed + 1000 + index,
+                            **self.env_kwargs)
+        profiler: Optional[Profiler] = None
+        if self.profile:
+            profiler = Profiler(system, ProfilerConfig.full(), worker=worker_name,
+                                store=self._store)
+            profiler.attach(engine=engine, envs=(env,))
+        return system, engine, env, profiler
+
+    def _make_policy(self, env, index: int) -> ActionPolicy:
+        if self._policy_factory is not None:
+            return self._policy_factory(env, self.seed + 5000 + index)
+        return SampledDiscretePolicy() if env.is_discrete else GaussianNoisePolicy()
+
+    # ------------------------------------------------------------- reporting
+    def traces(self) -> Dict[str, EventTrace]:
+        return {run.worker: run.trace for run in self.runs if run.trace is not None}
+
+    def total_steps(self) -> int:
+        return sum(run.result.steps for run in self.runs)
+
+    def collection_span_us(self) -> float:
+        """Wall-clock span of the parallel collection phase (slowest worker)."""
+        return max((run.total_time_us for run in self.runs), default=0.0)

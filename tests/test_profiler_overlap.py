@@ -231,3 +231,88 @@ def test_operation_event_metadata_does_not_change_overlap():
         trace.add_event(Event(CATEGORY_OPERATION, "expand_leaf", 0.0, 50.0, metadata=metadata))
         trace.add_event(Event(CATEGORY_PYTHON, "python", 0.0, 50.0))
     assert compute_overlap(plain).regions == compute_overlap(tagged).regions
+
+
+# ------------------------------------------- vectorized sweep byte-identity
+def _regions_bits(result):
+    """Key order plus exact float bits — stricter than dict equality."""
+    return [(operation, tuple(sorted(categories)), duration.hex())
+            for (operation, categories), duration in result.regions.items()]
+
+
+def _compute_with(vectorized: bool, trace, **kwargs):
+    from repro.profiler import overlap as overlap_mod
+
+    saved = overlap_mod.USE_VECTORIZED_ACCUMULATE
+    overlap_mod.USE_VECTORIZED_ACCUMULATE = vectorized
+    try:
+        return compute_overlap(trace, **kwargs)
+    finally:
+        overlap_mod.USE_VECTORIZED_ACCUMULATE = saved
+
+
+@st.composite
+def fuzz_traces(draw):
+    """Random multi-worker traces: messy floats, ties, zero-length intervals,
+    duplicate operations, improper nesting — everything the sweep must survive."""
+    trace = EventTrace()
+    point = st.one_of(st.floats(0.0, 500.0, allow_nan=False),
+                      st.integers(0, 50).map(float))
+    categories = st.sampled_from([CATEGORY_PYTHON, CATEGORY_SIMULATOR,
+                                  CATEGORY_BACKEND, CATEGORY_CUDA_API, CATEGORY_GPU])
+    for worker in draw(st.sampled_from([("w0",), ("w0", "w1")])):
+        for _ in range(draw(st.integers(0, 10))):
+            start = draw(point)
+            end = start + draw(st.one_of(st.just(0.0), st.floats(0.0, 120.0, allow_nan=False)))
+            trace.add_event(Event(draw(categories), "e", start, end, worker=worker))
+        for _ in range(draw(st.integers(0, 5))):
+            start = draw(point)
+            end = start + draw(st.floats(0.0, 200.0, allow_nan=False))
+            name = draw(st.sampled_from(["op_a", "op_b", "op_c"]))
+            trace.add_event(Event(CATEGORY_OPERATION, name, start, end, worker=worker))
+    return trace
+
+
+@settings(max_examples=120, deadline=None)
+@given(trace=fuzz_traces())
+def test_vectorized_accumulate_is_byte_identical_to_loop(trace):
+    loop = _compute_with(False, trace)
+    vectorized = _compute_with(True, trace)
+    assert _regions_bits(vectorized) == _regions_bits(loop)
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace=fuzz_traces())
+def test_vectorized_per_worker_merge_matches_single_pass(trace):
+    """Map-reduce equivalence holds under the vectorized sweep too."""
+    from repro.profiler.overlap import OverlapResult
+
+    merged = OverlapResult.merge(
+        _compute_with(True, trace, workers=[worker]) for worker in trace.workers())
+    assert _regions_bits(merged) == _regions_bits(_compute_with(True, trace))
+
+
+def test_vectorized_handles_nesting_ties_and_duplicate_ops():
+    """Deterministic cover of the tricky cases: same-start ops (trace-order
+    tie-break), duplicate identical annotations, op-only segments, and
+    improperly nested operations."""
+    trace = EventTrace()
+    trace.add_event(Event(CATEGORY_OPERATION, "outer", 0.0, 100.0))
+    trace.add_event(Event(CATEGORY_OPERATION, "tied", 0.0, 50.0))      # same start as outer
+    trace.add_event(Event(CATEGORY_OPERATION, "dup", 10.0, 30.0))
+    trace.add_event(Event(CATEGORY_OPERATION, "dup", 10.0, 30.0))      # identical duplicate
+    trace.add_event(Event(CATEGORY_OPERATION, "straddle", 40.0, 80.0))  # improper nesting
+    trace.add_event(Event(CATEGORY_PYTHON, "python", 0.0, 60.0))
+    trace.add_event(Event(CATEGORY_GPU, "kernel", 70.0, 90.0))         # gap 60-70: op-only
+    loop = _compute_with(False, trace)
+    vectorized = _compute_with(True, trace)
+    assert _regions_bits(vectorized) == _regions_bits(loop)
+    python = frozenset({CATEGORY_PYTHON})
+    assert vectorized.regions[("dup", python)] == pytest.approx(20.0)
+    # "tied" starts with "outer" but appears later in trace order, so the
+    # tie-break (first of equal starts) hands every segment to "outer".
+    assert ("tied", python) not in vectorized.regions
+    assert vectorized.regions[("outer", python)] == pytest.approx(10.0 + 10.0)
+    assert vectorized.regions[("straddle", python)] == pytest.approx(20.0)
+    assert vectorized.regions[("straddle", frozenset({CATEGORY_GPU}))] == pytest.approx(10.0)
+    assert vectorized.regions[("outer", frozenset({CATEGORY_GPU}))] == pytest.approx(10.0)  # 80-90

@@ -44,6 +44,36 @@ def test_registry_contents_and_errors(system):
         register("Pong", PongEnv)
 
 
+def test_make_unknown_name_lists_registered_sims_sorted(system):
+    with pytest.raises(KeyError) as excinfo:
+        make("NotARealSim", system)
+    message = str(excinfo.value)
+    assert "NotARealSim" in message
+    names = available_simulators()
+    assert names == sorted(names)
+    assert str(names) in message  # the full sorted list, verbatim
+
+
+@pytest.mark.parametrize("name", sorted(SIMULATOR_COMPLEXITY))
+def test_same_seed_reproduces_observation_and_reward_streams(name):
+    """Registry-wide determinism: same seed ⇒ identical env streams."""
+    def collect(env_seed):
+        env = make(name, System.create(seed=0), seed=env_seed)
+        rng = np.random.default_rng(123)
+        obs = env.reset()
+        stream = [obs.tobytes()]
+        rewards = []
+        for _ in range(12):
+            obs, reward, done, _ = env.step(env.action_space.sample(rng))
+            stream.append(obs.tobytes())
+            rewards.append(reward)
+            if done:
+                stream.append(env.reset().tobytes())
+        return stream, rewards
+
+    assert collect(5) == collect(5)
+
+
 @pytest.mark.parametrize("name", sorted(SIMULATOR_COMPLEXITY))
 def test_env_api_contract(name, system):
     env = make(name, system, seed=3)
