@@ -310,12 +310,14 @@ def test_bench_wallclock(benchmark):
     }
     trajectory_path = REPO_ROOT / "BENCH_wallclock.json"
     try:
-        # The serving bench merges its own block into this file; keep it.
+        # The serving and multiproc benches merge their own blocks into this
+        # file; keep them.
         existing = json.loads(trajectory_path.read_text(encoding="utf-8"))
     except (OSError, ValueError):
         existing = {}
-    if "serving" in existing:
-        payload["serving"] = existing["serving"]
+    for block in ("serving", "multiproc"):
+        if block in existing:
+            payload[block] = existing[block]
     trajectory_path.write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
@@ -360,3 +362,141 @@ def test_bench_wallclock(benchmark):
     print()
     print(report)
     save_report("wallclock_speedups", report)
+
+
+# --------------------------------------------------------------------------
+# Multiprocess sharded execution (repro.parallel): the scaling trajectory.
+# --------------------------------------------------------------------------
+
+#: ``MULTIPROC_QUICK=1`` (the CI smoke step) shrinks the workload and the
+#: process grid; ``WALLCLOCK_QUICK=1`` implies it.
+MULTIPROC_QUICK = QUICK or os.environ.get("MULTIPROC_QUICK") == "1"
+MULTIPROC_PROCESSES = (1, 2) if MULTIPROC_QUICK else (1, 2, 4, 8)
+MULTIPROC_WORKERS = 4 if MULTIPROC_QUICK else NUM_WORKERS
+MULTIPROC_POOL_KWARGS = dict(
+    POOL_KWARGS,
+    board_size=5 if MULTIPROC_QUICK else POOL_KWARGS["board_size"],
+    num_simulations=8 if MULTIPROC_QUICK else POOL_KWARGS["num_simulations"],
+    max_moves=4 if MULTIPROC_QUICK else POOL_KWARGS["max_moves"],
+    leaf_batch=4 if MULTIPROC_QUICK else LEAF_BATCH,
+)
+
+#: The acceptance bar pinned by ISSUE 8: >= 2x end-to-end wall-clock over the
+#: single-process event loop at 8 workers / leaf_batch=8.  Real OS processes
+#: cannot beat a serialized loop without cores to run on, so the bar is only
+#: *enforced* on >= 8-core machines (and never in quick mode); the scaling
+#: table is measured and recorded regardless.
+MIN_MULTIPROC_SPEEDUP = 2.0
+MULTIPROC_MIN_CORES = 8
+
+
+def _run_multiproc_pool(**overrides):
+    kwargs = dict(MULTIPROC_POOL_KWARGS)
+    kwargs.update(overrides)
+    start = time.perf_counter()
+    pool = SelfPlayPool(MULTIPROC_WORKERS, **kwargs)
+    pool.run()
+    return pool, time.perf_counter() - start
+
+
+def _pool_signature(pool):
+    stats = pool.pool_scheduler.stats
+    return (_game_records(pool),
+            [run.total_time_us for run in pool.runs],
+            (stats.steps, stats.serves, stats.timeout_serves,
+             stats.eager_serves, sorted(stats.steps_per_worker.items())))
+
+
+def test_bench_multiproc(benchmark):
+    # --- the single-process event loop: the baseline every shard count must
+    # reproduce bit-for-bit.
+    sequential_pool = benchmark.pedantic(
+        lambda: _run_multiproc_pool()[0], rounds=1, iterations=1)
+    sequential_pool, sequential_s = _run_multiproc_pool()
+    reference = _pool_signature(sequential_pool)
+
+    # --- num_processes=1 (inline backend) is the pinned degenerate case.
+    inline_pool, _ = _run_multiproc_pool(num_processes=1,
+                                         process_backend="inline")
+    assert _pool_signature(inline_pool) == reference, \
+        "num_processes=1 must reproduce the sequential event loop bit-for-bit"
+
+    # --- the scaling table: real OS processes, every row bit-identical.
+    table = []
+    for processes in MULTIPROC_PROCESSES:
+        pool, wall_s = _run_multiproc_pool(num_processes=processes,
+                                           process_backend="process")
+        assert _pool_signature(pool) == reference, (
+            f"num_processes={processes} diverged from the sequential loop — "
+            "game records / clocks / scheduler decisions must be identical")
+        table.append({
+            "processes": processes,
+            "wall_s": wall_s,
+            "speedup": sequential_s / wall_s if wall_s > 0 else float("inf"),
+        })
+
+    best = max(table, key=lambda row: row["speedup"])
+    cores = os.cpu_count() or 1
+    bar_enforced = cores >= MULTIPROC_MIN_CORES and not MULTIPROC_QUICK
+    if bar_enforced:
+        assert best["speedup"] >= MIN_MULTIPROC_SPEEDUP, (
+            f"expected >= {MIN_MULTIPROC_SPEEDUP}x wall-clock at "
+            f"{MULTIPROC_WORKERS} workers / leaf_batch="
+            f"{MULTIPROC_POOL_KWARGS['leaf_batch']} on a {cores}-core machine, "
+            f"got {best['speedup']:.2f}x with {best['processes']} processes "
+            f"({sequential_s:.3f}s -> {best['wall_s']:.3f}s)")
+
+    # --- perf-trajectory entry: merge a multiproc block into the wall-clock
+    # payload (the wallclock bench preserves it when it rewrites the file).
+    path = REPO_ROOT / "BENCH_wallclock.json"
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        payload = {"benchmark": "wallclock", "commit": _commit_hash(),
+                   "metrics": {}}
+    payload["multiproc"] = {
+        "commit": _commit_hash(),
+        "quick": MULTIPROC_QUICK,
+        "cpu_count": cores,
+        "workers": MULTIPROC_WORKERS,
+        "leaf_batch": MULTIPROC_POOL_KWARGS["leaf_batch"],
+        "board_size": MULTIPROC_POOL_KWARGS["board_size"],
+        "max_moves": MULTIPROC_POOL_KWARGS["max_moves"],
+        "sequential_s": sequential_s,
+        "min_speedup_bar": MIN_MULTIPROC_SPEEDUP,
+        "bar_enforced": bar_enforced,
+        "table": table,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    lines = [
+        "Multiprocess sharded execution: wall-clock scaling vs the "
+        "single-process event loop",
+        f"({MULTIPROC_WORKERS} workers, leaf_batch="
+        f"{MULTIPROC_POOL_KWARGS['leaf_batch']}, board "
+        f"{MULTIPROC_POOL_KWARGS['board_size']}x"
+        f"{MULTIPROC_POOL_KWARGS['board_size']}, "
+        f"max_moves={MULTIPROC_POOL_KWARGS['max_moves']}, seed 0, "
+        f"{cores} cores, quick={MULTIPROC_QUICK}, "
+        f"commit {payload['multiproc']['commit'][:12]})",
+        "",
+        f"{'processes':>10} {'wall s':>10} {'speedup':>9}",
+        "-" * 31,
+        f"{'(seq)':>10} {sequential_s:>10.3f} {'1.00x':>9}",
+    ]
+    for row in table:
+        lines.append(f"{row['processes']:>10d} {row['wall_s']:>10.3f} "
+                     f"{row['speedup']:>8.2f}x")
+    lines += [
+        "",
+        f">= {MIN_MULTIPROC_SPEEDUP}x bar "
+        + ("enforced" if bar_enforced else
+           f"recorded only (needs >= {MULTIPROC_MIN_CORES} cores and full "
+           "mode; this run does not qualify)") + ".",
+        "Every row's game records, per-worker clocks and scheduler decisions",
+        "are bit-for-bit identical to the sequential event loop (asserted).",
+    ]
+    report = "\n".join(lines)
+    print()
+    print(report)
+    save_report("multiproc_scaling", report)

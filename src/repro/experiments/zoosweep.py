@@ -38,8 +38,10 @@ from ..rollout.inference import FLUSH_MAX_BATCH, FLUSH_UNBATCHED
 from ..sim import registry
 from ..system import System
 
-#: Non-Go simulators the default sweep grids over (>= 3 per the roadmap).
-DEFAULT_ZOO_SIMS = ("Pong", "Hopper", "Walker2D", "HalfCheetah")
+#: Simulators the default sweep grids over (>= 3 non-Go per the roadmap;
+#: Go rides along as the discrete board-game workload, exercised by DQN/PPO
+#: and skipped by continuous-control families).
+DEFAULT_ZOO_SIMS = ("Pong", "Hopper", "Walker2D", "HalfCheetah", "Go")
 #: Algorithm families swept (keys of ``repro.rl.zoo.ZOO_ALGORITHMS``).
 DEFAULT_ZOO_ALGOS = ("DQN", "PPO", "DDPG")
 DEFAULT_ZOO_WORKERS = (4, 8)

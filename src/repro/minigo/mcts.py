@@ -196,30 +196,23 @@ class MCTS:
         so driving the generator with a synchronous evaluator reproduces the
         classic search decision-for-decision.  Returns the root node via
         ``StopIteration.value``.
+
+        Thin wrapper over :class:`SearchCursor`, the explicit-state (and
+        therefore picklable) form of the same state machine.
         """
-        root = MCTSNode(position=position)
-        request = LeafEvalRequest(position.features()[None, :])
-        yield request
-        priors, _ = request.results()
-        self._expand_with_priors(root, np.asarray(priors[0], dtype=np.float64),
-                                 add_noise=add_noise)
-        remaining = self.num_simulations
-        # One scratch dict reused across waves (cleared, not reallocated).
-        evaluated: Dict[int, Tuple[np.ndarray, float]] = {}
-        while remaining > 0:
-            wave, pending = self._select_wave(root, min(self.leaf_batch, remaining))
-            evaluated.clear()
-            if pending:
-                request = LeafEvalRequest(np.stack([node.position.features() for node in pending]))
-                yield request
-                priors, values = request.results()
-                # One dtype conversion per wave; per-leaf rows are views into
-                # it, bit-identical to converting each row on its own.
-                priors64 = np.asarray(priors, dtype=np.float64)
-                for i, node in enumerate(pending):
-                    evaluated[id(node)] = (priors64[i], float(values[i]))
-            remaining -= self._finish_wave(wave, evaluated)
-        return root
+        cursor = SearchCursor(self, position, add_noise=add_noise)
+        while cursor.request is not None:
+            yield cursor.request
+            cursor.advance()
+        return cursor.root
+
+    # -------------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        # The evaluator is a bound method into a live worker stack (engine,
+        # system, clocks); a restored search must re-attach its own.
+        state = self.__dict__.copy()
+        state["evaluator"] = None
+        return state
 
     def _select_wave(self, root: MCTSNode, target: int
                      ) -> Tuple[List[Tuple[MCTSNode, Optional[float]]], List[MCTSNode]]:
@@ -358,3 +351,70 @@ class MCTS:
         policy = self.policy_from_visits(root, temperature=temperature)
         index = int(self.rng.choice(len(policy), p=policy))
         return root.position.index_to_move(index)
+
+
+class SearchCursor:
+    """Explicit-state resumable search: the picklable form of ``search_steps``.
+
+    Holds the suspended search between inference boundaries as plain data
+    (root tree, outstanding wave, pending request) instead of a live
+    generator frame, so a mid-search driver can be snapshotted with
+    ``pickle`` and resumed on a fresh worker stack.  :meth:`advance` consumes
+    the fulfilled :attr:`request` and runs until the next boundary;
+    RNG draws and tree decisions happen in exactly the order the generator
+    produced them (``search_steps`` is now a thin wrapper over this class).
+    """
+
+    __slots__ = ("mcts", "root", "add_noise", "remaining", "wave", "pending",
+                 "request", "_at_root")
+
+    def __init__(self, mcts: MCTS, position: GoPosition, *, add_noise: bool = True) -> None:
+        self.mcts = mcts
+        self.root = MCTSNode(position=position)
+        self.add_noise = add_noise
+        self.remaining = mcts.num_simulations
+        self.wave: Optional[List[Tuple[MCTSNode, Optional[float]]]] = None
+        self.pending: Optional[List[MCTSNode]] = None
+        #: The outstanding inference boundary; None once the search completed.
+        self.request: Optional[LeafEvalRequest] = LeafEvalRequest(position.features()[None, :])
+        self._at_root = True
+
+    @property
+    def done(self) -> bool:
+        return self.request is None
+
+    def advance(self) -> Optional[LeafEvalRequest]:
+        """Consume the fulfilled request; run to the next boundary (or done)."""
+        mcts = self.mcts
+        priors, values = self.request.results()
+        if self._at_root:
+            self._at_root = False
+            mcts._expand_with_priors(self.root, np.asarray(priors[0], dtype=np.float64),
+                                     add_noise=self.add_noise)
+        else:
+            # One dtype conversion per wave; per-leaf rows are views into
+            # it, bit-identical to converting each row on its own.
+            priors64 = np.asarray(priors, dtype=np.float64)
+            evaluated = {id(node): (priors64[i], float(values[i]))
+                         for i, node in enumerate(self.pending)}
+            self.remaining -= mcts._finish_wave(self.wave, evaluated)
+        self.request = None
+        self.wave = None
+        self.pending = None
+        while self.remaining > 0:
+            wave, pending = mcts._select_wave(self.root, min(mcts.leaf_batch, self.remaining))
+            if pending:
+                self.wave = wave
+                self.pending = pending
+                self.request = LeafEvalRequest(
+                    np.stack([node.position.features() for node in pending]))
+                return self.request
+            self.remaining -= mcts._finish_wave(wave, {})
+        return None
+
+    def __getstate__(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)

@@ -110,6 +110,8 @@ class SelfPlayPool:
         scheduler: str = SCHEDULER_SEQUENTIAL,
         flush_policy: str = FLUSH_MAX_BATCH,
         flush_timeout_us: Optional[float] = None,
+        num_processes: Optional[int] = None,
+        process_backend: str = "process",
     ) -> None:
         """With ``batched_inference=True`` the pool creates one shared
         :class:`~repro.minigo.inference.InferenceService` holding
@@ -132,7 +134,15 @@ class SelfPlayPool:
         determinism baseline), so engine calls batch leaves across
         workers; with several replicas the scheduler also serves full
         batches eagerly so free replicas overlap in-flight batches with
-        still-running workers."""
+        still-running workers.
+
+        ``num_processes`` (requires the event scheduler) shards the workers
+        over that many real OS processes via :mod:`repro.parallel`: shards
+        advance their drivers between serves while the parent merges their
+        virtual timelines and runs the shared service — records, clocks,
+        scheduler decisions and service stats are bit-for-bit those of the
+        single-process event loop.  ``process_backend="inline"`` runs the
+        shards in-process (CI/debugging)."""
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
         if num_replicas <= 0:
@@ -154,6 +164,19 @@ class SelfPlayPool:
                                  f"expected one of {FLUSH_POLICIES}")
             if flush_policy == FLUSH_TIMEOUT and (flush_timeout_us is None or flush_timeout_us < 0):
                 raise ValueError("the timeout flush policy requires a non-negative flush_timeout_us")
+        if num_processes is not None:
+            from ..parallel.runner import BACKENDS
+            if num_processes <= 0:
+                raise ValueError("num_processes must be positive")
+            if scheduler != SCHEDULER_EVENT:
+                raise ValueError("num_processes requires the event scheduler "
+                                 "(shards are merged at serve boundaries)")
+            if store is not None:
+                raise ValueError("num_processes cannot share a live store object "
+                                 "across processes; pass trace_dir instead")
+            if process_backend not in BACKENDS:
+                raise ValueError(f"unknown process backend {process_backend!r}; "
+                                 f"expected one of {BACKENDS}")
         self.num_workers = num_workers
         self.board_size = board_size
         self.num_simulations = num_simulations
@@ -171,6 +194,10 @@ class SelfPlayPool:
         self.scheduler = scheduler
         self.flush_policy = flush_policy
         self.flush_timeout_us = flush_timeout_us
+        self.num_processes = num_processes
+        self.process_backend = process_backend
+        self.trace_dir = trace_dir
+        self.chunk_events = chunk_events
         self.inference_service: Optional["InferenceService"] = None
         self.pool_scheduler: Optional[PoolScheduler] = None
         #: the shared accelerator all workers contend for
@@ -212,23 +239,10 @@ class SelfPlayPool:
         self.runs = []
         self.inference_service = None
         self.pool_scheduler = None
+        if self.num_processes is not None:
+            return self._run_parallel(weights)
         if self.batched_inference:
-            from .inference import InferenceService
-            # One logical model serves every worker (with the same init seed
-            # as the legacy per-worker networks its weights are identical),
-            # sharded across num_replicas replicas: replica 0 shares the
-            # pool's primary GPU, the rest bring their own devices.
-            shared_network = PolicyValueNet(self.board_size, self.hidden,
-                                            rng=np.random.default_rng(self.seed + 7))
-            self.inference_service = InferenceService(
-                shared_network,
-                max_batch=self.inference_max_batch,
-                num_replicas=self.num_replicas,
-                routing=self.routing,
-                primary_device=self.device,
-                cost_config=self.cost_config,
-                seed=self.seed,
-            )
+            self.inference_service = self._build_service()
             if weights is not None:
                 # Initial model placement: load without charging broadcast
                 # time (clocks have not started).
@@ -256,12 +270,114 @@ class SelfPlayPool:
                 self._store.close()
         return self.runs
 
+    def _build_service(self, service_factory=None) -> "InferenceService":
+        """Build the shared service: one logical model, ``num_replicas`` shards.
+
+        With the same init seed as the legacy per-worker networks the shared
+        model's weights are identical; replica 0 shares the pool's primary
+        GPU, further replicas each model an additional inference GPU.
+        ``service_factory`` substitutes the class (the multiprocess path
+        passes the parent-side mirror service).
+        """
+        from ..rollout.seeding import network_seed
+        from .inference import InferenceService
+
+        factory = service_factory if service_factory is not None else InferenceService
+        shared_network = PolicyValueNet(self.board_size, self.hidden,
+                                        rng=np.random.default_rng(network_seed(self.seed)))
+        return factory(
+            shared_network,
+            max_batch=self.inference_max_batch,
+            num_replicas=self.num_replicas,
+            routing=self.routing,
+            primary_device=self.device,
+            cost_config=self.cost_config,
+            seed=self.seed,
+        )
+
+    def _child_config(self) -> dict:
+        """Constructor kwargs a shard process rebuilds this pool from."""
+        return dict(
+            num_workers=self.num_workers,
+            board_size=self.board_size,
+            num_simulations=self.num_simulations,
+            games_per_worker=self.games_per_worker,
+            max_moves=self.max_moves,
+            hidden=self.hidden,
+            profile=self.profile,
+            cost_config=self.cost_config,
+            seed=self.seed,
+            trace_dir=self.trace_dir,
+            chunk_events=self.chunk_events,
+            batched_inference=True,
+            leaf_batch=self.leaf_batch,
+            inference_max_batch=self.inference_max_batch,
+            num_replicas=self.num_replicas,
+            routing=self.routing,
+            scheduler=SCHEDULER_EVENT,
+            flush_policy=self.flush_policy,
+            flush_timeout_us=self.flush_timeout_us,
+        )
+
+    def _run_parallel(self, weights: Optional[List[np.ndarray]]) -> List[WorkerRun]:
+        """Run the pool sharded over ``num_processes`` OS processes.
+
+        Shards build and advance the real worker stacks; the parent replays
+        their timelines through proxy drivers under the real scheduler and
+        the mirror service, so every scheduling/batching/routing decision —
+        and therefore every record and clock — matches the sequential event
+        loop bit-for-bit.
+        """
+        from functools import partial
+
+        from ..parallel.proxy import MirrorInferenceService, ProxyDriver
+        from ..parallel.runner import ParallelRunner, assign_workers
+        from ..parallel.shard import ShardSpec
+
+        config = self._child_config()
+        specs = [ShardSpec(kind="selfplay", pool_config=config,
+                           worker_indices=indices, weights=weights)
+                 for indices in assign_workers(self.num_workers, self.num_processes)]
+        runner = ParallelRunner(specs, backend=self.process_backend)
+        try:
+            service = self._build_service(
+                service_factory=partial(MirrorInferenceService, runner=runner))
+            if weights is not None:
+                service.update_weights(weights, charge=False)
+            self.inference_service = service
+            segments = runner.build()
+            proxies = [ProxyDriver(runner, index, f"selfplay_worker_{index}",
+                                   service, segments[index])
+                       for index in range(self.num_workers)]
+            runner.attach(proxies)
+            self.pool_scheduler = PoolScheduler(
+                proxies, service,
+                flush_policy=self.flush_policy, flush_timeout_us=self.flush_timeout_us)
+            self.pool_scheduler.run()
+            finals = runner.finalize()
+        finally:
+            runner.stop()
+        self.runs = [WorkerRun(worker=f"selfplay_worker_{index}",
+                               result=finals[index]["result"],
+                               trace=finals[index]["trace"],
+                               total_time_us=finals[index]["total_time_us"])
+                     for index in range(self.num_workers)]
+        if self.streaming:
+            self._streamed = True
+            if self._owns_store:
+                # The shards already merged their trace shards; closing the
+                # parent's (shard-less) writer just seals the store index.
+                self._store.close()
+        return self.runs
+
     def _make_worker(self, index: int, weights: Optional[List[np.ndarray]]
                      ) -> Tuple[SelfPlayWorker, Optional[Profiler]]:
         """Build one worker's system/engine/profiler stack (its "process")."""
+        from ..rollout.seeding import network_seed, system_seed, worker_seed
+
         worker_name = f"selfplay_worker_{index}"
         system = System.create(
-            seed=self.seed + 100 + index,
+            seed=system_seed(self.seed, index),
             config=self.cost_config,
             device=self.device,
             worker=worker_name,
@@ -272,7 +388,7 @@ class SelfPlayPool:
             network = self.inference_service.network
         else:
             network = PolicyValueNet(self.board_size, self.hidden,
-                                     rng=np.random.default_rng(self.seed + 7))
+                                     rng=np.random.default_rng(network_seed(self.seed)))
             if weights is not None:
                 network.load_state_dict(weights)
 
@@ -288,7 +404,7 @@ class SelfPlayPool:
             board_size=self.board_size,
             num_simulations=self.num_simulations,
             max_moves=self.max_moves,
-            seed=self.seed + 1000 + index,
+            seed=worker_seed(self.seed, index),
             leaf_batch=self.leaf_batch,
             inference=self.inference_service,
         )

@@ -1,0 +1,143 @@
+"""Parent-side mirror of the pool: proxy drivers over a mirror service.
+
+The parent process runs the *real*, unchanged
+:class:`~repro.rollout.scheduler.PoolScheduler` — same heap, same eager
+path, same timeout logic — but over :class:`ProxyDriver` objects that
+replay the virtual-clock records their shard processes produced, and a
+:class:`MirrorInferenceService` whose only override ships each batch's
+engine call to the shard owning the host worker.  Everything that makes a
+schedule a schedule — arrival order, batch planning, routing, replica
+horizons, queue-delay stats, metadata attribution — runs in the parent on
+the real service code, so the merged run's scheduler stats, service stats
+and per-worker timelines are bit-for-bit those of the single-process pool.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from ..rollout.driver import StepwiseDriver
+from ..rollout.inference import InferenceService
+from ..system import System
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runner import ParallelRunner
+
+
+class ProxyDriver(StepwiseDriver):
+    """Replays one remote worker's stepwise timeline for the scheduler.
+
+    The shard advances the real driver in *segments* (run until blocked on
+    inference); each segment ships the per-step ``(pre, post)`` clock pairs
+    plus the features/metadata of the ticket it submitted.  The proxy
+    consumes exactly one record per ``step()`` — so scheduler step counts
+    and interleaving decisions match the sequential run event for event —
+    and submits the real ticket to the mirror service when it consumes the
+    segment's final record, at the same virtual arrival instant.  Each
+    ``pre`` is asserted against the mirror clock: a diverging shard fails
+    loudly instead of silently corrupting the merged timeline.
+    """
+
+    def __init__(self, runner: "ParallelRunner", windex: int, name: str,
+                 service: InferenceService, segment: dict) -> None:
+        self.runner = runner
+        self.windex = windex
+        self._name = name
+        # The mirror system only lends the worker a clock (and its name) —
+        # no engine ever runs on it, so its cost-model stream is never drawn.
+        system = System.create(seed=0, worker=name)
+        self.client = service.connect(system, None, worker=name)
+        if isinstance(service, MirrorInferenceService):
+            service.register_host(self.client, windex)
+        self._records: List[Tuple[float, float]] = []
+        self._cursor = 0
+        self._submit: Optional[tuple] = None
+        self._final = False
+        self._ticket = None
+        self.dispatched = False  #: served results already sent to the shard
+        self._load(segment)
+
+    def _load(self, segment: dict) -> None:
+        self._records = segment["records"]
+        self._cursor = 0
+        self._submit = segment["submit"]
+        self._final = segment["finished"]
+
+    # ------------------------------------------------------------- protocol
+    @property
+    def finished(self) -> bool:
+        return (self._final and self._cursor >= len(self._records)
+                and self._ticket is None)
+
+    @property
+    def blocked(self) -> bool:
+        return self._ticket is not None and not self._ticket.done
+
+    @property
+    def now_us(self) -> float:
+        return self.client.system.clock.now_us
+
+    @property
+    def worker_name(self) -> str:
+        return self._name
+
+    def step(self) -> bool:
+        if self._ticket is not None:
+            # The ticket was served (results already dispatched to the
+            # shard by the mirror); pick up the next segment it produced.
+            segment = self.runner.collect_segment(self.windex)
+            self._ticket = None
+            self.dispatched = False
+            self._load(segment)
+        pre, post = self._records[self._cursor]
+        clock = self.client.system.clock
+        if pre != clock.now_us:
+            raise RuntimeError(
+                f"shard timeline diverged for {self._name!r}: segment record "
+                f"starts at {pre}us but the merged clock is at {clock.now_us}us")
+        clock.advance_to(post)
+        self._cursor += 1
+        if self._cursor == len(self._records) and self._submit is not None:
+            features, metadata = self._submit
+            self._submit = None
+            self._ticket = self.client.submit(features, metadata=metadata)
+        return not self.finished
+
+
+class MirrorInferenceService(InferenceService):
+    """The shared service, with engine calls shipped to the host's shard.
+
+    Planning, routing, replica ``free_us`` horizons, queue-delay accounting
+    and metadata scatter all run here, on the inherited code paths.  Only
+    :meth:`_execute` is replaced: the shard owning the batch's host worker
+    runs the real engine call (host cost model, host streams, replica
+    device redirect) and reports the host clock's absolute end — the mirror
+    advances to it, so float arithmetic happens exactly once, shard-side.
+    """
+
+    def __init__(self, network, *, runner: "ParallelRunner", **kwargs) -> None:
+        super().__init__(network, **kwargs)
+        self._runner = runner
+        self._host_windex = {}
+
+    def register_host(self, client, windex: int) -> None:
+        self._host_windex[id(client)] = windex
+
+    def _execute(self, host, chunk, replica):
+        features = np.concatenate([t.features[lo:hi] for t, lo, hi in chunk], axis=0)
+        start_us = host.system.clock.now_us
+        windex = self._host_windex[id(host)]
+        priors, values, end_us = self._runner.execute(
+            windex, replica.index, features, start_us)
+        host.system.clock.advance_to(end_us)
+        return priors, values, end_us - start_us
+
+    def serve_queued(self, **kwargs) -> int:
+        calls = super().serve_queued(**kwargs)
+        # Ship every newly-served ticket's rows back to its shard now (and
+        # only now): batches of one serve can share riders, so results only
+        # become final once the whole serve has scattered.
+        self._runner.dispatch_completed()
+        return calls

@@ -620,6 +620,7 @@ class InferenceService:
         #: batches held back as not yet stable (None when none were).  Lets
         #: the scheduler skip eager re-plans until virtual time reaches it.
         self.last_undue_full_depart_us: Optional[float] = None
+        from .seeding import replica_seed
         self.replicas: List[ModelReplica] = []
         for index in range(num_replicas):
             replica_name = f"{name}/replica_{index}"
@@ -629,11 +630,11 @@ class InferenceService:
                 # explicit primary device it stays unpinned: batches execute
                 # on each host worker's own device, exactly as the
                 # pre-sharding single-replica service did.
-                system = System.create(seed=seed + 9001, config=cost_config,
+                system = System.create(seed=replica_seed(seed, 0), config=cost_config,
                                        device=primary_device, worker=replica_name)
                 pinned = primary_device is not None
             else:
-                system = System.create(seed=seed + 9001 + index, config=cost_config,
+                system = System.create(seed=replica_seed(seed, index), config=cost_config,
                                        worker=replica_name)
                 system.device.name = f"{system.device.name}/{replica_name}"
             self.replicas.append(ModelReplica(index, replica_name, system,

@@ -48,6 +48,7 @@ from .inference import (
     InferenceService,
 )
 from .scheduler import PoolScheduler
+from .seeding import driver_seed
 
 #: Compiled-function name for zoo policy evaluations (mirrors the per-step
 #: inference functions the serial ``repro.rl`` collection loops compile).
@@ -129,6 +130,8 @@ class EnvRolloutPool:
         flush_timeout_us: Optional[float] = None,
         collect_transitions: bool = True,
         env_kwargs: Optional[dict] = None,
+        num_processes: Optional[int] = None,
+        process_backend: str = "process",
     ) -> None:
         """``network``/``forward``/``policy_factory`` default to a shared
         :class:`RolloutPolicyNet` with the env-appropriate service forward
@@ -143,6 +146,14 @@ class EnvRolloutPool:
         as soon as one replica's fair share of the fleet is waiting, which
         both bounds batch size and lets the replica-aware eager path fan
         full batches out while other workers still run.
+
+        ``num_processes`` shards the workers over that many real OS
+        processes via :mod:`repro.parallel` (only with the default
+        network/forward/policy — live objects cannot cross the process
+        boundary): shards advance their drivers between serves while the
+        parent merges their virtual timelines and runs the shared service,
+        bit-for-bit reproducing the single-process event loop.
+        ``process_backend="inline"`` runs the shards in-process.
         """
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
@@ -155,6 +166,19 @@ class EnvRolloutPool:
                              f"expected one of {FLUSH_POLICIES}")
         if flush_policy == FLUSH_TIMEOUT and (flush_timeout_us is None or flush_timeout_us < 0):
             raise ValueError("the timeout flush policy requires a non-negative flush_timeout_us")
+        if num_processes is not None:
+            from ..parallel.runner import BACKENDS
+            if num_processes <= 0:
+                raise ValueError("num_processes must be positive")
+            if store is not None:
+                raise ValueError("num_processes cannot share a live store object "
+                                 "across processes; pass trace_dir instead")
+            if network is not None or forward is not None or policy_factory is not None:
+                raise ValueError("num_processes requires the default network/forward/"
+                                 "policy (live objects cannot cross the process boundary)")
+            if process_backend not in BACKENDS:
+                raise ValueError(f"unknown process backend {process_backend!r}; "
+                                 f"expected one of {BACKENDS}")
         self.sim = sim
         self.num_workers = num_workers
         self.steps_per_worker = steps_per_worker
@@ -168,6 +192,10 @@ class EnvRolloutPool:
         self.flush_timeout_us = flush_timeout_us
         self.collect_transitions = collect_transitions
         self.env_kwargs = dict(env_kwargs or {})
+        self.num_processes = num_processes
+        self.process_backend = process_backend
+        self.trace_dir = trace_dir
+        self.chunk_events = chunk_events
         self.inference_max_batch = (inference_max_batch if inference_max_batch is not None
                                     else max(1, num_workers // num_replicas))
         self._network = network
@@ -208,30 +236,13 @@ class EnvRolloutPool:
             raise RuntimeError("this pool already streamed a run into its trace store; "
                                "create a new pool (or trace_dir) for another run")
         self.runs = []
+        if self.num_processes is not None:
+            return self._run_parallel()
         # Build every worker's system/engine/env first (fixed creation order
         # keeps every RNG stream independent of pool configuration).
         stacks = [self._make_worker_stack(index) for index in range(self.num_workers)]
         probe_env = stacks[0][2]
-        network = self._network
-        if network is None:
-            network = RolloutPolicyNet(
-                probe_env.observation_dim, probe_env.action_dim, self.hidden,
-                continuous=not probe_env.is_discrete,
-                rng=np.random.default_rng(self.seed + 7), name=f"zoo_{self.sim}")
-        forward = self._forward
-        if forward is None and not probe_env.is_discrete:
-            forward = continuous_actor_forward
-        self.inference_service = InferenceService(
-            network,
-            max_batch=self.inference_max_batch,
-            num_replicas=self.num_replicas,
-            routing=self.routing,
-            primary_device=self.device,
-            cost_config=self.cost_config,
-            seed=self.seed,
-            function_name=POLICY_FUNCTION_NAME,
-            forward=forward,
-        )
+        self.inference_service = self._build_service(probe_env)
         drivers: List[EnvRolloutDriver] = []
         profilers: List[Optional[Profiler]] = []
         for index, (system, engine, env, profiler) in enumerate(stacks):
@@ -241,7 +252,7 @@ class EnvRolloutPool:
             policy = self._make_policy(env, index)
             drivers.append(EnvRolloutDriver(
                 env, client, policy, self.steps_per_worker,
-                seed=self.seed + 5000 + index, profiler=profiler,
+                seed=driver_seed(self.seed, index), profiler=profiler,
                 collect_transitions=self.collect_transitions))
             profilers.append(profiler)
         self.pool_scheduler = PoolScheduler(
@@ -261,18 +272,127 @@ class EnvRolloutPool:
                 self._store.close()
         return self.runs
 
+    def _build_service(self, probe_env, service_factory=None) -> InferenceService:
+        """Build the shared service for a fleet of ``probe_env``-shaped workers.
+
+        ``probe_env`` supplies the observation/action dims and the
+        discrete/continuous forward choice — identical for every worker of
+        one sim, so any worker's env (or a throwaway probe) works.
+        ``service_factory`` substitutes the class (the multiprocess path
+        passes the parent-side mirror service).
+        """
+        from .seeding import network_seed
+
+        factory = service_factory if service_factory is not None else InferenceService
+        network = self._network
+        if network is None:
+            network = RolloutPolicyNet(
+                probe_env.observation_dim, probe_env.action_dim, self.hidden,
+                continuous=not probe_env.is_discrete,
+                rng=np.random.default_rng(network_seed(self.seed)),
+                name=f"zoo_{self.sim}")
+        forward = self._forward
+        if forward is None and not probe_env.is_discrete:
+            forward = continuous_actor_forward
+        return factory(
+            network,
+            max_batch=self.inference_max_batch,
+            num_replicas=self.num_replicas,
+            routing=self.routing,
+            primary_device=self.device,
+            cost_config=self.cost_config,
+            seed=self.seed,
+            function_name=POLICY_FUNCTION_NAME,
+            forward=forward,
+        )
+
+    def _child_config(self) -> dict:
+        """Constructor kwargs a shard process rebuilds this pool from."""
+        return dict(
+            sim=self.sim,
+            num_workers=self.num_workers,
+            steps_per_worker=self.steps_per_worker,
+            hidden=self.hidden,
+            profile=self.profile,
+            cost_config=self.cost_config,
+            seed=self.seed,
+            trace_dir=self.trace_dir,
+            chunk_events=self.chunk_events,
+            inference_max_batch=self.inference_max_batch,
+            num_replicas=self.num_replicas,
+            routing=self.routing,
+            flush_policy=self.flush_policy,
+            flush_timeout_us=self.flush_timeout_us,
+            collect_transitions=self.collect_transitions,
+            env_kwargs=self.env_kwargs,
+        )
+
+    def _probe_env(self):
+        """A throwaway env instance for shapes only — no worker stream touched."""
+        return registry.make(self.sim, System.create(seed=0, worker="probe"),
+                             seed=0, **self.env_kwargs)
+
+    def _run_parallel(self) -> List[RolloutWorkerRun]:
+        """Run the pool sharded over ``num_processes`` OS processes.
+
+        Same merge architecture as :meth:`SelfPlayPool._run_parallel`:
+        shards own the real worker stacks, the parent owns the schedule.
+        """
+        from functools import partial
+
+        from ..parallel.proxy import MirrorInferenceService, ProxyDriver
+        from ..parallel.runner import ParallelRunner, assign_workers
+        from ..parallel.shard import ShardSpec
+
+        config = self._child_config()
+        specs = [ShardSpec(kind="envrollout", pool_config=config,
+                           worker_indices=indices)
+                 for indices in assign_workers(self.num_workers, self.num_processes)]
+        runner = ParallelRunner(specs, backend=self.process_backend)
+        try:
+            service = self._build_service(
+                self._probe_env(),
+                service_factory=partial(MirrorInferenceService, runner=runner))
+            self.inference_service = service
+            segments = runner.build()
+            proxies = [ProxyDriver(runner, index, f"rollout_worker_{index}",
+                                   service, segments[index])
+                       for index in range(self.num_workers)]
+            runner.attach(proxies)
+            self.pool_scheduler = PoolScheduler(
+                proxies, service,
+                flush_policy=self.flush_policy, flush_timeout_us=self.flush_timeout_us)
+            self.pool_scheduler.run()
+            finals = runner.finalize()
+        finally:
+            runner.stop()
+        self.runs = [RolloutWorkerRun(worker=f"rollout_worker_{index}",
+                                      result=finals[index]["result"],
+                                      trace=finals[index]["trace"],
+                                      total_time_us=finals[index]["total_time_us"])
+                     for index in range(self.num_workers)]
+        if self.streaming:
+            self._streamed = True
+            if self._owns_store:
+                # The shards already merged their trace shards; closing the
+                # parent's (shard-less) writer just seals the store index.
+                self._store.close()
+        return self.runs
+
     def _make_worker_stack(self, index: int):
         """Build one worker's system/engine/env/profiler (its "process")."""
+        from .seeding import system_seed, worker_seed
+
         worker_name = f"rollout_worker_{index}"
         system = System.create(
-            seed=self.seed + 100 + index,
+            seed=system_seed(self.seed, index),
             config=self.cost_config,
             device=self.device,
             worker=worker_name,
         )
         system.cuda.default_stream = index
         engine = GraphEngine(system, flavor="tensorflow")
-        env = registry.make(self.sim, system, seed=self.seed + 1000 + index,
+        env = registry.make(self.sim, system, seed=worker_seed(self.seed, index),
                             **self.env_kwargs)
         profiler: Optional[Profiler] = None
         if self.profile:
@@ -283,7 +403,7 @@ class EnvRolloutPool:
 
     def _make_policy(self, env, index: int) -> ActionPolicy:
         if self._policy_factory is not None:
-            return self._policy_factory(env, self.seed + 5000 + index)
+            return self._policy_factory(env, driver_seed(self.seed, index))
         return SampledDiscretePolicy() if env.is_discrete else GaussianNoisePolicy()
 
     # ------------------------------------------------------------- reporting

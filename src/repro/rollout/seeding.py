@@ -1,0 +1,52 @@
+"""Explicit per-worker RNG stream derivation: one place, process-safe.
+
+Every random stream a pool creates is derived from ``(seed, worker_index)``
+with a fixed per-stream base offset — never from process-local global state
+or construction order — so a worker's streams are bit-identical no matter
+which OS process builds its stack.  The multiprocess execution layer
+(:mod:`repro.parallel`) relies on this: each shard process rebuilds only the
+workers it owns, in its own order, and still reproduces the single-process
+pool's records and clocks exactly.
+
+The constants pin the stream layout the benchmarks' determinism bars were
+recorded against; changing them changes every pinned record/clock in
+``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+#: ``System.create`` seed (cost-model jitter stream) for worker *i*.
+SYSTEM_STREAM_BASE = 100
+#: Worker-level action/move RNG for worker *i* (also the env seed in pools).
+WORKER_STREAM_BASE = 1000
+#: Rollout-driver action stream for worker *i* (also fed to policy factories).
+DRIVER_STREAM_BASE = 5000
+#: Shared network initialisation (one stream per pool, not per worker).
+NETWORK_STREAM_OFFSET = 7
+#: Inference-service replica systems (one stream per replica).
+REPLICA_STREAM_BASE = 9001
+
+
+def system_seed(seed: int, worker_index: int) -> int:
+    """Cost-model jitter stream for worker ``worker_index``'s ``System``."""
+    return int(seed) + SYSTEM_STREAM_BASE + int(worker_index)
+
+
+def worker_seed(seed: int, worker_index: int) -> int:
+    """Worker action/move RNG stream (and env seed) for ``worker_index``."""
+    return int(seed) + WORKER_STREAM_BASE + int(worker_index)
+
+
+def driver_seed(seed: int, worker_index: int) -> int:
+    """Rollout-driver action stream for ``worker_index``."""
+    return int(seed) + DRIVER_STREAM_BASE + int(worker_index)
+
+
+def network_seed(seed: int) -> int:
+    """Initialisation stream of the pool's shared network."""
+    return int(seed) + NETWORK_STREAM_OFFSET
+
+
+def replica_seed(seed: int, replica_index: int) -> int:
+    """Replica-system stream for inference replica ``replica_index``."""
+    return int(seed) + REPLICA_STREAM_BASE + int(replica_index)
