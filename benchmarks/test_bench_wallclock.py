@@ -310,12 +310,12 @@ def test_bench_wallclock(benchmark):
     }
     trajectory_path = REPO_ROOT / "BENCH_wallclock.json"
     try:
-        # The serving and multiproc benches merge their own blocks into this
-        # file; keep them.
+        # The serving, multiproc and cache benches merge their own blocks
+        # into this file; keep them.
         existing = json.loads(trajectory_path.read_text(encoding="utf-8"))
     except (OSError, ValueError):
         existing = {}
-    for block in ("serving", "multiproc"):
+    for block in ("serving", "multiproc", "cache"):
         if block in existing:
             payload[block] = existing[block]
     trajectory_path.write_text(

@@ -19,6 +19,8 @@ Examples::
     rls-experiment zoosweep --sims Pong,Hopper --algos DQN,PPO
     rls-experiment zoosweep --worker-counts 4,8 --replicas 1,2
     rls-experiment zoosweep --quick     # CI smoke: 2 sims, 1 worker count
+    rls-experiment cachesweep --worker-counts 4,8 --replicas 1,2
+    rls-experiment cachesweep --quick   # CI smoke: 1 cell, cache off vs on
     rls-experiment findings          # run everything and check F.1-F.12
 """
 
@@ -82,7 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("experiment",
                         choices=["table1", "fig4", "fig5", "fig7", "fig8", "fig11a", "fig11b",
                                  "batchsweep", "schedsweep", "replicasweep", "servesweep",
-                                 "zoosweep", "findings"])
+                                 "zoosweep", "cachesweep", "findings"])
     parser.add_argument("--algo", default="TD3", help="algorithm for fig4 (TD3 or DDPG)")
     parser.add_argument("--timesteps", type=int, default=None, help="steps per workload (default: experiment-specific)")
     parser.add_argument("--seed", type=int, default=0)
@@ -131,13 +133,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace-dir", default=None,
                         help="zoosweep: stream every batched cell's profiler trace "
                              "into per-cell TraceDB directories under this path")
+    parser.add_argument("--eval-games", type=_positive_int_list("evaluation game counts"),
+                        default=None,
+                        help="cachesweep: evaluation-round sizes, comma-separated "
+                             "(default: 2,4)")
     parser.add_argument("--quick", action="store_true",
-                        help="servesweep/zoosweep smoke mode: a small grid "
-                             "(the CI configuration)")
+                        help="servesweep/zoosweep/cachesweep smoke mode: a small "
+                             "grid (the CI configuration)")
     parser.add_argument("--out", default=None,
-                        help="servesweep/zoosweep: also write the report to this "
-                             "path (default: results/serve_sweep.txt / "
-                             "results/zoo_sweep.txt)")
+                        help="servesweep/zoosweep/cachesweep: also write the report "
+                             "to this path (default: results/serve_sweep.txt / "
+                             "results/zoo_sweep.txt / results/cache_sweep.txt)")
     return parser
 
 
@@ -260,6 +266,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(text)
         import pathlib
         out = pathlib.Path(args.out) if args.out else pathlib.Path("results/zoo_sweep.txt")
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+    elif args.experiment == "cachesweep":
+        from . import run_cache_sweep
+        sweep_kwargs = {}
+        if args.worker_counts is not None:
+            sweep_kwargs["worker_counts"] = args.worker_counts
+        if args.replicas is not None:
+            sweep_kwargs["replica_counts"] = args.replicas
+        if args.eval_games is not None:
+            sweep_kwargs["evaluation_games"] = args.eval_games
+        if args.quick:
+            # CI smoke: one small cell, still cache off vs on with the win
+            # parity and reduction columns.
+            sweep_kwargs.setdefault("worker_counts", (2,))
+            sweep_kwargs.setdefault("replica_counts", (1,))
+            sweep_kwargs.setdefault("evaluation_games", (2,))
+            sweep_kwargs.setdefault("max_moves", 4)
+        result = run_cache_sweep(seed=args.seed, **sweep_kwargs)
+        text = result.report()
+        print(text)
+        import pathlib
+        out = pathlib.Path(args.out) if args.out else pathlib.Path("results/cache_sweep.txt")
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(text + "\n")
     elif args.experiment == "findings":

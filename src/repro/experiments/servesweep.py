@@ -92,6 +92,8 @@ class ServeSweepResult:
     horizon_us: float
     capacity_rows_per_sec: float  #: measured single-replica capacity
     points: List[ServeSweepPoint]
+    cache_capacity: Optional[int] = None  #: admission-cache size (None = off)
+    key_space: Optional[int] = None       #: keyed-workload span (None = keyless)
 
     def point(self, multiplier: float, overload: str,
               num_replicas: int) -> ServeSweepPoint:
@@ -104,14 +106,19 @@ class ServeSweepResult:
 
     def report(self) -> str:
         header = (f"{'xcap':>5} {'repl':>4} {'overload':>13} {'offered/s':>10} "
-                  f"{'goodput/s':>10} {'shed%':>6} {'retry%':>6} {'late%':>6} "
-                  f"{'blocked':>7} {'qdelay p50/p95/p99 us':>22} {'latency p99 us':>14}")
+                  f"{'goodput/s':>10} {'shed%':>6} {'hit%':>6} {'retry%':>6} "
+                  f"{'late%':>6} {'blocked':>7} "
+                  f"{'qdelay p50/p95/p99 us':>22} {'latency p99 us':>14}")
+        cache_txt = ("cache off" if self.cache_capacity is None
+                     else f"cache={self.cache_capacity}")
+        keys_txt = ("keyless rows" if self.key_space is None
+                    else f"key_space={self.key_space}")
         lines = [
             f"Serve sweep: {self.arrival} arrivals from {self.num_clients} clients, "
             f"board={self.board_size}, max_batch={self.max_batch}, "
             f"window={self.queue_capacity}, flush timeout {self.flush_timeout_us:.0f}us, "
             f"deadline {self.request_deadline_us:.0f}us, "
-            f"horizon {self.horizon_us / 1e6:.4f}s",
+            f"horizon {self.horizon_us / 1e6:.4f}s, {cache_txt}, {keys_txt}",
             f"measured capacity: {self.capacity_rows_per_sec:.0f} rows/s per replica "
             f"(rates below are multiples of capacity x replicas)",
             header,
@@ -126,7 +133,9 @@ class ServeSweepResult:
             lines.append(
                 f"{point.multiplier:>5.2f} {point.num_replicas:>4d} {point.overload:>13} "
                 f"{slo.offered_rate_per_sec:>10.1f} {slo.goodput_per_sec:>10.1f} "
-                f"{100.0 * slo.shed_fraction:>5.1f}% {100.0 * slo.retry_fraction:>5.1f}% "
+                f"{100.0 * slo.shed_fraction:>5.1f}% "
+                f"{100.0 * slo.cache_hit_fraction:>5.1f}% "
+                f"{100.0 * slo.retry_fraction:>5.1f}% "
                 f"{100.0 * slo.timeout_fraction:>5.1f}% {slo.blocked:>7d} "
                 f"{delay_txt:>22} {latency_txt:>14}")
         lines.append(
@@ -152,9 +161,19 @@ def run_serve_sweep(
     request_deadline_us: float = DEFAULT_SERVE_KWARGS["request_deadline_us"],
     horizon_us: float = DEFAULT_SERVE_KWARGS["horizon_us"],
     retry: Optional[RetryPolicy] = None,
+    cache_capacity: Optional[int] = None,
+    key_space: Optional[int] = None,
     seed: int = 0,
 ) -> ServeSweepResult:
-    """Run the serving tier over the (rate, overload, replicas) grid."""
+    """Run the serving tier over the (rate, overload, replicas) grid.
+
+    ``key_space`` switches every client to the keyed workload (features a
+    pure function of a per-request state key; see
+    :func:`~repro.serving.client.key_features`) and ``cache_capacity``
+    arms the server's admission cache on that key — ``key_space`` alone
+    keeps the traffic identical while the server stays cacheless, which is
+    the apples-to-apples control the cache sweep compares against.
+    """
     if not multipliers or any(m <= 0 for m in multipliers):
         raise ValueError("multipliers must be positive")
     if arrival not in SERVE_ARRIVALS:
@@ -190,7 +209,8 @@ def run_serve_sweep(
                     num_replicas=num_replicas,
                     seed=seed,
                     name=f"serve_{overload}",
-                    keep_decision_log=False)
+                    keep_decision_log=False,
+                    cache_capacity=cache_capacity)
                 if arrival == "poisson":
                     process = PoissonProcess(rate)
                 else:
@@ -201,6 +221,7 @@ def run_serve_sweep(
                 loadgen = LoadGenerator(process, num_clients,
                                         feature_dim=feature_dim, retry=retry,
                                         request_deadline_us=request_deadline_us,
+                                        key_space=key_space,
                                         seed=seed)
                 result = run_serving(server, loadgen, horizon_us)
                 label = f"x{multiplier:g}/{overload}/r{num_replicas}"
@@ -212,4 +233,5 @@ def run_serve_sweep(
         arrival=arrival, board_size=board_size, max_batch=max_batch,
         queue_capacity=queue_capacity, flush_timeout_us=flush_timeout_us,
         num_clients=num_clients, request_deadline_us=request_deadline_us,
-        horizon_us=horizon_us, capacity_rows_per_sec=capacity, points=points)
+        horizon_us=horizon_us, capacity_rows_per_sec=capacity, points=points,
+        cache_capacity=cache_capacity, key_space=key_space)

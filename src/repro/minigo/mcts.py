@@ -44,10 +44,14 @@ class LeafEvalRequest:
     inference service) and calls :meth:`fulfill` before resuming the search.
     """
 
-    __slots__ = ("features", "priors", "values")
+    __slots__ = ("features", "state_keys", "priors", "values")
 
-    def __init__(self, features: np.ndarray) -> None:
+    def __init__(self, features: np.ndarray,
+                 state_keys: Optional[List[int]] = None) -> None:
         self.features = features
+        #: per-row position keys (Zobrist transposition keys), attached when
+        #: the search emits them for the service-side evaluation cache
+        self.state_keys = state_keys
         self.priors: Optional[np.ndarray] = None
         self.values: Optional[np.ndarray] = None
 
@@ -161,7 +165,18 @@ class MCTS:
         exploration_fraction: float = 0.25,
         leaf_batch: int = 1,
         rng: Optional[np.random.Generator] = None,
+        transposition: bool = False,
+        emit_state_keys: bool = False,
     ) -> None:
+        """``transposition=True`` keeps a per-search table of raw network
+        outputs keyed by :meth:`GoPosition.transposition_key`, so a position
+        reached again through a different move order is finished in-wave
+        from the stored (priors, value) instead of joining the
+        :class:`LeafEvalRequest` — selection, virtual-loss accounting and
+        backup are otherwise unchanged, and ``transposition=False``
+        reproduces today's searches bit for bit.  ``emit_state_keys=True``
+        attaches per-row transposition keys to every request, feeding the
+        service-side evaluation cache across searches and games."""
         if num_simulations <= 0:
             raise ValueError("num_simulations must be positive")
         if leaf_batch <= 0:
@@ -173,6 +188,10 @@ class MCTS:
         self.exploration_fraction = exploration_fraction
         self.leaf_batch = leaf_batch
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.transposition = transposition
+        self.emit_state_keys = emit_state_keys
+        #: cumulative leaves answered from transposition tables (all searches)
+        self.transposition_hits = 0
 
     # ----------------------------------------------------------------- search
     def search(self, position: GoPosition, *, add_noise: bool = True) -> MCTSNode:
@@ -366,7 +385,7 @@ class SearchCursor:
     """
 
     __slots__ = ("mcts", "root", "add_noise", "remaining", "wave", "pending",
-                 "request", "_at_root")
+                 "request", "_at_root", "table", "table_hits", "_pending_hits")
 
     def __init__(self, mcts: MCTS, position: GoPosition, *, add_noise: bool = True) -> None:
         self.mcts = mcts
@@ -375,8 +394,17 @@ class SearchCursor:
         self.remaining = mcts.num_simulations
         self.wave: Optional[List[Tuple[MCTSNode, Optional[float]]]] = None
         self.pending: Optional[List[MCTSNode]] = None
+        #: per-search transposition table: Zobrist key -> raw (priors64, value)
+        self.table: Optional[Dict[int, Tuple[np.ndarray, float]]] = (
+            {} if mcts.transposition else None)
+        self.table_hits = 0
+        #: table entries for the current wave's hit leaves, merged into the
+        #: evaluated results when the outstanding request is fulfilled
+        self._pending_hits: Optional[Dict[int, Tuple[np.ndarray, float]]] = None
         #: The outstanding inference boundary; None once the search completed.
-        self.request: Optional[LeafEvalRequest] = LeafEvalRequest(position.features()[None, :])
+        self.request: Optional[LeafEvalRequest] = LeafEvalRequest(
+            position.features()[None, :],
+            [position.transposition_key()] if mcts.emit_state_keys else None)
         self._at_root = True
 
     @property
@@ -389,7 +417,11 @@ class SearchCursor:
         priors, values = self.request.results()
         if self._at_root:
             self._at_root = False
-            mcts._expand_with_priors(self.root, np.asarray(priors[0], dtype=np.float64),
+            root_priors = np.asarray(priors[0], dtype=np.float64)
+            if self.table is not None:
+                self.table[self.root.position.transposition_key()] = (
+                    root_priors, float(values[0]))
+            mcts._expand_with_priors(self.root, root_priors,
                                      add_noise=self.add_noise)
         else:
             # One dtype conversion per wave; per-leaf rows are views into
@@ -397,19 +429,46 @@ class SearchCursor:
             priors64 = np.asarray(priors, dtype=np.float64)
             evaluated = {id(node): (priors64[i], float(values[i]))
                          for i, node in enumerate(self.pending)}
+            if self.table is not None:
+                for i, node in enumerate(self.pending):
+                    self.table[node.position.transposition_key()] = evaluated[id(node)]
+                if self._pending_hits:
+                    evaluated.update(self._pending_hits)
             self.remaining -= mcts._finish_wave(self.wave, evaluated)
         self.request = None
         self.wave = None
         self.pending = None
+        self._pending_hits = None
         while self.remaining > 0:
             wave, pending = mcts._select_wave(self.root, min(mcts.leaf_batch, self.remaining))
+            hits: Optional[Dict[int, Tuple[np.ndarray, float]]] = None
+            if self.table is not None and pending:
+                # Transposition pass: leaves whose position was already
+                # evaluated this search (through any move order) are finished
+                # in-wave from the stored raw outputs; only the misses join
+                # the network request.
+                hits = {}
+                misses: List[MCTSNode] = []
+                for node in pending:
+                    entry = self.table.get(node.position.transposition_key())
+                    if entry is not None:
+                        hits[id(node)] = entry
+                    else:
+                        misses.append(node)
+                if hits:
+                    self.table_hits += len(hits)
+                    mcts.transposition_hits += len(hits)
+                pending = misses
             if pending:
                 self.wave = wave
                 self.pending = pending
+                self._pending_hits = hits or None
                 self.request = LeafEvalRequest(
-                    np.stack([node.position.features() for node in pending]))
+                    np.stack([node.position.features() for node in pending]),
+                    [node.position.transposition_key() for node in pending]
+                    if mcts.emit_state_keys else None)
                 return self.request
-            self.remaining -= mcts._finish_wave(wave, {})
+            self.remaining -= mcts._finish_wave(wave, hits or {})
         return None
 
     def __getstate__(self) -> dict:

@@ -109,6 +109,8 @@ class SelfPlayWorker:
         leaf_batch: int = 1,
         inference: Optional[InferenceService] = None,
         inference_client: Optional[InferenceClient] = None,
+        transposition: bool = False,
+        emit_state_keys: bool = False,
     ) -> None:
         """With ``inference`` set, leaf evaluation goes through the shared
         batched :class:`~repro.minigo.inference.InferenceService` (one model
@@ -117,7 +119,13 @@ class SelfPlayWorker:
         collects per batched call (1 reproduces the legacy per-leaf search
         decision-for-decision).  ``inference_client`` supplies a pre-built
         client handle (candidate evaluation connects each side with its own
-        network); by default the worker connects itself."""
+        network); by default the worker connects itself.
+
+        ``transposition`` turns on the per-search MCTS transposition table;
+        ``emit_state_keys`` attaches Zobrist position keys to every wave
+        submission so a cache-enabled service can dedupe and cache rows
+        across workers and games (both default off — the bit-for-bit
+        baseline)."""
         if leaf_batch <= 0:
             raise ValueError("leaf_batch must be positive")
         if inference_client is not None and inference is None:
@@ -130,6 +138,8 @@ class SelfPlayWorker:
         self.max_moves = max_moves if max_moves is not None else 2 * board_size * board_size
         self.temperature_moves = temperature_moves
         self.leaf_batch = leaf_batch
+        self.transposition = transposition
+        self.emit_state_keys = emit_state_keys
         self.rng = np.random.default_rng(seed)
         self.inference = inference
         self._client: Optional[InferenceClient] = None
@@ -279,7 +289,9 @@ class GameDriver(StepwiseDriver):
     def _start_game(self) -> None:
         worker = self.worker
         self._mcts = MCTS(worker._profiled_evaluator, num_simulations=worker.num_simulations,
-                          leaf_batch=worker.leaf_batch, rng=worker.rng)
+                          leaf_batch=worker.leaf_batch, rng=worker.rng,
+                          transposition=worker.transposition,
+                          emit_state_keys=worker.emit_state_keys)
         self._position = GoPosition.initial(worker.board_size)
         self._game_examples = []
         self._move_number = 0
@@ -319,6 +331,12 @@ class GameDriver(StepwiseDriver):
                 metadata = {"rows": request.num_rows, "leaf_batch": worker.leaf_batch}
                 self._leaf_op = worker.profiler.operation(OP_EXPAND_LEAF, metadata=metadata)
                 self._leaf_op.__enter__()
+            if request.state_keys is not None:
+                # Cacheable wave: the service reads the per-row keys out of
+                # the metadata channel at submit (the profiler annotation,
+                # if any, shares the same dict — attribution is unchanged).
+                metadata = metadata if metadata is not None else {}
+                metadata["state_keys"] = request.state_keys
             self._ticket = worker._client.submit(request.features, metadata=metadata)
             return
 

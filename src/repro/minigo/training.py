@@ -30,11 +30,20 @@ from ..hw.gpu import GPUDevice
 from ..hw.nvidia_smi import UtilizationReport, sample_utilization
 from ..profiler.api import Profiler, ProfilerConfig
 from ..profiler.events import EventTrace
+from ..rollout.driver import StepwiseDriver
+from ..rollout.scheduler import PoolScheduler
 from ..sim.go import GoPosition
 from ..system import System
-from .inference import InferenceService, InferenceStats
-from .mcts import MCTS
-from .selfplay import PolicyValueNet, SelfPlayExample, SelfPlayWorker
+from .inference import InferenceService, InferenceStats, InferenceTicket
+from .mcts import MCTS, LeafEvalRequest, SearchCursor
+from .selfplay import (
+    _NULL_OPERATION,
+    OP_TREE_SEARCH,
+    TREE_SEARCH_UNITS_PER_SIM,
+    PolicyValueNet,
+    SelfPlayExample,
+    SelfPlayWorker,
+)
 from .workers import SCHEDULER_SEQUENTIAL, SchedulerStats, SelfPlayPool, WorkerRun
 
 
@@ -129,6 +138,18 @@ class MinigoConfig:
     #: ticket per call — the determinism baseline).
     flush_policy: str = "max-batch"
     flush_timeout_us: Optional[float] = None
+    #: Per-search MCTS transposition table: DAG-share identical positions
+    #: reached by different move orders inside one search.
+    transposition: bool = False
+    #: Row capacity of the service-side evaluation cache (None = off, the
+    #: bit-for-bit baseline).  Requires batched_inference: workers then
+    #: attach Zobrist state keys to every wave so the shared service can
+    #: dedupe and reuse rows across workers — and, in the evaluation
+    #: phase, across concurrent games.
+    cache_capacity: Optional[int] = None
+    #: "shared" (one service-wide cache) or "replica" (one per replica,
+    #: pairs with sticky routing).
+    cache_scope: str = "shared"
     #: When set, every phase streams its trace into one TraceDB store
     #: (per-worker shards) instead of keeping whole traces in memory.  Each
     #: round gets its own ``round_NNN`` store under this directory — worker
@@ -181,6 +202,9 @@ class MinigoTraining:
             scheduler=cfg.scheduler,
             flush_policy=cfg.flush_policy,
             flush_timeout_us=cfg.flush_timeout_us,
+            transposition=cfg.transposition,
+            cache_capacity=cfg.cache_capacity,
+            cache_scope=cfg.cache_scope,
         )
         runs = pool.run(self.current_weights)
         examples = pool.all_examples()
@@ -295,8 +319,6 @@ class MinigoTraining:
             profiler.attach(engine=engine)
             profiler.set_phase("evaluation")
 
-        rng = np.random.default_rng(cfg.seed + 13)
-        wins = 0
         with use_engine(engine):
             current = PolicyValueNet(cfg.board_size, cfg.hidden, rng=np.random.default_rng(cfg.seed + 7))
             current.load_state_dict(self.current_weights)
@@ -319,33 +341,65 @@ class MinigoTraining:
                                                 routing=cfg.routing,
                                                 primary_device=device,
                                                 cost_config=self.cost_config,
-                                                seed=cfg.seed)
+                                                seed=cfg.seed,
+                                                cache_capacity=cfg.cache_capacity,
+                                                cache_scope=cfg.cache_scope)
                 current_client = eval_service.connect(system, engine, worker="evaluation_current",
                                                       profiler=profiler)
                 candidate_client = eval_service.connect(system, engine, worker="evaluation_candidate",
                                                         network=candidate, profiler=profiler)
 
             eval_leaf_batch = cfg.leaf_batch if cfg.batched_inference else 1
+            emit_keys = cfg.batched_inference and cfg.cache_capacity is not None
             current_worker = SelfPlayWorker(system, engine, current, profiler=profiler,
                                             board_size=cfg.board_size,
                                             num_simulations=max(cfg.num_simulations // 2, 2),
                                             max_moves=cfg.max_moves, seed=cfg.seed + 21,
                                             leaf_batch=eval_leaf_batch,
-                                            inference=eval_service, inference_client=current_client)
+                                            inference=eval_service, inference_client=current_client,
+                                            transposition=cfg.transposition,
+                                            emit_state_keys=emit_keys)
             candidate_worker = SelfPlayWorker(system, engine, candidate, profiler=profiler,
                                               board_size=cfg.board_size,
                                               num_simulations=max(cfg.num_simulations // 2, 2),
                                               max_moves=cfg.max_moves, seed=cfg.seed + 22,
                                               leaf_batch=eval_leaf_batch,
-                                              inference=eval_service, inference_client=candidate_client)
+                                              inference=eval_service, inference_client=candidate_client,
+                                              transposition=cfg.transposition,
+                                              emit_state_keys=emit_keys)
 
-            for game in range(cfg.evaluation_games):
-                candidate_is_black = game % 2 == 0
-                winner_is_black = self._play_match(candidate_worker if candidate_is_black else current_worker,
-                                                   current_worker if candidate_is_black else candidate_worker,
-                                                   rng)
-                if winner_is_black == candidate_is_black:
-                    wins += 1
+            # All evaluation games run *concurrently*: one stepwise driver
+            # per game, interleaved by the pool scheduler, so the two sides'
+            # waves coalesce across games into shared engine calls — and,
+            # with the evaluation cache armed, game N's positions hit on
+            # game N-2's rows (games alternate colors with period 2, and
+            # noise-free argmax play makes repeats exact).  Outcomes cannot
+            # depend on the interleaving: with add_noise=False and
+            # temperature ~ 0 each move is an argmax over visit counts, so
+            # the per-game RNG draw is outcome-invariant.
+            max_moves = (cfg.max_moves if cfg.max_moves is not None
+                         else 2 * cfg.board_size * cfg.board_size)
+            drivers = [
+                EvalMatchDriver(
+                    candidate_worker if game % 2 == 0 else current_worker,
+                    current_worker if game % 2 == 0 else candidate_worker,
+                    candidate_is_black=game % 2 == 0,
+                    max_moves=max_moves,
+                    rng=np.random.default_rng(cfg.seed + 13),
+                    name=f"evaluation_game_{game}")
+                for game in range(cfg.evaluation_games)
+            ]
+            if eval_service is not None and drivers:
+                PoolScheduler(drivers, eval_service,
+                              flush_policy=cfg.flush_policy,
+                              flush_timeout_us=cfg.flush_timeout_us).run()
+            else:
+                # No shared service to block on: drivers never suspend, so
+                # stepping each to completion is the full schedule.
+                for driver in drivers:
+                    while driver.step():
+                        pass
+            wins = sum(1 for driver in drivers if driver.candidate_won)
 
         trace = profiler.finalize() if profiler is not None else None
         if store is not None:
@@ -353,21 +407,146 @@ class MinigoTraining:
         eval_stats = eval_service.stats if eval_service is not None else None
         return wins, trace, system.clock.now_us, eval_stats
 
-    def _play_match(self, black_worker: SelfPlayWorker, white_worker: SelfPlayWorker,
-                    rng: np.random.Generator) -> bool:
-        """Play one evaluation game; returns True if Black wins."""
-        cfg = self.config
-        position = GoPosition.initial(cfg.board_size)
-        max_moves = cfg.max_moves if cfg.max_moves is not None else 2 * cfg.board_size * cfg.board_size
-        move_number = 0
-        while not position.is_over and move_number < max_moves:
-            worker = black_worker if position.to_play == 1 else white_worker
-            mcts = MCTS(worker._profiled_evaluator, num_simulations=worker.num_simulations,
-                        leaf_batch=worker.leaf_batch, rng=rng)
-            root = mcts.search(position, add_noise=False)
-            move = mcts.choose_move(root, temperature=1e-6)
-            position = position.play(move)
-            move_number += 1
+
+class EvalMatchDriver(StepwiseDriver):
+    """One candidate-evaluation game as a resumable state machine.
+
+    The stepwise analogue of the old synchronous ``_play_match`` loop: one
+    :meth:`step` starts a move (charging the tree-traversal work and
+    submitting the first evaluation wave) or resumes after a served wave,
+    with the side to move picked from ``position.to_play`` each move.  Under
+    a :class:`~repro.rollout.scheduler.PoolScheduler` every game of the
+    evaluation round advances on the shared ``evaluate_candidate_model``
+    timeline, so same-model waves from different games batch into one engine
+    call and the service's evaluation cache hits across games.
+
+    Unlike :class:`~repro.minigo.selfplay.GameDriver`, profiler annotations
+    never stay open across a suspension: concurrent games share one
+    profiler, whose operation stack requires strict nesting — tree-search
+    work is annotated synchronously and the batch wait is charged by the
+    service outside any operation.
+    """
+
+    def __init__(self, black_worker: SelfPlayWorker, white_worker: SelfPlayWorker, *,
+                 candidate_is_black: bool, max_moves: int,
+                 rng: np.random.Generator, name: str) -> None:
+        self.black_worker = black_worker
+        self.white_worker = white_worker
+        self.candidate_is_black = candidate_is_black
+        self.max_moves = max_moves
+        self.rng = rng
+        self._name = name
+        self._position = GoPosition.initial(black_worker.board_size)
+        self._move_number = 0
+        self._finished = False
+        self._winner_is_black: Optional[bool] = None
+        # Per-move state (held across suspensions).
+        self._worker: Optional[SelfPlayWorker] = None
+        self._mcts: Optional[MCTS] = None
+        self._search: Optional[SearchCursor] = None
+        self._request: Optional[LeafEvalRequest] = None
+        self._ticket: Optional[InferenceTicket] = None
+
+    # ------------------------------------------------------------- scheduling
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def blocked(self) -> bool:
+        return self._ticket is not None and not self._ticket.done
+
+    @property
+    def now_us(self) -> float:
+        return self.black_worker.system.clock.now_us
+
+    @property
+    def worker_name(self) -> str:
+        return self._name
+
+    @property
+    def candidate_won(self) -> bool:
+        if self._winner_is_black is None:
+            raise RuntimeError(f"evaluation game {self._name!r} has not finished")
+        return self._winner_is_black == self.candidate_is_black
+
+    def step(self) -> bool:
+        if self._finished:
+            return False
+        if self.blocked:
+            raise RuntimeError(f"stepped evaluation driver {self._name!r} "
+                               "while it is blocked on inference")
+        with use_engine(self.black_worker.engine):
+            if self._ticket is not None:
+                self._resume_wave()
+            else:
+                self._begin_move()
+        return not self._finished
+
+    # ------------------------------------------------------------ transitions
+    def _begin_move(self) -> None:
+        if self._position.is_over or self._move_number >= self.max_moves:
+            self._finish_game()
+            return
+        worker = self.black_worker if self._position.to_play == 1 else self.white_worker
+        self._worker = worker
+        profiler = worker.profiler
+        op = (profiler.operation(OP_TREE_SEARCH) if profiler is not None
+              else _NULL_OPERATION)
+        with op:
+            worker.system.cpu_work(TREE_SEARCH_UNITS_PER_SIM * worker.num_simulations)
+        self._mcts = MCTS(worker._profiled_evaluator,
+                          num_simulations=worker.num_simulations,
+                          leaf_batch=worker.leaf_batch, rng=self.rng,
+                          transposition=worker.transposition,
+                          emit_state_keys=worker.emit_state_keys)
+        self._search = SearchCursor(self._mcts, self._position, add_noise=False)
+        self._advance_search()
+
+    def _advance_search(self) -> None:
+        worker = self._worker
+        search = self._search
+        while True:
+            request = search.request
+            if request is None:
+                self._commit_move(search.root)
+                return
+            if worker._client is None:
+                # Private compiled evaluator: resolve the wave in place.
+                priors, values = worker._profiled_evaluator(request.features)
+                request.fulfill(priors, values)
+                search.advance()
+                continue
+            # Shared service: queue the wave and suspend until served.
+            self._request = request
+            metadata = {"rows": request.num_rows, "leaf_batch": worker.leaf_batch}
+            if request.state_keys is not None:
+                metadata["state_keys"] = request.state_keys
+            self._ticket = worker._client.submit(request.features, metadata=metadata)
+            return
+
+    def _resume_wave(self) -> None:
+        ticket, self._ticket = self._ticket, None
+        request, self._request = self._request, None
+        priors, values = ticket.result()
+        request.fulfill(priors, values)
+        self._search.advance()
+        self._advance_search()
+
+    def _commit_move(self, root) -> None:
+        move = self._mcts.choose_move(root, temperature=1e-6)
+        self._position = self._position.play(move)
+        self._move_number += 1
+        self._worker = None
+        self._mcts = None
+        self._search = None
+        if self._position.is_over or self._move_number >= self.max_moves:
+            self._finish_game()
+
+    def _finish_game(self) -> None:
+        position = self._position
         if position.is_over:
-            return position.result() > 0
-        return position.board.area_score() > 0
+            self._winner_is_black = position.result() > 0
+        else:
+            self._winner_is_black = position.board.area_score() > 0
+        self._finished = True

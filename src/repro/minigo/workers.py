@@ -112,6 +112,9 @@ class SelfPlayPool:
         flush_timeout_us: Optional[float] = None,
         num_processes: Optional[int] = None,
         process_backend: str = "process",
+        transposition: bool = False,
+        cache_capacity: Optional[int] = None,
+        cache_scope: str = "shared",
     ) -> None:
         """With ``batched_inference=True`` the pool creates one shared
         :class:`~repro.minigo.inference.InferenceService` holding
@@ -142,7 +145,14 @@ class SelfPlayPool:
         virtual timelines and runs the shared service — records, clocks,
         scheduler decisions and service stats are bit-for-bit those of the
         single-process event loop.  ``process_backend="inline"`` runs the
-        shards in-process (CI/debugging)."""
+        shards in-process (CI/debugging).
+
+        ``transposition`` turns on each worker's per-search MCTS
+        transposition table; ``cache_capacity`` enables the shared
+        service's LRU evaluation cache (requires ``batched_inference``) and
+        makes every wave submission carry Zobrist position keys, with
+        ``cache_scope`` choosing one service-wide cache or one per replica.
+        Both default off, preserving today's runs bit-for-bit."""
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
         if num_replicas <= 0:
@@ -164,10 +174,23 @@ class SelfPlayPool:
                                  f"expected one of {FLUSH_POLICIES}")
             if flush_policy == FLUSH_TIMEOUT and (flush_timeout_us is None or flush_timeout_us < 0):
                 raise ValueError("the timeout flush policy requires a non-negative flush_timeout_us")
+        from ..rollout.evalcache import CACHE_SCOPES
+        if cache_scope not in CACHE_SCOPES:
+            raise ValueError(f"unknown cache scope {cache_scope!r}; "
+                             f"expected one of {CACHE_SCOPES}")
+        if cache_capacity is not None and not batched_inference:
+            raise ValueError("cache_capacity requires batched_inference=True "
+                             "(the evaluation cache lives in the shared service)")
         if num_processes is not None:
             from ..parallel.runner import BACKENDS
             if num_processes <= 0:
                 raise ValueError("num_processes must be positive")
+            if cache_capacity is not None:
+                raise ValueError(
+                    "num_processes cannot be combined with the service evaluation "
+                    "cache: shards replay engine calls from their own pre-run "
+                    "timelines, so parent-side cache hits would desynchronize the "
+                    "shard replicas; run the cache single-process")
             if scheduler != SCHEDULER_EVENT:
                 raise ValueError("num_processes requires the event scheduler "
                                  "(shards are merged at serve boundaries)")
@@ -196,6 +219,9 @@ class SelfPlayPool:
         self.flush_timeout_us = flush_timeout_us
         self.num_processes = num_processes
         self.process_backend = process_backend
+        self.transposition = transposition
+        self.cache_capacity = cache_capacity
+        self.cache_scope = cache_scope
         self.trace_dir = trace_dir
         self.chunk_events = chunk_events
         self.inference_service: Optional["InferenceService"] = None
@@ -285,6 +311,13 @@ class SelfPlayPool:
         factory = service_factory if service_factory is not None else InferenceService
         shared_network = PolicyValueNet(self.board_size, self.hidden,
                                         rng=np.random.default_rng(network_seed(self.seed)))
+        kwargs = {}
+        if self.cache_capacity is not None:
+            # Only passed when enabled, so the mirror-service factory (which
+            # predates the cache and rejects it at the pool level) keeps its
+            # original signature.
+            kwargs.update(cache_capacity=self.cache_capacity,
+                          cache_scope=self.cache_scope)
         return factory(
             shared_network,
             max_batch=self.inference_max_batch,
@@ -293,6 +326,7 @@ class SelfPlayPool:
             primary_device=self.device,
             cost_config=self.cost_config,
             seed=self.seed,
+            **kwargs,
         )
 
     def _child_config(self) -> dict:
@@ -317,6 +351,7 @@ class SelfPlayPool:
             scheduler=SCHEDULER_EVENT,
             flush_policy=self.flush_policy,
             flush_timeout_us=self.flush_timeout_us,
+            transposition=self.transposition,
         )
 
     def _run_parallel(self, weights: Optional[List[np.ndarray]]) -> List[WorkerRun]:
@@ -407,6 +442,8 @@ class SelfPlayPool:
             seed=worker_seed(self.seed, index),
             leaf_batch=self.leaf_batch,
             inference=self.inference_service,
+            transposition=self.transposition,
+            emit_state_keys=self.cache_capacity is not None,
         )
         return worker, profiler
 

@@ -311,6 +311,11 @@ class EnvRolloutDriver(StepwiseDriver):
             metadata = {"rows": 1, "env": self.env.sim_id}
             self._infer_op = self.profiler.operation(OP_INFERENCE, metadata=metadata)
             self._infer_op.__enter__()
+        if self.client.service.cache_enabled:
+            key = self.env.state_key()
+            if key is not None:
+                metadata = metadata if metadata is not None else {}
+                metadata["state_keys"] = [key]
         features = np.asarray(self._obs, dtype=np.float32).reshape(1, -1)
         self._ticket = self.client.submit(features, metadata=metadata)
 

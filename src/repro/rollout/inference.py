@@ -79,6 +79,7 @@ from ..cuda.kernels import FLOAT_BYTES
 from ..hw.costmodel import CostModelConfig
 from ..hw.gpu import GPUDevice
 from ..system import System
+from .evalcache import CACHE_REPLICA, CACHE_SCOPES, CACHE_SHARED, CachedRow, EvalCache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; avoids an import cycle
     from ..profiler.api import Profiler
@@ -240,6 +241,10 @@ class InferenceStats:
     # Weight propagation (sharded services broadcast to every replica).
     weight_broadcasts: int = 0        #: update_weights calls charged
     weight_broadcast_us: float = 0.0  #: total virtual broadcast time
+    # Evaluation cache (cache-enabled services only; all zero when disabled).
+    cache_hits: int = 0          #: rows answered from the LRU cache, no engine work
+    dedupe_rows: int = 0         #: duplicate in-batch rows folded into one engine row
+    cache_evictions: int = 0     #: LRU entries evicted by inserts
 
     @property
     def mean_batch_rows(self) -> float:
@@ -314,6 +319,9 @@ class InferenceStats:
         self.queue_delay_samples.merge_counts_from(other.queue_delay_samples)
         self.weight_broadcasts += other.weight_broadcasts
         self.weight_broadcast_us += other.weight_broadcast_us
+        self.cache_hits += other.cache_hits
+        self.dedupe_rows += other.dedupe_rows
+        self.cache_evictions += other.cache_evictions
 
 
 # --------------------------------------------------------------- routing
@@ -457,6 +465,8 @@ class ModelReplica:
         self.free_us = 0.0           #: horizon: when the last queued batch ends
         self.busy_us = 0.0           #: total virtual time spent serving batches
         self.stats = InferenceStats(capacity=capacity)
+        #: set by a cache-enabled service running with ``cache_scope="replica"``
+        self.eval_cache: Optional[EvalCache] = None
         self._compiled: Dict[Tuple[int, int], Tuple[CompiledFunction, object]] = {}
 
     @property
@@ -501,6 +511,9 @@ class InferenceTicket:
         self.metadata = metadata
         self.arrival_us = arrival_us   #: submitting worker's clock at submit
         self.seq = seq                 #: service-wide submission order
+        #: per-row position keys (``metadata["state_keys"]``) captured at
+        #: submit on cache-enabled services; None entries bypass the cache
+        self.state_keys: Optional[List[Optional[int]]] = None
         self.priors: Optional[np.ndarray] = None
         self.values: Optional[np.ndarray] = None
 
@@ -572,7 +585,8 @@ class InferenceService:
                  primary_device: Optional[GPUDevice] = None,
                  cost_config: Optional[CostModelConfig] = None, seed: int = 0,
                  function_name: str = EVALUATE_FUNCTION_NAME,
-                 forward=None) -> None:
+                 forward=None, cache_capacity: Optional[int] = None,
+                 cache_scope: str = CACHE_SHARED) -> None:
         """``primary_device`` pins replica 0 to an existing device (the GPU
         the rest of the workload shares); further replicas always get fresh
         devices of their own.  ``cost_config``/``seed`` parameterize the
@@ -587,11 +601,29 @@ class InferenceService:
         (out_rows, value_rows)`` mapping a [rows, features] array to a
         [rows, K] output array plus a [rows] value array.  The default
         calls ``network(Tensor(features))`` and softmaxes the logits —
-        the Minigo/discrete-policy contract."""
+        the Minigo/discrete-policy contract.
+
+        ``cache_capacity`` enables the service-side evaluation cache: a
+        bounded LRU of network outputs keyed by ``(weight_version,
+        network, position_key)``, fed by per-row ``metadata["state_keys"]``
+        at submit.  Cached rows skip the engine entirely, duplicate rows
+        within one batch run once and fan out to all riders, and
+        ``update_weights`` bumps :attr:`weight_version` so stale entries
+        become unreachable without an explicit flush.  ``cache_scope``
+        picks one shared cache for the service (hits can then answer a
+        whole ticket at submit) or one private cache per replica
+        (consulted only after routing — the cache-affinity configuration
+        for the sticky policy).  ``cache_capacity=None`` (the default)
+        disables every cache code path."""
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
         if num_replicas <= 0:
             raise ValueError("num_replicas must be positive")
+        if cache_scope not in CACHE_SCOPES:
+            raise ValueError(f"unknown cache scope {cache_scope!r}; "
+                             f"expected one of {CACHE_SCOPES}")
+        if cache_capacity is not None and cache_capacity <= 0:
+            raise ValueError("cache_capacity must be positive (or None to disable)")
         self.network = network
         self.max_batch = max_batch
         self.name = name
@@ -605,6 +637,18 @@ class InferenceService:
         # passing the same object) must not carry decisions or cursor state
         # from a previous service into this one.
         self.routing.reset()
+        self.cache_capacity = cache_capacity
+        self.cache_scope = cache_scope
+        #: monotonic weight generation; part of every cache key, so entries
+        #: written under old weights become unreachable after update_weights
+        self.weight_version = 0
+        self.eval_cache: Optional[EvalCache] = None
+        if cache_capacity is not None and cache_scope == CACHE_SHARED:
+            self.eval_cache = EvalCache(cache_capacity)
+        # Cache keys embed id(network); pinning a strong reference per keyed
+        # network guarantees an id is never recycled while entries citing it
+        # are still reachable (same trick as ModelReplica's compiled cache).
+        self._cache_networks: Dict[int, object] = {}
         self.stats = InferenceStats(capacity=max_batch)
         self._pending: List[InferenceTicket] = []
         self._seq = 0
@@ -639,10 +683,17 @@ class InferenceService:
                 system.device.name = f"{system.device.name}/{replica_name}"
             self.replicas.append(ModelReplica(index, replica_name, system,
                                               capacity=max_batch, pinned=pinned))
+        if cache_capacity is not None and cache_scope == CACHE_REPLICA:
+            for replica in self.replicas:
+                replica.eval_cache = EvalCache(cache_capacity)
 
     @property
     def num_replicas(self) -> int:
         return len(self.replicas)
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self.cache_capacity is not None
 
     # ---------------------------------------------------------------- clients
     def connect(self, system: System, engine: BackendEngine,
@@ -670,6 +721,10 @@ class InferenceService:
         load only (initial model placement before the clocks start).
         """
         self.network.load_state_dict(weights)
+        # New weight generation: every cache key embeds the version, so all
+        # entries written under the old weights are now unreachable (they age
+        # out of the LRU ring instead of being flushed synchronously).
+        self.weight_version += 1
         if not charge:
             return 0.0
         arrays = weights.values() if hasattr(weights, "values") else weights
@@ -702,6 +757,12 @@ class InferenceService:
         re-issue work (e.g. the serving tier's retry path) must pass a fresh
         dict per submission; :mod:`repro.serving.protocol` enforces this
         structurally by rebuilding the metadata dict at every wire decode.
+
+        On a cache-enabled service, ``metadata["state_keys"]`` (one
+        optional position key per feature row) makes the rows cacheable.
+        With the shared cache scope, a ticket whose rows *all* hit is
+        fulfilled right here — it never enters the queue and its caller
+        sees ``ticket.done`` immediately.
         """
         features = np.asarray(features)
         if features.ndim != 2 or features.shape[0] == 0:
@@ -709,13 +770,73 @@ class InferenceService:
         ticket = InferenceTicket(client, features, metadata,
                                  arrival_us=client.system.clock.now_us, seq=self._seq)
         self._seq += 1
+        self.stats.requests += 1
+        if self.cache_capacity is not None:
+            ticket.state_keys = self._extract_state_keys(metadata, ticket.num_rows)
+            if ticket.state_keys is not None:
+                self._cache_networks.setdefault(id(client.network), client.network)
+                if self._fulfil_at_submit(ticket):
+                    return ticket
         self._pending.append(ticket)
         self._pending_rows += ticket.num_rows
         if not self._earliest_arrival_dirty:
             if self._earliest_arrival_us is None or ticket.arrival_us < self._earliest_arrival_us:
                 self._earliest_arrival_us = ticket.arrival_us
-        self.stats.requests += 1
         return ticket
+
+    @staticmethod
+    def _extract_state_keys(metadata: Optional[dict], num_rows: int
+                            ) -> Optional[List[Optional[int]]]:
+        """Capture per-row position keys from the submission metadata."""
+        if metadata is None:
+            return None
+        keys = metadata.get("state_keys")
+        if keys is None:
+            return None
+        keys = list(keys)
+        if len(keys) != num_rows:
+            raise ValueError(f"metadata['state_keys'] has {len(keys)} entries "
+                             f"for {num_rows} feature rows")
+        return keys
+
+    def _cache_key(self, client: InferenceClient, state_key: Optional[int]
+                   ) -> Optional[Tuple[int, int, int]]:
+        """Full cache key for one row: (weight generation, network, position)."""
+        if state_key is None:
+            return None
+        return (self.weight_version, id(client.network), state_key)
+
+    def _cache_for(self, replica: ModelReplica) -> Optional[EvalCache]:
+        if self.cache_capacity is None:
+            return None
+        return self.eval_cache if self.cache_scope == CACHE_SHARED else replica.eval_cache
+
+    def _fulfil_at_submit(self, ticket: InferenceTicket) -> bool:
+        """Answer a whole ticket from the shared cache, skipping the queue.
+
+        Only the shared scope can do this (per-replica caches are consulted
+        after routing), and only when *every* row hits — partial hits wait
+        for batch planning, where :meth:`_run_batch` resolves them row by
+        row.  Submit-time hits land on the aggregate :attr:`stats` only: no
+        replica was involved, which :meth:`rolled_up_stats` documents.
+        """
+        if self.eval_cache is None:
+            return False
+        assert ticket.state_keys is not None
+        keys = [self._cache_key(ticket.client, key) for key in ticket.state_keys]
+        if any(key is None or key not in self.eval_cache for key in keys):
+            return False
+        entries = [self.eval_cache.get(key) for key in keys]
+        ticket.priors = np.stack([entry[0] for entry in entries], axis=0)
+        ticket.values = np.asarray([entry[1] for entry in entries])
+        self.stats.cache_hits += ticket.num_rows
+        if ticket.metadata is not None:
+            meta = ticket.metadata
+            meta["inference_service"] = self.name
+            meta["cache_hits"] = meta.get("cache_hits", 0) + ticket.num_rows
+            meta["completion_us"] = max(meta.get("completion_us", 0.0),
+                                        ticket.client.system.clock.now_us)
+        return True
 
     @property
     def pending_rows(self) -> int:
@@ -830,7 +951,7 @@ class InferenceService:
         host = chunk[0][0].client
         replica = self.routing.choose(self.replicas, host_worker=host.worker,
                                       depart_us=host.system.clock.now_us)
-        priors, values, batch_time_us = self._execute(host, chunk, replica)
+        priors, values, batch_time_us, engine_rows = self._run_batch(host, chunk, rows, replica)
         replica.free_us = max(replica.free_us, host.system.clock.now_us)
         replica.busy_us += batch_time_us
 
@@ -842,7 +963,8 @@ class InferenceService:
         for client in clients.values():
             if client is not host:
                 self._charge_rider(client, batch_time_us, rows, len(clients))
-        self._scatter(chunk, rows, priors, values, batch_time_us, len(clients), replica)
+        self._scatter(chunk, rows, priors, values, batch_time_us, len(clients), replica,
+                      engine_rows=engine_rows)
 
     def _charge_rider(self, client: InferenceClient, batch_time_us: float,
                       rows: int, num_clients: int) -> None:
@@ -1024,7 +1146,7 @@ class InferenceService:
         # The host worker (first requester) waits for the batch to start...
         host.system.clock.advance_to(start_us)
         start_us = host.system.clock.now_us  # host may already be past depart
-        priors, values, batch_time_us = self._execute(host, chunk, replica)
+        priors, values, batch_time_us, engine_rows = self._run_batch(host, chunk, rows, replica)
         end_us = host.system.clock.now_us
         replica.free_us = end_us
         replica.busy_us += batch_time_us
@@ -1052,9 +1174,135 @@ class InferenceService:
                 # timestamp and deadline check read this).
                 ticket.metadata["completion_us"] = max(
                     ticket.metadata.get("completion_us", 0.0), end_us)
-        self._scatter(chunk, rows, priors, values, batch_time_us, len(clients), replica)
+        self._scatter(chunk, rows, priors, values, batch_time_us, len(clients), replica,
+                      engine_rows=engine_rows)
 
     # -------------------------------------------------------- shared helpers
+    def _run_batch(self, host: InferenceClient,
+                   chunk: List[Tuple[InferenceTicket, int, int]], rows: int,
+                   replica: ModelReplica) -> Tuple[np.ndarray, np.ndarray, float, int]:
+        """Run one planned chunk, resolving cache hits and in-batch duplicates.
+
+        With the cache disabled this is exactly one :meth:`_execute` call.
+        With it enabled, each keyed row is either answered from the LRU
+        cache (a *hit*), folded into the first identical row of the chunk
+        (a *dedupe rider*), or executed; only the executed rows reach the
+        engine — as a sub-chunk of the original spans, so the overridable
+        :meth:`_execute` signature is untouched — and freshly executed
+        keyed rows enter the cache.  Returns ``(priors, values,
+        batch_time_us, engine_rows)`` covering all ``rows`` of the chunk;
+        ``engine_rows`` is what the engine actually evaluated (``rows``
+        when the cache is off, 0 for an all-hit chunk, which issues no
+        engine call at all).
+        """
+        cache = self._cache_for(replica)
+        if cache is None:
+            priors, values, batch_time_us = self._execute(host, chunk, replica)
+            return priors, values, batch_time_us, rows
+        row_keys: List[Optional[Tuple[int, int, int]]] = []
+        for ticket, lo, hi in chunk:
+            keys = ticket.state_keys
+            for row in range(lo, hi):
+                state_key = keys[row] if keys is not None else None
+                row_keys.append(self._cache_key(ticket.client, state_key))
+        hit_entries: Dict[int, CachedRow] = {}
+        canonical: List[int] = []       # batch-row indices the engine must run
+        rider_of: Dict[int, int] = {}   # duplicate batch row -> its canonical row
+        first_seen: Dict[Tuple[int, int, int], int] = {}
+        for index, key in enumerate(row_keys):
+            if key is None:
+                canonical.append(index)
+                continue
+            entry = cache.get(key)
+            if entry is not None:
+                hit_entries[index] = entry
+                continue
+            seen = first_seen.get(key)
+            if seen is None:
+                first_seen[key] = index
+                canonical.append(index)
+            else:
+                rider_of[index] = seen
+        batch_time_us = 0.0
+        sub_priors = sub_values = None
+        if canonical:
+            sub_chunk = self._sub_chunk(chunk, canonical)
+            sub_priors, sub_values, batch_time_us = self._execute(host, sub_chunk, replica)
+        if sub_priors is not None:
+            width, pdtype, vdtype = sub_priors.shape[1], sub_priors.dtype, sub_values.dtype
+        else:  # every row hit: shape/dtype come from any cached entry
+            prior_row, value = next(iter(hit_entries.values()))
+            width, pdtype, vdtype = prior_row.shape[0], prior_row.dtype, np.asarray(value).dtype
+        priors = np.empty((rows, width), dtype=pdtype)
+        values = np.empty(rows, dtype=vdtype)
+        for position, index in enumerate(canonical):
+            priors[index] = sub_priors[position]
+            values[index] = sub_values[position]
+        for index, source in rider_of.items():
+            priors[index] = priors[source]
+            values[index] = values[source]
+        for index, (prior_row, value) in hit_entries.items():
+            priors[index] = prior_row
+            values[index] = value
+        evictions = 0
+        for index in canonical:
+            key = row_keys[index]
+            if key is not None:
+                evictions += cache.put(key, priors[index].copy(), values[index])
+        for stats in (self.stats, replica.stats):
+            stats.cache_hits += len(hit_entries)
+            stats.dedupe_rows += len(rider_of)
+            stats.cache_evictions += evictions
+        if hit_entries or rider_of:
+            self._attribute_cache_rows(chunk, hit_entries, rider_of)
+        return priors, values, batch_time_us, len(canonical)
+
+    @staticmethod
+    def _sub_chunk(chunk: List[Tuple[InferenceTicket, int, int]],
+                   canonical: List[int]) -> List[Tuple[InferenceTicket, int, int]]:
+        """Spans covering only the selected batch-row indices (order kept).
+
+        ``canonical`` is strictly increasing, so one forward sweep over the
+        original spans suffices; adjacent selected rows of one ticket merge
+        back into a single span.
+        """
+        sub: List[Tuple[InferenceTicket, int, int]] = []
+        bounds = []  # (ticket, first batch row of this span, lo)
+        base = 0
+        for ticket, lo, hi in chunk:
+            bounds.append((ticket, base, lo, hi))
+            base += hi - lo
+        cursor = 0
+        for index in canonical:
+            while True:
+                ticket, row_base, lo, hi = bounds[cursor]
+                if index < row_base + (hi - lo):
+                    break
+                cursor += 1
+            row = lo + (index - row_base)
+            if sub and sub[-1][0] is ticket and sub[-1][2] == row:
+                sub[-1] = (ticket, sub[-1][1], row + 1)
+            else:
+                sub.append((ticket, row, row + 1))
+        return sub
+
+    @staticmethod
+    def _attribute_cache_rows(chunk: List[Tuple[InferenceTicket, int, int]],
+                              hit_entries: Dict[int, CachedRow],
+                              rider_of: Dict[int, int]) -> None:
+        """Count each ticket's cached/deduped rows into its metadata dict."""
+        base = 0
+        for ticket, lo, hi in chunk:
+            take = hi - lo
+            if ticket.metadata is not None:
+                hits = sum(1 for index in hit_entries if base <= index < base + take)
+                dupes = sum(1 for index in rider_of if base <= index < base + take)
+                if hits:
+                    ticket.metadata["cache_hits"] = ticket.metadata.get("cache_hits", 0) + hits
+                if dupes:
+                    ticket.metadata["dedupe_rows"] = ticket.metadata.get("dedupe_rows", 0) + dupes
+            base += take
+
     def _execute(self, host: InferenceClient, chunk: List[Tuple[InferenceTicket, int, int]],
                  replica: ModelReplica) -> Tuple[np.ndarray, np.ndarray, float]:
         """One batched engine call on the host's engine/clock, on the replica's device.
@@ -1085,18 +1333,28 @@ class InferenceService:
 
     def _scatter(self, chunk: List[Tuple[InferenceTicket, int, int]], rows: int,
                  priors: np.ndarray, values: np.ndarray, batch_time_us: float,
-                 num_clients: int, replica: ModelReplica) -> None:
-        """Record stats for one served batch and hand rows back to its tickets."""
+                 num_clients: int, replica: ModelReplica, *,
+                 engine_rows: Optional[int] = None) -> None:
+        """Record stats for one served batch and hand rows back to its tickets.
+
+        ``engine_rows`` is how many of the chunk's rows the engine actually
+        evaluated (cache hits and dedupe riders subtracted); it defaults to
+        ``rows`` — the cache-off behaviour — and 0 means no engine call was
+        issued at all, so none of the per-call counters (nor the batch-size
+        reservoir, whose RNG stream is pinned) may advance.
+        """
+        engine_rows = rows if engine_rows is None else engine_rows
         # The service aggregate and the serving replica's stats advance in
         # lock-step (aggregate first, so its reservoir RNG stream matches
         # the pre-sharding single-stats service draw for draw).
-        for stats in (self.stats, replica.stats):
-            stats.engine_calls += 1
-            stats.rows += rows
-            stats.max_batch_rows = max(stats.max_batch_rows, rows)
-            stats.batch_sizes.append(rows)
-            if num_clients > 1:
-                stats.cross_worker_batches += 1
+        if engine_rows:
+            for stats in (self.stats, replica.stats):
+                stats.engine_calls += 1
+                stats.rows += engine_rows
+                stats.max_batch_rows = max(stats.max_batch_rows, engine_rows)
+                stats.batch_sizes.append(engine_rows)
+                if num_clients > 1:
+                    stats.cross_worker_batches += 1
 
         offset = 0
         for ticket, lo, hi in chunk:
@@ -1121,7 +1379,7 @@ class InferenceService:
                 meta["batch_rows"] = meta.get("batch_rows", 0) + rows
                 meta["batch_clients"] = max(meta.get("batch_clients", 0), num_clients)
                 meta["batch_time_us"] = meta.get("batch_time_us", 0.0) + batch_time_us
-                meta["engine_calls"] = meta.get("engine_calls", 0) + 1
+                meta["engine_calls"] = meta.get("engine_calls", 0) + (1 if engine_rows else 0)
                 meta["replica"] = replica.index
             offset += take
 
@@ -1135,7 +1393,10 @@ class InferenceService:
         submissions, the roll-up counts served tickets, so they diverge
         while tickets are pending) and the weight-broadcast counters (the
         aggregate records one broadcast *span* per :meth:`update_weights`
-        call, the roll-up sums every replica's own copy time).
+        call, the roll-up sums every replica's own copy time).  A third,
+        cache-enabled divergence: submit-time cache hits fulfil a ticket
+        before any replica is routed, so their ``cache_hits`` land on the
+        aggregate only and the roll-up undercounts them.
         """
         merged = InferenceStats(capacity=self.max_batch)
         for replica in self.replicas:

@@ -132,6 +132,8 @@ class EnvRolloutPool:
         env_kwargs: Optional[dict] = None,
         num_processes: Optional[int] = None,
         process_backend: str = "process",
+        cache_capacity: Optional[int] = None,
+        cache_scope: str = "shared",
     ) -> None:
         """``network``/``forward``/``policy_factory`` default to a shared
         :class:`RolloutPolicyNet` with the env-appropriate service forward
@@ -154,6 +156,12 @@ class EnvRolloutPool:
         parent merges their virtual timelines and runs the shared service,
         bit-for-bit reproducing the single-process event loop.
         ``process_backend="inline"`` runs the shards in-process.
+
+        ``cache_capacity`` turns on the service-side evaluation cache
+        (weight-versioned LRU; see :mod:`repro.rollout.evalcache`) for envs
+        whose :meth:`~repro.sim.base.Env.state_key` returns a stable hash;
+        keyless envs bypass it row-by-row.  ``cache_scope`` is ``"shared"``
+        (one cache over all replicas) or ``"replica"``.
         """
         if num_workers <= 0:
             raise ValueError("num_workers must be positive")
@@ -179,6 +187,17 @@ class EnvRolloutPool:
             if process_backend not in BACKENDS:
                 raise ValueError(f"unknown process backend {process_backend!r}; "
                                  f"expected one of {BACKENDS}")
+        if cache_capacity is not None:
+            from .evalcache import CACHE_SCOPES
+            if cache_scope not in CACHE_SCOPES:
+                raise ValueError(f"unknown cache scope {cache_scope!r}; "
+                                 f"expected one of {CACHE_SCOPES}")
+            if num_processes is not None:
+                raise ValueError(
+                    "num_processes cannot be combined with the service evaluation "
+                    "cache: shards replay engine calls from their own pre-run "
+                    "timelines, so parent-side cache hits would desynchronize the "
+                    "shard replicas; run the cache single-process")
         self.sim = sim
         self.num_workers = num_workers
         self.steps_per_worker = steps_per_worker
@@ -194,6 +213,8 @@ class EnvRolloutPool:
         self.env_kwargs = dict(env_kwargs or {})
         self.num_processes = num_processes
         self.process_backend = process_backend
+        self.cache_capacity = cache_capacity
+        self.cache_scope = cache_scope
         self.trace_dir = trace_dir
         self.chunk_events = chunk_events
         self.inference_max_batch = (inference_max_batch if inference_max_batch is not None
@@ -294,6 +315,10 @@ class EnvRolloutPool:
         forward = self._forward
         if forward is None and not probe_env.is_discrete:
             forward = continuous_actor_forward
+        cache_kwargs = {}
+        if self.cache_capacity is not None:
+            cache_kwargs.update(cache_capacity=self.cache_capacity,
+                                cache_scope=self.cache_scope)
         return factory(
             network,
             max_batch=self.inference_max_batch,
@@ -304,6 +329,7 @@ class EnvRolloutPool:
             seed=self.seed,
             function_name=POLICY_FUNCTION_NAME,
             forward=forward,
+            **cache_kwargs,
         )
 
     def _child_config(self) -> dict:

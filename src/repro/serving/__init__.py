@@ -8,7 +8,7 @@ replay), a deterministic event loop, and SLO reporting.  See the README's
 "Networked serving" section for the tour.
 """
 
-from .client import NO_RETRY, ClientStats, RetryPolicy, ServingClient
+from .client import NO_RETRY, ClientStats, RetryPolicy, ServingClient, key_features
 from .loadgen import (
     ArrivalProcess,
     BurstyProcess,
@@ -89,6 +89,7 @@ __all__ = [
     "encode_reply",
     "encode_request",
     "estimate_capacity_rows_per_sec",
+    "key_features",
     "percentiles",
     "run_serving",
 ]

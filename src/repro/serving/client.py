@@ -59,6 +59,21 @@ class RetryPolicy:
 #: A retry policy that never retries (the no-defence baseline).
 NO_RETRY = RetryPolicy(max_attempts=1)
 
+#: Seed base of the per-key feature generators (see :func:`key_features`).
+_KEY_FEATURE_SEED = 0x5EED_CAFE
+
+
+def key_features(state_key: int, rows: int, feature_dim: int) -> np.ndarray:
+    """The canonical feature rows of one state key.
+
+    A pure function of ``(state_key, rows, feature_dim)`` — every client
+    that queries a key sends these exact bytes, which is what makes the
+    key a truthful cache identity: equal keys imply equal features imply
+    equal (priors, values) under any fixed weight version.
+    """
+    rng = np.random.default_rng(_KEY_FEATURE_SEED + state_key)
+    return rng.normal(size=(rows, feature_dim)).astype(np.float32)
+
 
 @dataclass
 class ClientStats:
@@ -83,14 +98,17 @@ class ClientStats:
 class _Pending:
     """One request awaiting its reply (survives across retries)."""
 
-    __slots__ = ("features", "first_send_us", "deadline_us", "attempts")
+    __slots__ = ("features", "first_send_us", "deadline_us", "attempts",
+                 "state_key")
 
     def __init__(self, features: np.ndarray, first_send_us: float,
-                 deadline_us: Optional[float]) -> None:
+                 deadline_us: Optional[float],
+                 state_key: Optional[int] = None) -> None:
         self.features = features
         self.first_send_us = first_send_us
         self.deadline_us = deadline_us
         self.attempts = 1  #: sends so far
+        self.state_key = state_key  #: carried verbatim across retries
 
     def request(self, client_id: str, request_id: int, send_us: float) -> EvalRequest:
         return EvalRequest(
@@ -99,7 +117,8 @@ class _Pending:
             first_send_us=self.first_send_us, deadline_us=self.deadline_us,
             # A fresh dict per attempt: tagging one attempt can never alias
             # another (see InferenceService.submit's sharing contract).
-            metadata={"attempt": self.attempts - 1})
+            metadata={"attempt": self.attempts - 1},
+            state_key=self.state_key)
 
 
 class ServingClient:
@@ -109,14 +128,26 @@ class ServingClient:
                  rows_per_request: int = 1,
                  retry: RetryPolicy = RetryPolicy(),
                  request_deadline_us: Optional[float] = None,
+                 key_space: Optional[int] = None,
                  seed: int = 0) -> None:
+        """``key_space`` switches the client from fresh random feature rows
+        per request to a keyed workload: each request draws a state key
+        uniformly from ``range(key_space)`` and derives its feature rows
+        *from the key alone* (a per-key seeded generator, identical across
+        clients), so two requests with one key are bitwise-identical — the
+        contract the server's admission cache requires.  Smaller spaces mean
+        hotter repeats.  ``None`` (default) keeps the uncacheable stream.
+        """
         if feature_dim <= 0 or rows_per_request <= 0:
             raise ValueError("feature_dim and rows_per_request must be positive")
+        if key_space is not None and key_space <= 0:
+            raise ValueError("key_space must be positive (or None for keyless rows)")
         self.client_id = client_id
         self.feature_dim = feature_dim
         self.rows_per_request = rows_per_request
         self.retry = retry
         self.request_deadline_us = request_deadline_us
+        self.key_space = key_space
         self.stats = ClientStats()
         self._rng = np.random.default_rng(seed)
         self._stream = MessageStream()
@@ -131,11 +162,17 @@ class ServingClient:
         """Open a new request at ``now_us``; returns its wire frame."""
         request_id = self._next_request_id
         self._next_request_id += 1
-        features = self._rng.normal(
-            size=(self.rows_per_request, self.feature_dim)).astype(np.float32)
+        state_key: Optional[int] = None
+        if self.key_space is not None:
+            state_key = int(self._rng.integers(self.key_space))
+            features = key_features(state_key, self.rows_per_request,
+                                    self.feature_dim)
+        else:
+            features = self._rng.normal(
+                size=(self.rows_per_request, self.feature_dim)).astype(np.float32)
         deadline = (None if self.request_deadline_us is None
                     else now_us + self.request_deadline_us)
-        pending = _Pending(features, now_us, deadline)
+        pending = _Pending(features, now_us, deadline, state_key)
         self._pending[request_id] = pending
         self.stats.requests += 1
         self.stats.sends += 1

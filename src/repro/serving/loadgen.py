@@ -139,6 +139,7 @@ class LoadGenerator:
                  feature_dim: int, rows_per_request: int = 1,
                  retry: RetryPolicy = RetryPolicy(),
                  request_deadline_us: Optional[float] = None,
+                 key_space: Optional[int] = None,
                  seed: int = 0) -> None:
         if num_clients <= 0:
             raise ValueError("num_clients must be positive")
@@ -150,6 +151,7 @@ class LoadGenerator:
             ServingClient(f"client_{index:04d}", feature_dim=feature_dim,
                           rows_per_request=rows_per_request, retry=retry,
                           request_deadline_us=request_deadline_us,
+                          key_space=key_space,
                           seed=seed + 100 + index)
             for index in range(num_clients)
         ]

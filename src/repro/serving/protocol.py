@@ -70,6 +70,9 @@ class EvalRequest:
     first_send_us: float = 0.0    #: client virtual clock at the first send
     deadline_us: Optional[float] = None  #: absolute; None = no deadline
     metadata: Dict = field(default_factory=dict)
+    #: stable hash of the queried state (see ``Env.state_key``); lets the
+    #: server answer repeats from its admission cache.  None = uncacheable.
+    state_key: Optional[int] = None
 
     @property
     def num_rows(self) -> int:
@@ -156,6 +159,10 @@ def encode_request(request: EvalRequest) -> bytes:
         "deadline_us": request.deadline_us,
         "metadata": request.metadata,
     }
+    if request.state_key is not None:
+        # Only keyed requests carry the field: keyless frames stay
+        # byte-identical to the pre-cache protocol.
+        header["state_key"] = request.state_key
     return _pack(MSG_REQUEST, header, [features])
 
 
@@ -217,6 +224,8 @@ def decode_message(data: bytes) -> Tuple[Union[EvalRequest, EvalReply], int]:
             first_send_us=float(header["first_send_us"]),
             deadline_us=None if header["deadline_us"] is None else float(header["deadline_us"]),
             metadata=dict(header["metadata"]),
+            state_key=(None if header.get("state_key") is None
+                       else int(header["state_key"])),
         )
     elif msg_type == MSG_REPLY:
         status = str(header["status"])

@@ -72,6 +72,7 @@ from ..minigo.inference import (
     ROUTING_ROUND_ROBIN,
     RoutingPolicy,
 )
+from ..rollout.evalcache import EvalCache
 from ..system import System
 from .protocol import (
     STATUS_OK,
@@ -157,7 +158,10 @@ class ServerStats:
     timeout_serves: int = 0    #: serves triggered by a partial-batch deadline
     peak_queue_tickets: int = 0  #: high-water mark of the ingress queue
     peak_backlog: int = 0      #: high-water mark of the blocked backlog
-    rows_served: int = 0       #: feature rows in OK replies
+    rows_served: int = 0       #: feature rows in batch-served OK replies
+    cache_hits: int = 0        #: OK replies answered at admission from the cache
+    cache_rows: int = 0        #: feature rows in cache-hit replies
+    cache_evictions: int = 0   #: admission-cache LRU evictions
 
     @property
     def shed(self) -> int:
@@ -166,6 +170,10 @@ class ServerStats:
     @property
     def shed_fraction(self) -> float:
         return self.shed / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def cache_hit_fraction(self) -> float:
+        return self.cache_hits / self.arrivals if self.arrivals else 0.0
 
 
 class _Inflight:
@@ -204,7 +212,8 @@ class InferenceServer:
                  cost_config: Optional[CostModelConfig] = None,
                  seed: int = 0,
                  name: str = "inference_server",
-                 keep_decision_log: bool = True) -> None:
+                 keep_decision_log: bool = True,
+                 cache_capacity: Optional[int] = None) -> None:
         if overload not in OVERLOAD_POLICIES:
             raise ValueError(f"unknown overload policy {overload!r}; "
                              f"expected one of {OVERLOAD_POLICIES}")
@@ -244,6 +253,12 @@ class InferenceServer:
         engine = GraphEngine(self._gateway_system, flavor="tensorflow")
         self.gateway = self.service.connect(self._gateway_system, engine,
                                             worker=f"{name}/gateway")
+        #: admission-time evaluation cache, keyed on (service weight version,
+        #: request state_key).  A hit is answered before the token bucket and
+        #: the concurrency window — it consumes neither.  None = disabled,
+        #: and the server's decisions are bit-for-bit those of a cacheless one.
+        self.eval_cache = (EvalCache(cache_capacity)
+                           if cache_capacity is not None else None)
         self.stats = ServerStats()
         self.decision_log: List[Tuple[float, str, str, int, str]] = []
         self._keep_log = keep_decision_log
@@ -317,6 +332,9 @@ class InferenceServer:
                   f"attempt={request.attempt} rows={request.num_rows}")
         if request.key in self._inflight:
             raise ValueError(f"duplicate in-flight request {request.key}")
+        hit = self._admission_hit(request, now_us)
+        if hit is not None:
+            return [hit]
         if not self._bucket(request.client_id).admit(now_us):
             self.stats.shed_rate += 1
             self._log(now_us, STATUS_SHED_RATE, request.client_id, request.request_id)
@@ -335,6 +353,34 @@ class InferenceServer:
         self._enqueue(request, now_us, now_us)
         replies.extend(self._pump(now_us))
         return replies
+
+    def _admission_hit(self, request: EvalRequest,
+                       now_us: float) -> Optional[Tuple[bytes, float]]:
+        """Answer a keyed repeat from the cache, before any defence spends.
+
+        A hit bypasses the token bucket and the concurrency window: the
+        reply is built at admission time from the cached priors/values, so
+        under overload every hit is one request that can neither be shed
+        nor occupy a window slot.  Logged as its own decision-log event.
+        """
+        if self.eval_cache is None or request.state_key is None:
+            return None
+        entry = self.eval_cache.get((self.service.weight_version, request.state_key))
+        if entry is None:
+            return None
+        priors, values = entry
+        if priors.shape[0] != request.num_rows:
+            return None  # same key but a different row block: not our entry
+        self.stats.cache_hits += 1
+        self.stats.cache_rows += request.num_rows
+        self._log(now_us, "cache-hit", request.client_id, request.request_id,
+                  f"key={request.state_key} version={self.service.weight_version}")
+        reply = EvalReply(request_id=request.request_id,
+                          client_id=request.client_id,
+                          status=STATUS_OK, priors=priors, values=values,
+                          queue_delay_us=0.0, completion_us=now_us,
+                          replica=-1, detail="cache")
+        return encode_reply(reply), now_us
 
     def _apply_overload_policy(self, request: EvalRequest, now_us: float,
                                replies: List[Tuple[bytes, float]]) -> bool:
@@ -464,6 +510,13 @@ class InferenceServer:
             )
             self.stats.served += 1
             self.stats.rows_served += ticket.num_rows
+            if self.eval_cache is not None and request.state_key is not None:
+                # Copies detach the cached rows from the batch output the
+                # ticket slices are views into (and from later mutation).
+                self.stats.cache_evictions += self.eval_cache.put(
+                    (self.service.weight_version, request.state_key),
+                    np.array(ticket.priors, copy=True),
+                    np.array(ticket.values, copy=True))
             heapq.heappush(self._in_service, completion_us)
             self._log(completion_us, "serve", request.client_id, request.request_id,
                       f"delay={reply.queue_delay_us:.1f}us replica={reply.replica}")

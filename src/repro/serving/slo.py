@@ -70,6 +70,9 @@ class SLOReport:
     timeout_serves: int = 0
     peak_queue_tickets: int = 0
     rows_served: int = 0
+    cache_hits: int = 0
+    cache_rows: int = 0
+    cache_evictions: int = 0
     # distributions (µs)
     latency_us: Optional[Dict[float, float]] = None
     client_queue_delay_us: Optional[Dict[float, float]] = None
@@ -94,6 +97,11 @@ class SLOReport:
     @property
     def retry_fraction(self) -> float:
         return self.retries / self.requests if self.requests else 0.0
+
+    @property
+    def cache_hit_fraction(self) -> float:
+        """Arrivals answered at admission from the evaluation cache."""
+        return self.cache_hits / self.arrivals if self.arrivals else 0.0
 
     @property
     def offered_rate_per_sec(self) -> float:
@@ -124,6 +132,9 @@ class SLOReport:
             f"block_time_us={self.block_time_us:.1f} "
             f"peak_queue={self.peak_queue_tickets}",
             f"  serves    calls={self.serve_calls} timeout_serves={self.timeout_serves}",
+            f"  cache     hits={self.cache_hits} rows={self.cache_rows} "
+            f"evictions={self.cache_evictions} "
+            f"(hit rate {self.cache_hit_fraction:.4f} of arrivals)",
             f"  latency_us        {_format_percentiles(self.latency_us)}",
             f"  queue_delay_us    {_format_percentiles(self.client_queue_delay_us)} (client)",
             f"  service_delay_us  {_format_percentiles(self.service_queue_delay_us)} (reservoir)",
@@ -164,6 +175,9 @@ def build_slo_report(result: ServingRunResult, *, label: str = "run",
     report.timeout_serves = stats.timeout_serves
     report.peak_queue_tickets = stats.peak_queue_tickets
     report.rows_served = stats.rows_served
+    report.cache_hits = stats.cache_hits
+    report.cache_rows = stats.cache_rows
+    report.cache_evictions = stats.cache_evictions
     report.latency_us = percentiles(latency, points)
     report.client_queue_delay_us = percentiles(queue_delay, points)
     report.service_queue_delay_us = server.service.stats.queue_delay_percentiles(points)

@@ -99,6 +99,18 @@ class Env:
     def _step_state(self, action) -> StepResult:
         raise NotImplementedError
 
+    def state_key(self) -> Optional[int]:
+        """Stable hash of the current native state, or ``None`` (the default).
+
+        A non-``None`` key makes the env's policy evaluations cacheable in
+        the service-side evaluation cache: two states with equal keys must
+        produce bitwise-identical observations (and therefore identical
+        network rows).  Envs whose state cannot be hashed cheaply — or
+        whose observations embed continuous noise that never recurs —
+        return ``None``, which bypasses the cache entirely.
+        """
+        return None
+
     # ------------------------------------------------------------------ misc
     @property
     def observation_dim(self) -> int:

@@ -472,6 +472,10 @@ class GoEnv(Env):
         self.position = GoPosition.initial(self.size, self.komi)
         return self.position.features()
 
+    def state_key(self) -> Optional[int]:
+        """The position's incremental Zobrist key (stones + ko + side to move)."""
+        return self.position.transposition_key()
+
     def _step_state(self, action: int) -> StepResult:
         move = self.position.index_to_move(int(action))
         if not self.position.board.is_legal(move, self.position.to_play):

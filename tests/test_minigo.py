@@ -179,3 +179,36 @@ def test_ucb_selection_is_minimax_correct():
     before = opponent_losing.ucb_score(1.5)
     opponent_losing.virtual_loss = 1
     assert opponent_losing.ucb_score(1.5) < before
+
+
+# ------------------------------------------------------- concurrent evaluation
+def _evaluation_wins(*, evaluation_games, batched, cache=False):
+    kwargs = {}
+    if batched:
+        kwargs.update(leaf_batch=1, scheduler="event")
+    if cache:
+        kwargs.update(transposition=True, cache_capacity=256)
+    config = MinigoConfig(num_workers=2, board_size=5, num_simulations=3,
+                          games_per_worker=1, max_moves=6, sgd_steps=2,
+                          evaluation_games=evaluation_games, hidden=(8, 8),
+                          seed=0, profile=False, batched_inference=batched,
+                          **kwargs)
+    return MinigoTraining(config).run_round().candidate_wins
+
+
+@pytest.mark.parametrize("evaluation_games,expected_wins",
+                         [(1, 0), (2, 1), (4, 2)])
+def test_concurrent_evaluation_pins_sequential_win_statistics(
+        evaluation_games, expected_wins):
+    """All evaluation games now run concurrently under one scheduler; the
+    win statistics must be exactly those of the old one-game-at-a-time
+    loop (expected values pinned from the sequential implementation).
+    Evaluation plays noise-free argmax moves, so neither the interleaving
+    nor the evaluation cache may change a single game's outcome.
+    """
+    assert _evaluation_wins(evaluation_games=evaluation_games,
+                            batched=False) == expected_wins
+    assert _evaluation_wins(evaluation_games=evaluation_games,
+                            batched=True) == expected_wins
+    assert _evaluation_wins(evaluation_games=evaluation_games,
+                            batched=True, cache=True) == expected_wins

@@ -469,3 +469,73 @@ def test_served_reply_carries_batch_attribution():
     by_id = {reply.request_id: reply for reply, _ in replies}
     assert by_id[0].queue_delay_us > by_id[1].queue_delay_us, \
         "the earlier arrival waited longer for the batch to fill"
+
+
+# ------------------------------------------------------ admission-time cache
+def keyed_request(rid, t=0.0, *, client="c0", key=7, n=1):
+    from repro.serving import key_features
+    return EvalRequest(request_id=rid, client_id=client,
+                       features=key_features(key, n, FEATURES),
+                       send_us=t, first_send_us=t, state_key=key, metadata={})
+
+
+def test_admission_hit_consumes_no_token_and_no_window_slot():
+    """A cache hit is answered before every admission defence.
+
+    With the window full of executing work and the client's token bucket
+    empty, a keyed repeat is still answered OK — from the cache, at arrival
+    time, on no replica — while a keyless arrival in the same state sheds.
+    """
+    server = make_server(max_batch=2, queue_capacity=2,
+                         rate_limit_per_sec=1.0, rate_burst=2.0,
+                         cache_capacity=8)
+    server.offer(keyed_request(0, 0.0, key=7), 0.0)
+    replies = decode_replies(server.offer(request(1, 1.0), 1.0))
+    assert all(reply.ok for reply, _ in replies)  # full batch served; cache warm
+    assert server.occupancy(2.0) == 2  # window full until the batch completes
+    assert server._buckets["c0"].tokens < 1.0  # both admissions spent tokens
+
+    [(hit, at)] = decode_replies(server.offer(keyed_request(2, 2.0, key=7), 2.0))
+    assert hit.ok and hit.detail == "cache" and hit.replica == -1
+    assert at == 2.0  # answered at admission, not at a batch completion
+    assert server.stats.cache_hits == 1 and server.stats.cache_rows == 1
+    assert server.occupancy(2.0) == 2, "the hit occupied no window slot"
+    assert server._buckets["c0"].tokens < 1.0, "the hit consumed no token"
+    assert server.stats.admitted == 2, "the hit never entered the ingress queue"
+    assert any(" cache-hit " in line for line in server.decision_log_lines())
+
+    # Same instant, no key: every defence that the hit bypassed applies.
+    [(shed, _)] = decode_replies(server.offer(request(3, 2.0), 2.0))
+    assert shed.status == "shed-rate"
+
+
+def test_state_key_roundtrips_and_keyless_frames_are_unchanged():
+    keyed = keyed_request(4, 10.0, key=123)
+    decoded, _ = decode_message(encode_request(keyed))
+    assert decoded.state_key == 123
+    assert decoded.features.tobytes() == keyed.features.tobytes()
+    keyless = request(5, 10.0)
+    assert keyless.state_key is None
+    frame = encode_request(keyless)
+    assert b"state_key" not in frame, "keyless frames carry no cache field"
+    assert decode_message(frame)[0].state_key is None
+
+
+def test_keyed_run_decision_log_replays_with_cache_hits():
+    def run():
+        server = make_server(cache_capacity=32, seed=3)
+        generator = LoadGenerator(PoissonProcess(40_000.0), 16,
+                                  feature_dim=FEATURES, seed=3, key_space=4)
+        run_serving(server, generator, 15_000.0)
+        return server
+
+    first, second = run(), run()
+    assert first.decision_log_lines() == second.decision_log_lines()
+    assert first.stats.cache_hits > 0
+    assert any(" cache-hit " in line for line in first.decision_log_lines())
+    report = build_slo_report(run_serving(make_server(cache_capacity=32, seed=3),
+                                          LoadGenerator(PoissonProcess(40_000.0), 16,
+                                                        feature_dim=FEATURES, seed=3,
+                                                        key_space=4),
+                                          15_000.0))
+    assert "cache" in report.format()

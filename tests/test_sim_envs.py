@@ -283,3 +283,45 @@ def test_go_board_invariants_random_playout(seed):
                 if board[row, col] != 0:
                     _, liberties = position.board.group_and_liberties(row, col)
                     assert len(liberties) > 0
+
+
+# ---------------------------------------------------------------- state_key
+@pytest.mark.parametrize("name", sorted(SIMULATOR_COMPLEXITY))
+def test_state_key_is_none_or_stable(name):
+    """Registry-wide cacheability contract for the evaluation cache.
+
+    Every env must either opt out of caching (``state_key() is None``,
+    the :class:`~repro.sim.base.Env` default) or return an integer key
+    that is stable across repeated calls without stepping and identical
+    under a same-seed replay of the same action sequence — the condition
+    for two equal keys to guarantee bitwise-identical observations.
+    """
+    def collect(env_seed):
+        env = make(name, System.create(seed=0), seed=env_seed)
+        rng = np.random.default_rng(123)
+        env.reset()
+        keys = [env.state_key()]
+        for _ in range(12):
+            _, _, done, _ = env.step(env.action_space.sample(rng))
+            assert env.state_key() == env.state_key()  # no step, no drift
+            keys.append(env.state_key())
+            if done:
+                env.reset()
+                keys.append(env.state_key())
+        return keys
+
+    keys = collect(5)
+    assert keys == collect(5)
+    assert all(key is None or isinstance(key, int) for key in keys)
+    # A key-bearing env must key every state, not just some of them.
+    if any(key is not None for key in keys):
+        assert all(key is not None for key in keys)
+        assert name == "Go"  # the only keyed env today; update when more opt in
+
+
+def test_go_env_state_key_tracks_position():
+    env = make("Go", System.create(seed=0), seed=4, size=5)
+    env.reset()
+    assert env.state_key() == env.position.transposition_key()
+    env.step(0)
+    assert env.state_key() == env.position.transposition_key()
