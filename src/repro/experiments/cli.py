@@ -21,6 +21,8 @@ Examples::
     rls-experiment zoosweep --quick     # CI smoke: 2 sims, 1 worker count
     rls-experiment cachesweep --worker-counts 4,8 --replicas 1,2
     rls-experiment cachesweep --quick   # CI smoke: 1 cell, cache off vs on
+    rls-experiment faultsweep --fault-rates 0,150 --replicas 4
+    rls-experiment faultsweep --quick   # CI smoke: fault-free vs one faulty cell
     rls-experiment findings          # run everything and check F.1-F.12
 """
 
@@ -56,9 +58,23 @@ def _positive_float_list(noun: str):
     return parse
 
 
+def _nonnegative_float_list(noun: str):
+    """argparse type: a comma-separated list of non-negative floats."""
+    def parse(text: str) -> tuple:
+        try:
+            values = tuple(float(value) for value in text.split(","))
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"expected comma-separated numbers, got {text!r}")
+        if not values or any(value < 0 for value in values):
+            raise argparse.ArgumentTypeError(f"{noun} must be non-negative, got {text!r}")
+        return values
+    return parse
+
+
 _leaf_batch_list = _positive_int_list("leaf batch sizes")
 _replica_list = _positive_int_list("replica counts")
 _rate_list = _positive_float_list("rate multipliers")
+_fault_rate_list = _nonnegative_float_list("fault rates")
 
 
 def _name_list(text: str) -> tuple:
@@ -84,7 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("experiment",
                         choices=["table1", "fig4", "fig5", "fig7", "fig8", "fig11a", "fig11b",
                                  "batchsweep", "schedsweep", "replicasweep", "servesweep",
-                                 "zoosweep", "cachesweep", "findings"])
+                                 "zoosweep", "cachesweep", "faultsweep", "findings"])
     parser.add_argument("--algo", default="TD3", help="algorithm for fig4 (TD3 or DDPG)")
     parser.add_argument("--timesteps", type=int, default=None, help="steps per workload (default: experiment-specific)")
     parser.add_argument("--seed", type=int, default=0)
@@ -137,13 +153,21 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="cachesweep: evaluation-round sizes, comma-separated "
                              "(default: 2,4)")
+    parser.add_argument("--fault-rates", type=_fault_rate_list, default=None,
+                        help="faultsweep replica crash rates per virtual second, "
+                             "comma-separated; 0 is the fault-free control "
+                             "(default: 0,50,150)")
+    parser.add_argument("--fault-policies", type=_name_list, default=None,
+                        help="faultsweep admission arms, comma-separated from "
+                             "degrade,full (default: both)")
     parser.add_argument("--quick", action="store_true",
-                        help="servesweep/zoosweep/cachesweep smoke mode: a small "
-                             "grid (the CI configuration)")
+                        help="servesweep/zoosweep/cachesweep/faultsweep smoke "
+                             "mode: a small grid (the CI configuration)")
     parser.add_argument("--out", default=None,
-                        help="servesweep/zoosweep/cachesweep: also write the report "
-                             "to this path (default: results/serve_sweep.txt / "
-                             "results/zoo_sweep.txt / results/cache_sweep.txt)")
+                        help="servesweep/zoosweep/cachesweep/faultsweep: also "
+                             "write the report to this path (default: "
+                             "results/serve_sweep.txt / results/zoo_sweep.txt / "
+                             "results/cache_sweep.txt / results/fault_sweep.txt)")
     return parser
 
 
@@ -289,6 +313,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(text)
         import pathlib
         out = pathlib.Path(args.out) if args.out else pathlib.Path("results/cache_sweep.txt")
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text + "\n")
+    elif args.experiment == "faultsweep":
+        from . import run_fault_sweep
+        sweep_kwargs = {}
+        if args.fault_rates is not None:
+            sweep_kwargs["crash_rates"] = args.fault_rates
+        if args.fault_policies is not None:
+            sweep_kwargs["policies"] = args.fault_policies
+        if args.replicas is not None:
+            sweep_kwargs["replica_counts"] = args.replicas
+        if args.clients is not None:
+            sweep_kwargs["num_clients"] = args.clients
+        if args.quick:
+            # CI smoke: fault-free control vs one faulty cell, both arms,
+            # over a short trace with a small client fleet.
+            sweep_kwargs.setdefault("crash_rates", (0.0, 150.0))
+            sweep_kwargs.setdefault("replica_counts", (4,))
+            sweep_kwargs.setdefault("num_clients", 64)
+            sweep_kwargs["horizon_us"] = 15_000.0
+        crash_rates = sweep_kwargs.pop("crash_rates", None)
+        if crash_rates is not None:
+            result = run_fault_sweep(crash_rates, seed=args.seed, **sweep_kwargs)
+        else:
+            result = run_fault_sweep(seed=args.seed, **sweep_kwargs)
+        text = result.report()
+        print(text)
+        import pathlib
+        out = pathlib.Path(args.out) if args.out else pathlib.Path("results/fault_sweep.txt")
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(text + "\n")
     elif args.experiment == "findings":

@@ -107,7 +107,7 @@ class ServeSweepResult:
     def report(self) -> str:
         header = (f"{'xcap':>5} {'repl':>4} {'overload':>13} {'offered/s':>10} "
                   f"{'goodput/s':>10} {'shed%':>6} {'hit%':>6} {'retry%':>6} "
-                  f"{'late%':>6} {'blocked':>7} "
+                  f"{'late%':>6} {'avail%':>7} {'redisp':>6} {'blocked':>7} "
                   f"{'qdelay p50/p95/p99 us':>22} {'latency p99 us':>14}")
         cache_txt = ("cache off" if self.cache_capacity is None
                      else f"cache={self.cache_capacity}")
@@ -136,7 +136,9 @@ class ServeSweepResult:
                 f"{100.0 * slo.shed_fraction:>5.1f}% "
                 f"{100.0 * slo.cache_hit_fraction:>5.1f}% "
                 f"{100.0 * slo.retry_fraction:>5.1f}% "
-                f"{100.0 * slo.timeout_fraction:>5.1f}% {slo.blocked:>7d} "
+                f"{100.0 * slo.timeout_fraction:>5.1f}% "
+                f"{100.0 * slo.availability:>6.2f}% "
+                f"{slo.redispatched_rows:>6d} {slo.blocked:>7d} "
                 f"{delay_txt:>22} {latency_txt:>14}")
         lines.append(
             "note: 'none' admits everything into an unbounded window — its tail "

@@ -1,0 +1,37 @@
+"""Deterministic fault injection and self-healing execution.
+
+See :mod:`repro.faults.plan` for the fault model.  The package is consumed
+by three layers: the replica pool (:mod:`repro.rollout.inference`), the
+serving tier (:mod:`repro.serving.server`), and the multiprocess tier
+(:mod:`repro.parallel.runner`).
+"""
+
+from .plan import (
+    BROADCAST_FAIL,
+    EMPTY_PLAN,
+    FAULT_KINDS,
+    FRAME_CORRUPT,
+    FRAME_DROP,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    REPLICA_CRASH,
+    REPLICA_RECOVER,
+    REPLICA_SLOW,
+    SHARD_CRASH,
+)
+
+__all__ = [
+    "BROADCAST_FAIL",
+    "EMPTY_PLAN",
+    "FAULT_KINDS",
+    "FRAME_CORRUPT",
+    "FRAME_DROP",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "REPLICA_CRASH",
+    "REPLICA_RECOVER",
+    "REPLICA_SLOW",
+    "SHARD_CRASH",
+]

@@ -112,6 +112,7 @@ class SelfPlayPool:
         flush_timeout_us: Optional[float] = None,
         num_processes: Optional[int] = None,
         process_backend: str = "process",
+        fault_plan=None,
         transposition: bool = False,
         cache_capacity: Optional[int] = None,
         cache_scope: str = "shared",
@@ -219,6 +220,11 @@ class SelfPlayPool:
         self.flush_timeout_us = flush_timeout_us
         self.num_processes = num_processes
         self.process_backend = process_backend
+        #: optional :class:`~repro.faults.plan.FaultPlan` for the multiprocess
+        #: tier (shard crashes -> respawn + journal replay).  Excluded from
+        #: :meth:`_child_config`: the parent injects faults, respawned shards
+        #: must never re-inject them.
+        self.fault_plan = fault_plan
         self.transposition = transposition
         self.cache_capacity = cache_capacity
         self.cache_scope = cache_scope
@@ -373,7 +379,9 @@ class SelfPlayPool:
         specs = [ShardSpec(kind="selfplay", pool_config=config,
                            worker_indices=indices, weights=weights)
                  for indices in assign_workers(self.num_workers, self.num_processes)]
-        runner = ParallelRunner(specs, backend=self.process_backend)
+        runner = ParallelRunner(specs, backend=self.process_backend,
+                                fault_plan=self.fault_plan)
+        self.parallel_runner = runner
         try:
             service = self._build_service(
                 service_factory=partial(MirrorInferenceService, runner=runner))

@@ -26,6 +26,7 @@ import multiprocessing
 import pickle
 from typing import Dict, List, Optional, Sequence
 
+from ..faults.plan import FaultPlan
 from .shard import ShardSpec, handle_message, shard_main
 
 
@@ -57,25 +58,102 @@ class _InlineChannel:
 
 
 class _ProcessChannel:
-    """One shard process behind a duplex pipe; strictly serial FIFO."""
+    """One shard process behind a duplex pipe; strictly serial FIFO.
+
+    With replay enabled (fault-injection runs), the channel journals every
+    request it sends and counts the replies already consumed.  A dead child
+    — detected as ``EOFError`` on recv or a broken pipe on send — is then
+    **respawned and replayed**: the journal is resent in order, the first
+    ``consumed`` replies are discarded, and the interrupted call resumes.
+    Shards are pure functions of their build spec and message sequence, so
+    the replayed child reconstructs exactly the state the dead one held —
+    records, clocks and trace shards come out bit-identical.
+    """
 
     def __init__(self, ctx) -> None:
-        self._conn, child_conn = ctx.Pipe()
-        self._proc = ctx.Process(target=shard_main, args=(child_conn,), daemon=True)
+        self._ctx = ctx
+        self._journal: Optional[List[tuple]] = None
+        self._consumed = 0
+        self._on_respawn = None
+        self._spawn()
+
+    def _spawn(self) -> None:
+        self._conn, child_conn = self._ctx.Pipe()
+        self._proc = self._ctx.Process(target=shard_main, args=(child_conn,),
+                                       daemon=True)
         self._proc.start()
         child_conn.close()
 
+    def enable_replay(self, on_respawn=None) -> None:
+        """Start journalling traffic for crash recovery (fault runs only)."""
+        self._journal = []
+        self._consumed = 0
+        self._on_respawn = on_respawn
+
+    def arm(self, crash_after_results: int) -> None:
+        """Tell the child to fail-stop on its n-th ``results`` message.
+
+        Bypasses the journal and the consumed-reply count on purpose: a
+        respawned child must never be re-armed, or it would crash again at
+        the same point forever.
+        """
+        self._conn.send(("arm", int(crash_after_results)))
+        reply = self._conn.recv()
+        assert reply == ("armed",), reply
+
     def send(self, msg: tuple) -> None:
-        self._conn.send(msg)
+        if self._journal is not None:
+            self._journal.append(msg)
+        try:
+            self._conn.send(msg)
+        except (BrokenPipeError, OSError):
+            if self._journal is None:
+                raise
+            # The child died before this message landed; the journal already
+            # holds it, so the replay delivers it to the fresh child.
+            self._respawn_and_replay()
 
     def recv(self) -> tuple:
+        while True:
+            try:
+                reply = self._conn.recv()
+            except (EOFError, ConnectionResetError):
+                if self._journal is None:
+                    raise RuntimeError("shard process exited without replying")
+                self._respawn_and_replay()
+                continue
+            if reply[0] == "error":
+                raise RuntimeError(f"shard process failed:\n{reply[1]}")
+            self._consumed += 1
+            return reply
+
+    def _respawn_and_replay(self) -> None:
         try:
-            reply = self._conn.recv()
-        except EOFError:
-            raise RuntimeError("shard process exited without replying")
+            self._conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        self._proc.join(timeout=30)
+        if self._proc.is_alive():  # pragma: no cover - defensive
+            self._proc.terminate()
+            self._proc.join(timeout=5)
+        self._spawn()
+        # Resend the journal, draining already-consumed replies as they
+        # become available so neither pipe direction can fill and deadlock.
+        discarded = 0
+        for msg in self._journal:
+            self._conn.send(msg)
+            while discarded < self._consumed and self._conn.poll():
+                discarded += self._discard_one()
+        while discarded < self._consumed:
+            discarded += self._discard_one()
+        if self._on_respawn is not None:
+            self._on_respawn(len(self._journal), self._consumed)
+
+    def _discard_one(self) -> int:
+        reply = self._conn.recv()
         if reply[0] == "error":
-            raise RuntimeError(f"shard process failed:\n{reply[1]}")
-        return reply
+            raise RuntimeError(f"shard replay failed:\n{reply[1]}")
+        return 1
 
     def close(self) -> None:
         try:
@@ -106,7 +184,8 @@ def assign_workers(num_workers: int, num_processes: int) -> List[List[int]]:
 class ParallelRunner:
     """Routes mirror-service traffic to the shard owning each worker."""
 
-    def __init__(self, specs: Sequence[ShardSpec], *, backend: str = "process") -> None:
+    def __init__(self, specs: Sequence[ShardSpec], *, backend: str = "process",
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown parallel backend {backend!r}; "
                              f"expected one of {BACKENDS}")
@@ -118,6 +197,24 @@ class ParallelRunner:
             methods = multiprocessing.get_all_start_methods()
             ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
             self.channels = [_ProcessChannel(ctx) for _ in self.specs]
+        #: replayable record of every injected shard fault and recovery
+        self.fault_log: List[str] = []
+        self.respawns = 0
+        if (fault_plan is not None and not fault_plan.empty
+                and backend == "process"):
+            # Journal all traffic so a dead shard can be respawned and
+            # replayed; arm the planned crashes (k-th results message).
+            crashes = fault_plan.shard_crashes()
+            for index, channel in enumerate(self.channels):
+                channel.enable_replay(
+                    on_respawn=lambda replayed, discarded, index=index:
+                        self._record_respawn(index, replayed, discarded))
+                crash_after = crashes.get(index)
+                if crash_after:
+                    channel.arm(crash_after)
+                    self.fault_log.append(
+                        f"shard-crash-armed shard={index} "
+                        f"after_results={crash_after}")
         self._chan_of: Dict[int, object] = {}
         for channel, spec in zip(self.channels, self.specs):
             for windex in spec.worker_indices:
@@ -125,6 +222,11 @@ class ParallelRunner:
         self.proxies: List[object] = []
         self._seg_buffer: Dict[int, dict] = {}
         self._exec_seq = 0
+
+    def _record_respawn(self, index: int, replayed: int, discarded: int) -> None:
+        self.respawns += 1
+        self.fault_log.append(f"shard-respawn shard={index} replayed={replayed} "
+                              f"discarded={discarded}")
 
     # ----------------------------------------------------------------- setup
     def attach(self, proxies: Sequence[object]) -> None:
@@ -194,6 +296,29 @@ class ParallelRunner:
             if reply[1] == windex:
                 return reply[2]
             self._seg_buffer[reply[1]] = reply[2]
+
+    def snapshots(self) -> Dict[int, bytes]:
+        """Snapshot every shard's drivers (windex → resumable state blob).
+
+        Valid whenever all drivers sit at a segment boundary (blocked or
+        finished).  The blobs feed :attr:`ShardSpec.restore` so a freshly
+        respawned process can rebuild its drivers mid-run — the driver-level
+        recovery substrate under the journal-replay transport.
+        """
+        for channel in self.channels:
+            channel.send(("snap",))
+        blobs: Dict[int, bytes] = {}
+        for channel in self.channels:
+            while True:
+                reply = channel.recv()
+                if reply[0] == "seg":
+                    self._seg_buffer[reply[1]] = reply[2]
+                    continue
+                if reply[0] != "snapped":
+                    raise RuntimeError(f"expected a snapshot reply, got {reply[0]!r}")
+                blobs.update(reply[1])
+                break
+        return blobs
 
     # -------------------------------------------------------------- teardown
     def finalize(self) -> Dict[int, dict]:

@@ -40,6 +40,9 @@ class ShardSpec:
     pool_config: dict
     worker_indices: List[int]       #: global worker indices owned by this shard
     weights: Optional[list] = field(default=None, repr=False)
+    #: optional windex → snapshot blob: drivers listed here are rebuilt from
+    #: their snapshot (mid-run recovery) instead of starting fresh.
+    restore: Optional[Dict[int, bytes]] = field(default=None, repr=False)
 
 
 class WorkerShard:
@@ -73,7 +76,11 @@ class WorkerShard:
         self.service = service
         for windex in spec.worker_indices:
             worker, profiler = pool._make_worker(windex, spec.weights)
-            self.drivers[windex] = GameDriver(worker, pool.games_per_worker)
+            if spec.restore is not None and windex in spec.restore:
+                driver = GameDriver.restore(worker, spec.restore[windex])
+            else:
+                driver = GameDriver(worker, pool.games_per_worker)
+            self.drivers[windex] = driver
             self.systems[windex] = worker.system
             self.host_clients[windex] = worker._client
             self.profilers[windex] = profiler
@@ -95,11 +102,17 @@ class WorkerShard:
             system, engine, env, profiler = stacks[windex]
             client = service.connect(system, engine, worker=system.worker,
                                      profiler=profiler)
-            policy = pool._make_policy(env, windex)
-            self.drivers[windex] = EnvRolloutDriver(
-                env, client, policy, pool.steps_per_worker,
-                seed=driver_seed(pool.seed, windex), profiler=profiler,
-                collect_transitions=pool.collect_transitions)
+            if spec.restore is not None and windex in spec.restore:
+                driver = EnvRolloutDriver.restore(env, client,
+                                                  spec.restore[windex],
+                                                  profiler=profiler)
+            else:
+                policy = pool._make_policy(env, windex)
+                driver = EnvRolloutDriver(
+                    env, client, policy, pool.steps_per_worker,
+                    seed=driver_seed(pool.seed, windex), profiler=profiler,
+                    collect_transitions=pool.collect_transitions)
+            self.drivers[windex] = driver
             self.systems[windex] = system
             self.host_clients[windex] = client
             self.profilers[windex] = profiler
@@ -217,19 +230,32 @@ def handle_message(state, msg: tuple) -> tuple:
         priors, values, end_us = state.shard.execute(windex, replica_index,
                                                      features, start_us)
         return ("exec", exec_id, priors, values, end_us)
+    if tag == "snap":
+        shard = state.shard
+        return ("snapped", {windex: shard.drivers[windex].snapshot()
+                            for windex in shard.spec.worker_indices})
     if tag == "finalize":
         return ("final", state.shard.finalize())
     raise ValueError(f"unknown shard message {tag!r}")
 
 
 def shard_main(conn) -> None:
-    """Entry point of a shard process: serve parent requests until ``stop``."""
+    """Entry point of a shard process: serve parent requests until ``stop``.
+
+    ``("arm", n)`` schedules an injected fail-stop: the process dies via
+    ``os._exit`` on its ``n``-th subsequent ``results`` message, *before*
+    touching any state or replying — the batch-boundary fail-stop model.  A
+    respawned process is never re-armed (the parent arms only at startup),
+    so journal replay runs the same message past the crash point.
+    """
     import traceback
 
     class _State:
         shard = None
 
     state = _State()
+    crash_after_results: Optional[int] = None
+    results_seen = 0
     while True:
         try:
             msg = conn.recv()
@@ -237,6 +263,16 @@ def shard_main(conn) -> None:
             break
         if msg[0] == "stop":
             break
+        if msg[0] == "arm":
+            crash_after_results = int(msg[1])
+            results_seen = 0
+            conn.send(("armed",))
+            continue
+        if msg[0] == "results" and crash_after_results is not None:
+            results_seen += 1
+            if results_seen == crash_after_results:
+                import os
+                os._exit(1)  # fail-stop: no reply, no partial state
         try:
             conn.send(handle_message(state, msg))
         except BaseException as exc:

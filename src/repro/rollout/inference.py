@@ -65,6 +65,7 @@ quantity — operation-event metadata takes no part in
 
 from __future__ import annotations
 
+import weakref
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -245,6 +246,12 @@ class InferenceStats:
     cache_hits: int = 0          #: rows answered from the LRU cache, no engine work
     dedupe_rows: int = 0         #: duplicate in-batch rows folded into one engine row
     cache_evictions: int = 0     #: LRU entries evicted by inserts
+    # Fault handling (fault-injected services only; all zero when no plan).
+    replica_crashes: int = 0     #: fail-stop replica deaths applied
+    replica_recoveries: int = 0  #: replicas brought back (weights re-broadcast)
+    redispatches: int = 0        #: batches re-planned off a dying replica
+    redispatched_rows: int = 0   #: rows those batches carried
+    broadcast_retries: int = 0   #: failed weight copies charged twice
 
     @property
     def mean_batch_rows(self) -> float:
@@ -322,6 +329,11 @@ class InferenceStats:
         self.cache_hits += other.cache_hits
         self.dedupe_rows += other.dedupe_rows
         self.cache_evictions += other.cache_evictions
+        self.replica_crashes += other.replica_crashes
+        self.replica_recoveries += other.replica_recoveries
+        self.redispatches += other.redispatches
+        self.redispatched_rows += other.redispatched_rows
+        self.broadcast_retries += other.broadcast_retries
 
 
 # --------------------------------------------------------------- routing
@@ -464,6 +476,14 @@ class ModelReplica:
         self.pinned = pinned
         self.free_us = 0.0           #: horizon: when the last queued batch ends
         self.busy_us = 0.0           #: total virtual time spent serving batches
+        #: False while the replica is fail-stopped by an injected fault; an
+        #: unhealthy replica takes no traffic until it recovers (and current
+        #: weights are re-broadcast onto its horizon first).
+        self.healthy = True
+        self.slow_factor = 1.0       #: >1 while an injected slowdown is active
+        self.slow_until_us = 0.0     #: virtual end of the active slowdown
+        self.down_us = 0.0           #: accumulated down-time over closed outages
+        self.down_since_us: Optional[float] = None  #: start of the open outage
         self.stats = InferenceStats(capacity=capacity)
         #: set by a cache-enabled service running with ``cache_scope="replica"``
         self.eval_cache: Optional[EvalCache] = None
@@ -645,10 +665,20 @@ class InferenceService:
         self.eval_cache: Optional[EvalCache] = None
         if cache_capacity is not None and cache_scope == CACHE_SHARED:
             self.eval_cache = EvalCache(cache_capacity)
-        # Cache keys embed id(network); pinning a strong reference per keyed
-        # network guarantees an id is never recycled while entries citing it
-        # are still reachable (same trick as ModelReplica's compiled cache).
-        self._cache_networks: Dict[int, object] = {}
+        # Cache keys embed a per-service *registration token*, not
+        # ``id(network)``: an id can be recycled the moment a network is
+        # garbage collected, at which point a new network allocated at the
+        # same address would silently read another model's cached rows.
+        # Tokens are handed out monotonically in first-submission order
+        # (deterministic) and tracked through weak references, so a
+        # collected network frees its slot without pinning the model alive.
+        self._net_tokens: Dict[int, Tuple[int, weakref.ref]] = {}
+        self._next_net_token = 0
+        #: armed by :meth:`attach_fault_injector`; None keeps every serving
+        #: path on its fault-free fast path, bit-identical to a build
+        #: without fault support.
+        self.fault_injector = None
+        self._broadcast_bytes: Optional[float] = None
         self.stats = InferenceStats(capacity=max_batch)
         self._pending: List[InferenceTicket] = []
         self._seq = 0
@@ -729,18 +759,213 @@ class InferenceService:
             return 0.0
         arrays = weights.values() if hasattr(weights, "values") else weights
         num_bytes = float(sum(FLOAT_BYTES * np.asarray(w).size for w in arrays))
+        self._broadcast_bytes = num_bytes
+        injector = self.fault_injector
         begin_us = min(replica.free_us for replica in self.replicas)
         end_us = begin_us
         for replica in self.replicas:
+            if injector is not None and not replica.healthy:
+                # A dead replica misses the push; recovery re-broadcasts the
+                # then-current weights before it takes traffic again.
+                injector.record(begin_us, "broadcast-skipped", replica.index,
+                                "replica down; weights land on recovery")
+                continue
             copy_us = replica.system.cost_model.memcpy_duration(num_bytes)
             replica.free_us += copy_us
             replica.stats.weight_broadcasts += 1
             replica.stats.weight_broadcast_us += copy_us
+            if injector is not None:
+                for event in injector.take_broadcast_failures(
+                        replica.index, replica.free_us):
+                    # The failed copy is retried back to back: charged twice.
+                    replica.free_us += copy_us
+                    replica.stats.weight_broadcast_us += copy_us
+                    self.stats.broadcast_retries += 1
+                    replica.stats.broadcast_retries += 1
+                    injector.record(event.time_us, "broadcast-fail", replica.index,
+                                    f"copy retried ({copy_us:.3f}us)")
             end_us = max(end_us, replica.free_us)
         span_us = end_us - begin_us
         self.stats.weight_broadcasts += 1
         self.stats.weight_broadcast_us += span_us
         return span_us
+
+    # ---------------------------------------------------------------- faults
+    def attach_fault_injector(self, injector) -> None:
+        """Arm fault injection: replica events from the injector's plan are
+        applied as virtual time reaches them (see :meth:`apply_due_faults`),
+        batches route around unhealthy replicas, and batches planned onto a
+        horizon that dies before they start re-dispatch onto the survivors.
+        Never attached (the default) keeps every path fault-free and
+        bit-identical."""
+        self.fault_injector = injector
+
+    def healthy_replicas(self) -> List[ModelReplica]:
+        return [replica for replica in self.replicas if replica.healthy]
+
+    def capacity_lost_us(self, until_us: float) -> float:
+        """Replica-microseconds of capacity lost to outages up to ``until_us``.
+
+        Sums every closed outage plus the elapsed part of any still-open one
+        (a replica down at ``until_us`` contributes only the span it has
+        actually been down for).
+        """
+        lost = 0.0
+        for replica in self.replicas:
+            lost += replica.down_us
+            if replica.down_since_us is not None:
+                lost += max(0.0, until_us - replica.down_since_us)
+        return lost
+
+    def availability(self, until_us: float) -> float:
+        """Fraction of pool capacity that was up over ``[0, until_us]``."""
+        if until_us <= 0.0:
+            return 1.0
+        total = until_us * len(self.replicas)
+        return 1.0 - self.capacity_lost_us(until_us) / total
+
+    def apply_due_faults(self, now_us: float) -> None:
+        """Apply every replica-pool fault scheduled at or before ``now_us``."""
+        injector = self.fault_injector
+        if injector is None:
+            return
+        for event in injector.due_replica_events(now_us):
+            self._apply_fault(event)
+
+    def _apply_fault(self, event) -> None:
+        from ..faults.plan import REPLICA_CRASH, REPLICA_RECOVER, REPLICA_SLOW
+        if event.kind == REPLICA_CRASH:
+            self.fail_replica(event.target, event.time_us)
+        elif event.kind == REPLICA_RECOVER:
+            self.recover_replica(event.target, event.time_us)
+        elif event.kind == REPLICA_SLOW:
+            self.slow_replica(event.target, event.time_us, event.param,
+                              event.duration_us)
+
+    def fail_replica(self, index: int, now_us: float) -> bool:
+        """Fail-stop a replica at a batch boundary.
+
+        The last healthy replica refuses to die (logged as ``crash-skipped``)
+        so the pool always makes progress; queued work is untouched — the
+        global arrival-order queue holds it, and planning simply never routes
+        to an unhealthy replica — while work already planned onto the dead
+        horizon re-dispatches via :meth:`_route_around_crashes`.
+        """
+        replica = self.replicas[index]
+        injector = self.fault_injector
+        if not replica.healthy:
+            return False
+        if sum(1 for r in self.replicas if r.healthy) <= 1:
+            if injector is not None:
+                injector.record(now_us, "crash-skipped", index,
+                                "last healthy replica")
+            return False
+        replica.healthy = False
+        replica.down_since_us = now_us
+        self.stats.replica_crashes += 1
+        replica.stats.replica_crashes += 1
+        if injector is not None:
+            healthy = sum(1 for r in self.replicas if r.healthy)
+            injector.record(now_us, "replica-crash", index,
+                            f"healthy={healthy}/{len(self.replicas)}")
+        return True
+
+    def recover_replica(self, index: int, now_us: float) -> bool:
+        """Bring a dead replica back: re-broadcast current weights onto its
+        horizon (charged at its memcpy rate), then let it take traffic."""
+        replica = self.replicas[index]
+        injector = self.fault_injector
+        if replica.healthy:
+            if injector is not None:
+                injector.record(now_us, "recover-skipped", index, "already healthy")
+            return False
+        replica.healthy = True
+        if replica.down_since_us is not None:
+            replica.down_us += max(0.0, now_us - replica.down_since_us)
+            replica.down_since_us = None
+        replica.free_us = max(replica.free_us, now_us)
+        copy_us = 0.0
+        num_bytes = self._weight_footprint_bytes()
+        if num_bytes > 0.0:
+            copy_us = replica.system.cost_model.memcpy_duration(num_bytes)
+            replica.free_us += copy_us
+            replica.stats.weight_broadcasts += 1
+            replica.stats.weight_broadcast_us += copy_us
+        self.stats.replica_recoveries += 1
+        replica.stats.replica_recoveries += 1
+        if injector is not None:
+            healthy = sum(1 for r in self.replicas if r.healthy)
+            injector.record(now_us, "replica-recover", index,
+                            f"rebroadcast_us={copy_us:.3f} "
+                            f"healthy={healthy}/{len(self.replicas)}")
+        return True
+
+    def slow_replica(self, index: int, now_us: float, factor: float,
+                     duration_us: float) -> None:
+        """Degrade a replica: batches starting inside the span run
+        ``factor``x longer (extra time charged on the host clock)."""
+        replica = self.replicas[index]
+        replica.slow_factor = factor
+        replica.slow_until_us = now_us + duration_us
+        if self.fault_injector is not None:
+            self.fault_injector.record(now_us, "replica-slow", index,
+                                       f"factor={factor:g} until={replica.slow_until_us:.3f}")
+
+    def _weight_footprint_bytes(self) -> float:
+        """Bytes one replica receives in a weight (re-)broadcast."""
+        if self._broadcast_bytes is None:
+            try:
+                state = self.network.state_dict()
+            except AttributeError:
+                self._broadcast_bytes = 0.0
+            else:
+                arrays = state.values() if hasattr(state, "values") else state
+                self._broadcast_bytes = float(
+                    sum(FLOAT_BYTES * np.asarray(w).size for w in arrays))
+        return self._broadcast_bytes
+
+    def _route_around_crashes(self, host_worker: str, depart_us: float,
+                              rows: int) -> Tuple[ModelReplica, float]:
+        """Route a planned batch, re-dispatching off replicas that die first.
+
+        The routing policy picks among the healthy replicas (the full pool
+        when all are healthy, so the fault-free decision stream is
+        unchanged).  If the chosen replica's next scheduled event is a crash
+        landing at or before the batch's start on its horizon, these rows
+        are exactly the dead replica's queued/in-flight work: the crash is
+        applied now, a ``redispatch`` decision is logged, the re-dispatch
+        latency is charged onto a new departure, and routing repeats over
+        the survivors.  Batches are planned in global arrival order, so
+        re-dispatches replay in arrival order too.
+        """
+        injector = self.fault_injector
+        while True:
+            healthy = [r for r in self.replicas if r.healthy]
+            if len(healthy) == len(self.replicas):
+                replica = self.routing.choose(self.replicas, host_worker=host_worker,
+                                              depart_us=depart_us)
+            else:
+                index = self.routing.select(healthy, host_worker=host_worker,
+                                            depart_us=depart_us)
+                replica = healthy[index]
+                self.routing.decisions[replica.index] = (
+                    self.routing.decisions.get(replica.index, 0) + 1)
+            start_us = max(depart_us, replica.free_us)
+            crash = injector.peek_crash(replica.index, start_us)
+            if crash is None:
+                return replica, depart_us
+            injector.consume(crash)
+            if self.fail_replica(crash.target, crash.time_us):
+                self.stats.redispatches += 1
+                self.stats.redispatched_rows += rows
+                depart_us = max(depart_us, crash.time_us) + self.plan_redispatch_latency_us
+                injector.record(crash.time_us, "redispatch", crash.target,
+                                f"rows={rows} new_depart={depart_us:.3f}")
+
+    @property
+    def plan_redispatch_latency_us(self) -> float:
+        injector = self.fault_injector
+        return injector.plan.redispatch_latency_us if injector is not None else 0.0
 
     # ----------------------------------------------------------------- queue
     def submit(self, client: InferenceClient, features: np.ndarray,
@@ -774,7 +999,7 @@ class InferenceService:
         if self.cache_capacity is not None:
             ticket.state_keys = self._extract_state_keys(metadata, ticket.num_rows)
             if ticket.state_keys is not None:
-                self._cache_networks.setdefault(id(client.network), client.network)
+                self._network_token(client.network)
                 if self._fulfil_at_submit(ticket):
                     return ticket
         self._pending.append(ticket)
@@ -799,12 +1024,37 @@ class InferenceService:
                              f"for {num_rows} feature rows")
         return keys
 
+    def _network_token(self, network) -> int:
+        """The stable per-service token identifying ``network`` in cache keys.
+
+        ``id(network)`` only indexes the registry; an entry is trusted iff
+        its weak reference still points at *this* network, so a new network
+        allocated at a recycled id gets a fresh token (and therefore fresh
+        cache keys) instead of inheriting the dead model's entries.  A
+        collected network's registry slot is purged by its weakref callback,
+        guarded so it never evicts a successor that already claimed the id.
+        """
+        addr = id(network)
+        entry = self._net_tokens.get(addr)
+        if entry is not None and entry[1]() is network:
+            return entry[0]
+        token = self._next_net_token
+        self._next_net_token += 1
+
+        def purge(ref, *, addr=addr, token=token, registry=self._net_tokens):
+            current = registry.get(addr)
+            if current is not None and current[0] == token:
+                del registry[addr]
+
+        self._net_tokens[addr] = (token, weakref.ref(network, purge))
+        return token
+
     def _cache_key(self, client: InferenceClient, state_key: Optional[int]
                    ) -> Optional[Tuple[int, int, int]]:
         """Full cache key for one row: (weight generation, network, position)."""
         if state_key is None:
             return None
-        return (self.weight_version, id(client.network), state_key)
+        return (self.weight_version, self._network_token(client.network), state_key)
 
     def _cache_for(self, replica: ModelReplica) -> Optional[EvalCache]:
         if self.cache_capacity is None:
@@ -949,8 +1199,13 @@ class InferenceService:
     def _evaluate_chunk(self, chunk: List[Tuple[InferenceTicket, int, int]], rows: int) -> None:
         """Run one batched engine call now and scatter rows back to its tickets."""
         host = chunk[0][0].client
-        replica = self.routing.choose(self.replicas, host_worker=host.worker,
-                                      depart_us=host.system.clock.now_us)
+        now_us = host.system.clock.now_us
+        if self.fault_injector is None:
+            replica = self.routing.choose(self.replicas, host_worker=host.worker,
+                                          depart_us=now_us)
+        else:
+            self.apply_due_faults(now_us)
+            replica, _ = self._route_around_crashes(host.worker, now_us, rows)
         priors, values, batch_time_us, engine_rows = self._run_batch(host, chunk, rows, replica)
         replica.free_us = max(replica.free_us, host.system.clock.now_us)
         replica.busy_us += batch_time_us
@@ -1140,13 +1395,26 @@ class InferenceService:
                             rows: int, depart_us: float) -> None:
         """Run one planned batch under the queueing model and scatter results."""
         host = chunk[0][0].client
-        replica = self.routing.choose(self.replicas, host_worker=host.worker,
-                                      depart_us=depart_us)
+        injector = self.fault_injector
+        if injector is None:
+            replica = self.routing.choose(self.replicas, host_worker=host.worker,
+                                          depart_us=depart_us)
+        else:
+            self.apply_due_faults(depart_us)
+            replica, depart_us = self._route_around_crashes(host.worker,
+                                                            depart_us, rows)
         start_us = max(depart_us, replica.free_us)
         # The host worker (first requester) waits for the batch to start...
         host.system.clock.advance_to(start_us)
         start_us = host.system.clock.now_us  # host may already be past depart
         priors, values, batch_time_us, engine_rows = self._run_batch(host, chunk, rows, replica)
+        if (injector is not None and replica.slow_factor > 1.0
+                and start_us < replica.slow_until_us and batch_time_us > 0.0):
+            # An injected slowdown stretches the batch; the extra time is
+            # real wall (virtual) time on the host clock.
+            extra_us = (replica.slow_factor - 1.0) * batch_time_us
+            host.system.clock.advance(extra_us)
+            batch_time_us += extra_us
         end_us = host.system.clock.now_us
         replica.free_us = end_us
         replica.busy_us += batch_time_us

@@ -132,6 +132,7 @@ class EnvRolloutPool:
         env_kwargs: Optional[dict] = None,
         num_processes: Optional[int] = None,
         process_backend: str = "process",
+        fault_plan=None,
         cache_capacity: Optional[int] = None,
         cache_scope: str = "shared",
     ) -> None:
@@ -213,6 +214,11 @@ class EnvRolloutPool:
         self.env_kwargs = dict(env_kwargs or {})
         self.num_processes = num_processes
         self.process_backend = process_backend
+        #: optional :class:`~repro.faults.plan.FaultPlan` for the multiprocess
+        #: tier (shard crashes -> respawn + journal replay).  Deliberately
+        #: excluded from :meth:`_child_config`: faults are injected by the
+        #: parent, never re-injected inside a respawned shard.
+        self.fault_plan = fault_plan
         self.cache_capacity = cache_capacity
         self.cache_scope = cache_scope
         self.trace_dir = trace_dir
@@ -374,7 +380,9 @@ class EnvRolloutPool:
         specs = [ShardSpec(kind="envrollout", pool_config=config,
                            worker_indices=indices)
                  for indices in assign_workers(self.num_workers, self.num_processes)]
-        runner = ParallelRunner(specs, backend=self.process_backend)
+        runner = ParallelRunner(specs, backend=self.process_backend,
+                                fault_plan=self.fault_plan)
+        self.parallel_runner = runner
         try:
             service = self._build_service(
                 self._probe_env(),

@@ -38,22 +38,42 @@ class RetryPolicy:
     Attempt ``k`` (0-based retry index) waits ``base_backoff_us *
     multiplier**k``, clamped to ``cap_us``.  ``max_attempts`` counts *sends*:
     with the default 4, a request is sent at most once plus three retries.
+
+    ``jitter="decorrelated"`` replaces the deterministic ladder with
+    decorrelated jitter (Amazon Architecture-blog style): each wait is drawn
+    uniformly from ``[base, 3 * previous_wait]`` and capped, using a
+    dedicated per-client seeded RNG — so a fleet of clients shed by the same
+    fault stops retrying in lock-step and stops re-spiking the ingress
+    window, while any single client's schedule stays a pure function of its
+    seed.  Off by default: ``jitter="none"`` is bit-identical to the
+    pre-jitter policy.
     """
 
     max_attempts: int = 4
     base_backoff_us: float = 100.0
     multiplier: float = 2.0
     cap_us: float = 2_000.0
+    jitter: str = "none"   #: "none" | "decorrelated"
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must allow at least the first send")
         if self.base_backoff_us < 0 or self.cap_us < 0 or self.multiplier < 1.0:
             raise ValueError("backoff parameters must be non-negative (multiplier >= 1)")
+        if self.jitter not in ("none", "decorrelated"):
+            raise ValueError(f"unknown jitter mode {self.jitter!r}; "
+                             "expected 'none' or 'decorrelated'")
 
     def backoff_us(self, retry_index: int) -> float:
         """Virtual-time wait before retry number ``retry_index`` (0-based)."""
         return min(self.base_backoff_us * self.multiplier ** retry_index, self.cap_us)
+
+    def jittered_backoff_us(self, prev_backoff_us: float,
+                            rng: np.random.Generator) -> float:
+        """One decorrelated-jitter wait following ``prev_backoff_us``."""
+        base = self.base_backoff_us
+        high = max(base, 3.0 * prev_backoff_us)
+        return min(self.cap_us, float(rng.uniform(base, high)))
 
 
 #: A retry policy that never retries (the no-defence baseline).
@@ -61,6 +81,10 @@ NO_RETRY = RetryPolicy(max_attempts=1)
 
 #: Seed base of the per-key feature generators (see :func:`key_features`).
 _KEY_FEATURE_SEED = 0x5EED_CAFE
+
+#: Seed offset of the per-client backoff-jitter RNG: a dedicated stream, so
+#: arming jitter never perturbs the feature/key draws (and vice versa).
+_JITTER_SEED = 0x0FF5_E7
 
 
 def key_features(state_key: int, rows: int, feature_dim: int) -> np.ndarray:
@@ -99,7 +123,7 @@ class _Pending:
     """One request awaiting its reply (survives across retries)."""
 
     __slots__ = ("features", "first_send_us", "deadline_us", "attempts",
-                 "state_key")
+                 "state_key", "prev_backoff_us")
 
     def __init__(self, features: np.ndarray, first_send_us: float,
                  deadline_us: Optional[float],
@@ -109,6 +133,7 @@ class _Pending:
         self.deadline_us = deadline_us
         self.attempts = 1  #: sends so far
         self.state_key = state_key  #: carried verbatim across retries
+        self.prev_backoff_us = 0.0  #: last wait (decorrelated-jitter state)
 
     def request(self, client_id: str, request_id: int, send_us: float) -> EvalRequest:
         return EvalRequest(
@@ -150,6 +175,10 @@ class ServingClient:
         self.key_space = key_space
         self.stats = ClientStats()
         self._rng = np.random.default_rng(seed)
+        # Jitter draws come from their own stream so the request features
+        # stay bit-identical whether or not jitter is armed.
+        self._backoff_rng = (np.random.default_rng(_JITTER_SEED + seed)
+                             if retry.jitter != "none" else None)
         self._stream = MessageStream()
         self._pending: Dict[int, _Pending] = {}
         self._next_request_id = 0
@@ -217,7 +246,12 @@ class ServingClient:
             del self._pending[reply.request_id]
             self.stats.gave_up += 1
             return None
-        backoff = self.retry.backoff_us(pending.attempts - 1)
+        if self._backoff_rng is not None:
+            backoff = self.retry.jittered_backoff_us(pending.prev_backoff_us,
+                                                     self._backoff_rng)
+        else:
+            backoff = self.retry.backoff_us(pending.attempts - 1)
+        pending.prev_backoff_us = backoff
         resend_us = now_us + backoff
         if pending.deadline_us is not None and resend_us > pending.deadline_us:
             # The retry could not land inside the deadline anyway.

@@ -48,6 +48,12 @@ MSG_REPLY = 2
 
 _HEADER_STRUCT = struct.Struct("<4sBBIQ")
 
+#: Sanity caps on the declared lengths.  A corrupted length field under an
+#: intact magic would otherwise read as an :class:`IncompleteFrame` and
+#: stall the stream forever waiting for gigabytes that never come.
+MAX_HEADER_BYTES = 1 << 20    # 1 MiB of JSON header
+MAX_PAYLOAD_BYTES = 1 << 28   # 256 MiB of array payload
+
 #: Reply statuses.  Everything except OK is an overload signal the client
 #: may retry; the status names the defence that fired.
 STATUS_OK = "ok"                      #: served; priors/values attached
@@ -202,6 +208,10 @@ def decode_message(data: bytes) -> Tuple[Union[EvalRequest, EvalReply], int]:
         raise ProtocolError(f"bad magic {magic!r}")
     if version != PROTOCOL_VERSION:
         raise ProtocolError(f"unsupported protocol version {version}")
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(f"declared header length {header_len} exceeds cap")
+    if payload_len > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(f"declared payload length {payload_len} exceeds cap")
     total = _HEADER_STRUCT.size + header_len + payload_len
     if len(data) < total:
         raise IncompleteFrame(total - len(data))
@@ -211,6 +221,19 @@ def decode_message(data: bytes) -> Tuple[Union[EvalRequest, EvalReply], int]:
         header = json.loads(header_bytes.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ProtocolError(f"bad frame header: {exc}") from exc
+    try:
+        return _decode_fields(msg_type, header, payload), total
+    except ProtocolError:
+        raise
+    except (KeyError, ValueError, TypeError, AttributeError) as exc:
+        # A corrupted header can parse as JSON yet carry the wrong shape —
+        # missing keys, bad dtypes, non-numeric fields.  Every such frame is
+        # malformed, never a crash: stream readers resynchronize past it.
+        raise ProtocolError(f"bad frame content: {exc!r}") from exc
+
+
+def _decode_fields(msg_type: int, header: Dict, payload: bytes
+                   ) -> Union["EvalRequest", "EvalReply"]:
     arrays = _unpack_arrays(header, payload)
     if msg_type == MSG_REQUEST:
         if len(arrays) != 1:
@@ -246,7 +269,7 @@ def decode_message(data: bytes) -> Tuple[Union[EvalRequest, EvalReply], int]:
         )
     else:
         raise ProtocolError(f"unknown message type {msg_type}")
-    return message, total
+    return message
 
 
 class IncompleteFrame(Exception):
@@ -264,10 +287,23 @@ class MessageStream:
     a frame or three frames and a tail.  ``feed`` buffers incoming chunks and
     returns every complete message, in order, leaving any trailing partial
     frame buffered for the next feed.
+
+    A malformed frame (corrupt magic, bad version, mangled header …) no
+    longer poisons the stream: the reader counts it in ``corrupt_frames``,
+    scans forward to the next occurrence of the magic bytes, and resumes
+    decoding there — so one corrupted frame costs exactly that frame, not
+    every frame after it.
     """
 
     def __init__(self) -> None:
         self._buffer = bytearray()
+        #: Corruption incidents skipped by the resynchronization scan: a
+        #: frame whose magic survived but whose content is invalid counts
+        #: one, and a contiguous run of magic-less garbage counts one (its
+        #: bytes are indistinguishable from the tail of the frame whose
+        #: header was destroyed).
+        self.corrupt_frames = 0
+        self._skipping = False  #: inside a garbage run already counted
 
     @property
     def buffered_bytes(self) -> int:
@@ -278,11 +314,25 @@ class MessageStream:
         messages: List[Union[EvalRequest, EvalReply]] = []
         view = bytes(self._buffer)
         offset = 0
-        while True:
+        while offset < len(view):
             try:
                 message, consumed = decode_message(view[offset:])
             except IncompleteFrame:
                 break
+            except ProtocolError:
+                at_magic = view[offset:offset + len(MAGIC)] == MAGIC
+                if at_magic or not self._skipping:
+                    self.corrupt_frames += 1
+                self._skipping = True
+                resync = view.find(MAGIC, offset + 1)
+                if resync == -1:
+                    # No further magic: drop everything but a possible
+                    # partial-magic tail and wait for more bytes.
+                    offset = max(offset + 1, len(view) - (len(MAGIC) - 1))
+                    break
+                offset = resync
+                continue
+            self._skipping = False
             messages.append(message)
             offset += consumed
         if offset:

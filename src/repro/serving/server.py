@@ -72,6 +72,7 @@ from ..minigo.inference import (
     ROUTING_ROUND_ROBIN,
     RoutingPolicy,
 )
+from ..faults.plan import FaultInjector, FaultPlan
 from ..rollout.evalcache import EvalCache
 from ..system import System
 from .protocol import (
@@ -81,7 +82,7 @@ from .protocol import (
     STATUS_SHED_RATE,
     EvalReply,
     EvalRequest,
-    decode_message,
+    MessageStream,
     encode_reply,
 )
 
@@ -129,6 +130,18 @@ class TokenBucket:
         self.burst = float(burst)
         self.tokens = float(burst)
         self._last_us = 0.0
+        self._base_rate = rate_per_sec  #: configured rate before degraded scaling
+
+    def rescale(self, scale: float) -> None:
+        """Scale the sustained rate to ``scale`` of the configured rate.
+
+        Degraded-mode hook: tokens already accrued are kept (the bucket only
+        refills more slowly), and ``scale=1.0`` restores the configured rate
+        exactly.  A no-op for unlimited buckets.
+        """
+        if self._base_rate is None:
+            return
+        self.rate_per_sec = self._base_rate * scale
 
     def admit(self, now_us: float) -> bool:
         if self.rate_per_sec is None:
@@ -162,6 +175,8 @@ class ServerStats:
     cache_hits: int = 0        #: OK replies answered at admission from the cache
     cache_rows: int = 0        #: feature rows in cache-hit replies
     cache_evictions: int = 0   #: admission-cache LRU evictions
+    corrupt_frames: int = 0    #: malformed wire frames skipped by stream resync
+    degraded_entries: int = 0  #: transitions into degraded (reduced-capacity) mode
 
     @property
     def shed(self) -> int:
@@ -213,7 +228,9 @@ class InferenceServer:
                  seed: int = 0,
                  name: str = "inference_server",
                  keep_decision_log: bool = True,
-                 cache_capacity: Optional[int] = None) -> None:
+                 cache_capacity: Optional[int] = None,
+                 fault_plan: Optional[FaultPlan] = None,
+                 degraded_admission: bool = True) -> None:
         if overload not in OVERLOAD_POLICIES:
             raise ValueError(f"unknown overload policy {overload!r}; "
                              f"expected one of {OVERLOAD_POLICIES}")
@@ -262,6 +279,22 @@ class InferenceServer:
         self.stats = ServerStats()
         self.decision_log: List[Tuple[float, str, str, int, str]] = []
         self._keep_log = keep_decision_log
+        #: the fault injector, or None for a fault-free run.  An *empty*
+        #: plan also maps to None: every fault hook below early-outs, so the
+        #: server is bit-for-bit the pre-fault-injection one.
+        self.fault_injector: Optional[FaultInjector] = None
+        if fault_plan is not None and not fault_plan.empty:
+            self.fault_injector = FaultInjector(fault_plan)
+            self.service.attach_fault_injector(self.fault_injector)
+        #: when True (default), losing replica capacity tightens admission:
+        #: the ingress window and every token bucket scale by the surviving
+        #: capacity fraction.  False keeps full-capacity admission during
+        #: faults — the no-degrade control arm of the fault sweep.
+        self.degraded_admission = degraded_admission
+        self._capacity_scale = 1.0
+        self._fault_log_cursor = 0
+        self._stream = MessageStream()
+        self._stream_corrupt_seen = 0
         self._buckets: Dict[str, TokenBucket] = {}
         self._inflight: Dict[Tuple[str, int], _Inflight] = {}
         self._backlog: Deque[EvalRequest] = deque()  #: block-policy waiting room
@@ -293,6 +326,8 @@ class InferenceServer:
         bucket = self._buckets.get(client_id)
         if bucket is None:
             bucket = TokenBucket(self.rate_limit_per_sec, self.rate_burst)
+            if self._capacity_scale < 1.0:
+                bucket.rescale(self._capacity_scale)
             self._buckets[client_id] = bucket
         return bucket
 
@@ -302,9 +337,73 @@ class InferenceServer:
             heapq.heappop(self._in_service)
         return self.service.pending_tickets + len(self._in_service)
 
+    def effective_capacity(self) -> Optional[int]:
+        """The ingress window after degraded-mode scaling (None if unbounded).
+
+        Under degraded admission the window shrinks proportionally to the
+        surviving replica capacity — with half the replicas down, admitting a
+        full window would double per-replica queueing and blow latency SLOs;
+        shedding the excess at admission keeps the survivors' latency flat.
+        Never shrinks below one slot.
+        """
+        if self.queue_capacity is None:
+            return None
+        if self._capacity_scale >= 1.0:
+            return self.queue_capacity
+        return max(1, int(round(self.queue_capacity * self._capacity_scale)))
+
     def _has_space(self, now_us: float) -> bool:
-        return (self.queue_capacity is None
-                or self.occupancy(now_us) < self.queue_capacity)
+        capacity = self.effective_capacity()
+        return capacity is None or self.occupancy(now_us) < capacity
+
+    # ---------------------------------------------------------------- faults
+    def _sync_faults(self, now_us: float) -> None:
+        """Apply due replica faults, refresh degraded mode, surface the log."""
+        if self.fault_injector is None:
+            return
+        self.service.apply_due_faults(now_us)
+        self._refresh_degraded(now_us)
+        self._drain_fault_log()
+
+    def _refresh_degraded(self, now_us: float) -> None:
+        """Re-derive the capacity scale from current replica health."""
+        if not self.degraded_admission:
+            return
+        replicas = self.service.replicas
+        healthy = sum(1 for replica in replicas if replica.healthy)
+        scale = healthy / len(replicas)
+        if scale == self._capacity_scale:
+            return
+        entering = scale < self._capacity_scale
+        self._capacity_scale = scale
+        for bucket in self._buckets.values():
+            bucket.rescale(scale)
+        if entering:
+            self.stats.degraded_entries += 1
+        event = "degrade" if entering else "restore"
+        if self.fault_injector is not None:
+            self.fault_injector.record(
+                now_us, event,
+                detail=f"capacity_scale={scale:g} window={self.effective_capacity()}")
+
+    def _drain_fault_log(self) -> None:
+        """Append new fault-injector log lines to the decision log.
+
+        Injector lines are ``"{time:.3f} {kind}[ target=N][ detail]"``; they
+        enter the decision log under the reserved client id ``"-"`` so
+        :meth:`decision_log_lines` renders them alongside admission events
+        and the determinism bar covers fault decisions too.
+        """
+        injector = self.fault_injector
+        if injector is None or not self._keep_log:
+            return
+        while self._fault_log_cursor < len(injector.log):
+            line = injector.log[self._fault_log_cursor]
+            self._fault_log_cursor += 1
+            parts = line.split(" ", 2)
+            time_us = float(parts[0])
+            detail = parts[2] if len(parts) > 2 else ""
+            self.decision_log.append((time_us, parts[1], "-", 0, detail))
 
     def _shed_reply(self, request: EvalRequest, status: str, now_us: float,
                     detail: str = "") -> Tuple[bytes, float]:
@@ -314,19 +413,33 @@ class InferenceServer:
 
     # ------------------------------------------------------------ admission
     def receive(self, frame: bytes, now_us: float) -> List[Tuple[bytes, float]]:
-        """Handle one request frame arriving at virtual time ``now_us``.
+        """Handle request bytes arriving at virtual time ``now_us``.
 
         Returns ``(reply_frame, delivery_time_us)`` pairs: an immediate shed
         reply, and/or OK replies for any batches the arrival caused to serve
         (its own full batch, or freed backlog admissions).
+
+        Frames flow through a resynchronizing :class:`MessageStream`: a
+        malformed frame is skipped to the next magic marker and counted in
+        :attr:`ServerStats.corrupt_frames` rather than wedging the server
+        (chunked/coalesced delivery is likewise tolerated).
         """
-        message, _ = decode_message(frame)
-        if not isinstance(message, EvalRequest):
-            raise ValueError("the server accepts request frames only")
-        return self.offer(message, now_us)
+        messages = self._stream.feed(frame)
+        corrupt = self._stream.corrupt_frames - self._stream_corrupt_seen
+        if corrupt:
+            self._stream_corrupt_seen = self._stream.corrupt_frames
+            self.stats.corrupt_frames += corrupt
+            self._log(now_us, "corrupt-frame", "-", 0, f"frames={corrupt}")
+        replies: List[Tuple[bytes, float]] = []
+        for message in messages:
+            if not isinstance(message, EvalRequest):
+                raise ValueError("the server accepts request frames only")
+            replies.extend(self.offer(message, now_us))
+        return replies
 
     def offer(self, request: EvalRequest, now_us: float) -> List[Tuple[bytes, float]]:
         """Admission-control one decoded request (see :meth:`receive`)."""
+        self._sync_faults(now_us)
         self.stats.arrivals += 1
         self._log(now_us, "arrive", request.client_id, request.request_id,
                   f"attempt={request.attempt} rows={request.num_rows}")
@@ -487,6 +600,11 @@ class InferenceServer:
                           f"waited={now_us - request.send_us:.1f}us")
                 self._enqueue(request, now_us, request.send_us)
                 progress = True
+        if self.fault_injector is not None:
+            # Serving may have consumed crash events (redispatch path):
+            # refresh degraded state and surface what the injector logged.
+            self._refresh_degraded(now_us)
+            self._drain_fault_log()
         return replies
 
     def _collect(self) -> List[Tuple[bytes, float]]:
@@ -555,6 +673,7 @@ class InferenceServer:
         gathered more riders; the slot was taken by a newer serve) degrade
         to a no-op pump, so the event loop may over-schedule timers freely.
         """
+        self._sync_faults(now_us)
         replies: List[Tuple[bytes, float]] = []
         deadline = self._flush_deadline_us()
         if deadline is not None and now_us >= deadline:
@@ -578,6 +697,7 @@ class InferenceServer:
         as completions free window slots — virtual time advances to each
         completion as needed.  Returns the remaining replies.
         """
+        self._sync_faults(now_us)
         replies: List[Tuple[bytes, float]] = []
         now = now_us
         guard = 0

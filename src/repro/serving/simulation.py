@@ -31,6 +31,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..faults.plan import FRAME_CORRUPT, FRAME_DROP
 from .client import ServingClient
 from .loadgen import LoadGenerator
 from .protocol import EvalReply, decode_message
@@ -89,6 +90,16 @@ def run_serving(server: InferenceServer, loadgen: LoadGenerator,
     if first is not None:
         push(first[0], _ARRIVE, first[1])
 
+    # Replica fault times become timer events so crashes and recoveries
+    # apply on schedule even while the server is idle.  Frame faults are
+    # consumed below, at _SEND, where the wire actually carries a frame.
+    injector = server.fault_injector
+    if injector is not None:
+        for fault_us in injector.plan.replica_event_times():
+            if fault_us not in scheduled_timers:
+                scheduled_timers.add(fault_us)
+                push(fault_us, _TIMER, None)
+
     end_us = 0.0
     events = 0
     while heap:
@@ -104,7 +115,20 @@ def run_serving(server: InferenceServer, loadgen: LoadGenerator,
                 push(upcoming[0], _ARRIVE, upcoming[1])
         elif kind == _SEND:
             assert isinstance(payload, bytes)
-            push_replies(server.receive(payload, now_us))
+            frame = payload
+            if injector is not None:
+                fault = injector.next_frame_fault(now_us)
+                if fault is not None and fault.kind == FRAME_DROP:
+                    injector.record(now_us, FRAME_DROP,
+                                    detail=f"bytes={len(frame)}")
+                    continue  # the frame never reaches the server
+                if fault is not None and fault.kind == FRAME_CORRUPT:
+                    # Flip the version byte: the magic stays intact, so the
+                    # server's stream rejects the frame cleanly and resyncs.
+                    injector.record(now_us, FRAME_CORRUPT,
+                                    detail=f"bytes={len(frame)}")
+                    frame = frame[:4] + bytes([frame[4] ^ 0xFF]) + frame[5:]
+            push_replies(server.receive(frame, now_us))
             push_timer()
         elif kind == _TIMER:
             scheduled_timers.discard(now_us)

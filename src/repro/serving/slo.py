@@ -73,6 +73,14 @@ class SLOReport:
     cache_hits: int = 0
     cache_rows: int = 0
     cache_evictions: int = 0
+    # faults (injected) and recovery
+    corrupt_frames: int = 0
+    replica_crashes: int = 0
+    replica_recoveries: int = 0
+    redispatches: int = 0
+    redispatched_rows: int = 0
+    degraded_entries: int = 0
+    availability: float = 1.0  #: fraction of replica capacity up over the horizon
     # distributions (µs)
     latency_us: Optional[Dict[float, float]] = None
     client_queue_delay_us: Optional[Dict[float, float]] = None
@@ -135,6 +143,12 @@ class SLOReport:
             f"  cache     hits={self.cache_hits} rows={self.cache_rows} "
             f"evictions={self.cache_evictions} "
             f"(hit rate {self.cache_hit_fraction:.4f} of arrivals)",
+            f"  faults    crashes={self.replica_crashes} "
+            f"recoveries={self.replica_recoveries} "
+            f"redispatched_rows={self.redispatched_rows} "
+            f"corrupt_frames={self.corrupt_frames} "
+            f"degraded={self.degraded_entries} "
+            f"availability={self.availability:.4f}",
             f"  latency_us        {_format_percentiles(self.latency_us)}",
             f"  queue_delay_us    {_format_percentiles(self.client_queue_delay_us)} (client)",
             f"  service_delay_us  {_format_percentiles(self.service_queue_delay_us)} (reservoir)",
@@ -178,6 +192,14 @@ def build_slo_report(result: ServingRunResult, *, label: str = "run",
     report.cache_hits = stats.cache_hits
     report.cache_rows = stats.cache_rows
     report.cache_evictions = stats.cache_evictions
+    report.corrupt_frames = stats.corrupt_frames
+    report.degraded_entries = stats.degraded_entries
+    service_stats = server.service.stats
+    report.replica_crashes = service_stats.replica_crashes
+    report.replica_recoveries = service_stats.replica_recoveries
+    report.redispatches = service_stats.redispatches
+    report.redispatched_rows = service_stats.redispatched_rows
+    report.availability = server.service.availability(result.horizon_us)
     report.latency_us = percentiles(latency, points)
     report.client_queue_delay_us = percentiles(queue_delay, points)
     report.service_queue_delay_us = server.service.stats.queue_delay_percentiles(points)

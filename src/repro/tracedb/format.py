@@ -18,6 +18,7 @@ chunks carry no per-chunk statistics, so queries simply cannot skip them.
 from __future__ import annotations
 
 import gzip
+import io
 import json
 import os
 from dataclasses import dataclass, field
@@ -141,9 +142,17 @@ def chunk_filename(worker: str, seq: int, *, compress: bool = True) -> str:
     return f"{CHUNK_PREFIX}_{worker}_{seq:05d}{suffix}"
 
 
+def _open_chunk_for_write(path: Path, compress: bool):
+    if not compress:
+        return open(path, "wt", encoding="utf-8")
+    # Pin the gzip header mtime so identical payloads produce identical
+    # bytes — recovery paths compare stores byte-for-byte.
+    return io.TextIOWrapper(
+        gzip.GzipFile(path, "wb", mtime=0), encoding="utf-8")
+
+
 def write_chunk(path: Path, payload: ChunkPayload, *, compress: bool = True) -> None:
-    opener = gzip.open if compress else open
-    with opener(path, "wt", encoding="utf-8") as handle:  # type: ignore[operator]
+    with _open_chunk_for_write(path, compress) as handle:
         for event in payload.events:
             handle.write(json.dumps({"t": RECORD_EVENT, **event.to_dict()}) + "\n")
         for op in payload.operations:

@@ -191,6 +191,64 @@ def test_merge_from_rolls_up_cache_counters():
     assert total.cache_evictions == 31
 
 
+# ------------------------------------------------- network token registry
+def test_recycled_network_id_never_aliases_cache_entries():
+    """A new network at a collected network's address gets a fresh token.
+
+    ``id()`` values are recycled by the allocator, so the registry must
+    trust an entry only while its weak reference still points at the same
+    network — a recycled address silently reading another model's cached
+    rows was the ISSUE-10 satellite bug.
+    """
+    service = InferenceService(make_network(), max_batch=16, cache_capacity=8)
+    net_a, net_b = make_network(seed=1), make_network(seed=2)
+    token_a = service._network_token(net_a)
+    token_b = service._network_token(net_b)
+    assert token_a != token_b
+
+    # Simulate the allocator recycling net_a's address for net_b: the stale
+    # registry entry indexes net_b's id() but its weakref points at net_a.
+    service._net_tokens[id(net_b)] = service._net_tokens.pop(id(net_a))
+    assert service._network_token(net_b) != token_a, \
+        "a recycled id() must never inherit another network's cache token"
+
+    # Tokens are stable across repeated lookups of the live network.
+    assert service._network_token(net_b) == service._network_token(net_b)
+
+
+def test_collected_network_purges_registry_without_evicting_successor():
+    import gc
+    import weakref
+
+    service = InferenceService(make_network(), max_batch=16, cache_capacity=8)
+    net = make_network(seed=3)
+    addr = id(net)
+    service._network_token(net)
+    assert addr in service._net_tokens
+
+    del net
+    gc.collect()
+    assert addr not in service._net_tokens, \
+        "a collected network must free its registry slot"
+
+    # The purge callback is token-guarded: if a successor claims the same
+    # address before the old network's callback fires, the callback must
+    # not evict it.  Capture the *product's* purge closure off the weakref,
+    # install a successor entry at the same address, then fire the stale
+    # callback by hand.
+    old = make_network(seed=4)
+    old_token = service._network_token(old)
+    old_ref = service._net_tokens[id(old)][1]
+    stale_purge = old_ref.__callback__
+
+    successor = make_network(seed=5)
+    entry = (old_token + 1, weakref.ref(successor))
+    service._net_tokens[id(old)] = entry
+    stale_purge(old_ref)
+    assert service._net_tokens[id(old)] == entry, \
+        "a stale purge callback must not evict the successor's entry"
+
+
 # -------------------------------------------------- multiprocess rejection
 def test_selfplay_pool_rejects_multiprocess_cache():
     with pytest.raises(ValueError, match="cannot be combined with the service evaluation"):

@@ -145,6 +145,82 @@ def test_message_stream_reassembles_split_and_coalesced_frames():
     assert [m.request_id for m in second] == [2]
 
 
+# ------------------------------------------- malformed frames / resync (fuzz)
+def _corrupt_header(frame):
+    """Break the frame's JSON header while leaving the magic intact.
+
+    The fixed struct header is 18 bytes (``<4sBBIQ``); flipping the first
+    JSON byte guarantees a decode failure without touching the magic.
+    """
+    return frame[:18] + bytes([frame[18] ^ 0xFF]) + frame[19:]
+
+
+def test_one_corrupted_frame_costs_exactly_that_frame():
+    frames = [encode_request(request(i, float(i))) for i in range(3)]
+    blob = frames[0] + _corrupt_header(frames[1]) + frames[2]
+    stream = MessageStream()
+    seen = stream.feed(blob)
+    assert [m.request_id for m in seen] == [0, 2], \
+        "the frames around the corruption must still decode"
+    assert stream.corrupt_frames == 1
+    assert stream.buffered_bytes == 0
+
+
+def test_magicless_garbage_run_counts_one_incident_across_feeds():
+    stream = MessageStream()
+    # A garbage run split across feeds is one incident, not one per feed:
+    # its bytes are indistinguishable from the tail of a destroyed frame.
+    assert stream.feed(b"\x00garbage-without-magic") == []
+    assert stream.feed(b"more-garbage\x01\x02\x03") == []
+    assert stream.corrupt_frames == 1
+    good = encode_request(request(7))
+    [message] = stream.feed(good)
+    assert message.request_id == 7
+    assert stream.corrupt_frames == 1
+
+
+def test_back_to_back_corrupted_frames_each_count():
+    frames = [encode_request(request(i)) for i in range(3)]
+    blob = (_corrupt_header(frames[0]) + _corrupt_header(frames[1])
+            + frames[2])
+    stream = MessageStream()
+    seen = stream.feed(blob)
+    assert [m.request_id for m in seen] == [2]
+    assert stream.corrupt_frames == 2, \
+        "each frame whose magic survived is a distinct incident"
+
+
+def test_resync_survives_byte_at_a_time_delivery():
+    frames = [encode_request(request(i, float(i))) for i in range(3)]
+    blob = frames[0] + _corrupt_header(frames[1]) + frames[2]
+    stream = MessageStream()
+    seen = []
+    for i in range(len(blob)):
+        seen.extend(stream.feed(blob[i:i + 1]))
+    assert [m.request_id for m in seen] == [0, 2]
+    assert stream.corrupt_frames == 1
+
+
+def test_stream_fuzz_never_raises_and_never_hoards():
+    """Random mutations in random chunkings: feed must never raise, and the
+    buffer must never grow past one maximal partial frame."""
+    rng = np.random.default_rng(0xF022)
+    frames = [encode_request(request(i, float(i), n=1 + i % 3))
+              for i in range(6)]
+    for _ in range(25):
+        blob = bytearray(b"".join(frames))
+        for _ in range(rng.integers(1, 6)):
+            blob[rng.integers(0, len(blob))] ^= int(rng.integers(1, 256))
+        stream = MessageStream()
+        offset, decoded = 0, 0
+        while offset < len(blob):
+            step = int(rng.integers(1, 200))
+            decoded += len(stream.feed(bytes(blob[offset:offset + step])))
+            offset += step
+        assert decoded <= len(frames)
+        assert stream.buffered_bytes <= len(blob)
+
+
 # ------------------------------------------------------------- token bucket
 def test_token_bucket_sustains_rate_with_burst():
     bucket = TokenBucket(1_000_000.0, burst=2.0)  # one token per virtual us
@@ -304,6 +380,80 @@ def test_retry_storm_under_sustained_overload_stays_bounded():
     assert report.gave_up > 0
     assert report.requests == report.completed + report.gave_up, \
         "every request resolves: served or abandoned, none lost"
+
+
+def _shed_reply_for(client, send_us=0.0):
+    frame = client.new_request_frame(send_us)
+    req, _ = decode_message(frame)
+    return encode_reply(EvalReply(request_id=req.request_id,
+                                  client_id=client.client_id,
+                                  status="shed-queue"))
+
+
+def _retry_waits(seed, jitter="decorrelated", retries=3):
+    policy = RetryPolicy(max_attempts=retries + 1, base_backoff_us=100.0,
+                         cap_us=2_000.0, jitter=jitter)
+    client = ServingClient("c0", feature_dim=FEATURES, retry=policy, seed=seed)
+    shed = _shed_reply_for(client)
+    waits, now = [], 0.0
+    for _ in range(retries):
+        resend_at, _ = client.deliver(shed, now)
+        waits.append(resend_at - now)
+        now = resend_at
+    return waits
+
+
+def test_retry_policy_rejects_unknown_jitter_mode():
+    with pytest.raises(ValueError, match="unknown jitter mode"):
+        RetryPolicy(jitter="bogus")
+
+
+def test_jitter_is_off_by_default_and_costs_nothing_when_off():
+    assert RetryPolicy().jitter == "none"
+    client = ServingClient("c0", feature_dim=FEATURES, retry=RetryPolicy(),
+                           seed=1)
+    assert client._backoff_rng is None, \
+        "jitter='none' must not even build the RNG (bit-identity guarantee)"
+    # The deterministic ladder is unchanged by the jitter machinery existing.
+    assert _retry_waits(1, jitter="none") == [100.0, 200.0, 400.0]
+
+
+def test_decorrelated_jitter_draws_stay_within_bounds():
+    base, cap = 100.0, 2_000.0
+    waits = _retry_waits(5, retries=8)
+    assert waits[0] == base, \
+        "the first wait follows prev=0: uniform(base, base) is exactly base"
+    prev = waits[0]
+    for wait in waits[1:]:
+        assert base <= wait <= min(cap, 3.0 * prev), \
+            f"wait {wait} outside [base, min(cap, 3*prev={3 * prev})]"
+        prev = wait
+    assert any(w != waits[0] for w in waits[1:]), "the draws must actually jitter"
+
+
+def test_decorrelated_jitter_is_a_pure_function_of_the_seed():
+    assert _retry_waits(9) == _retry_waits(9)
+    assert _retry_waits(9) != _retry_waits(10), \
+        "different client seeds must de-synchronise the retry schedule"
+
+
+def test_jittered_retry_storm_stays_bounded_and_replays():
+    """Jitter de-syncs the fleet without losing the storm's guarantees."""
+    def run():
+        retry = RetryPolicy(max_attempts=3, base_backoff_us=50.0, cap_us=200.0,
+                            jitter="decorrelated")
+        server = make_server(max_batch=4, queue_capacity=4, flush_timeout_us=300.0)
+        gen = LoadGenerator(PoissonProcess(150_000.0), 16, feature_dim=FEATURES,
+                            retry=retry, seed=3)
+        return build_slo_report(run_serving(server, gen, 10_000.0))
+
+    report = run()
+    assert report.shed_queue > 0 and report.retries > 0
+    assert report.sends <= report.requests * 3
+    assert report.requests == report.completed + report.gave_up, \
+        "every request resolves: served or abandoned, none lost"
+    assert report.format() == run().format(), \
+        "the jittered fleet must still replay bit-for-bit under one seed"
 
 
 def test_late_ok_reply_counts_as_timeout_miss():
